@@ -1,0 +1,47 @@
+"""Design-choice ablations (A6, A7).
+
+Two benchmarks measure the internal design decisions the paper argues for:
+
+* **Roll-up** (Section III-B): full ITA vs. an ITA that never raises its
+  local thresholds.  Without roll-up the monitored region never shrinks, so
+  more arrivals are flagged as candidates and scored.
+* **Probe order** (Section III-A): the paper's weighted list selection vs.
+  Fagin's round-robin.  Weighted probing reads fewer postings per descent.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_scale, prepared_engine, run_measured_phase
+from repro.workloads.experiments import ablation_probe_order, ablation_rollup
+
+_ROLLUP = ablation_rollup(bench_scale())
+_ROLLUP_POINTS = {point.label: point for point in _ROLLUP.points}
+
+_PROBE = ablation_probe_order(bench_scale())
+_PROBE_POINTS = {point.label: point for point in _PROBE.points}
+
+
+@pytest.mark.parametrize("engine_name", _ROLLUP.engines)
+@pytest.mark.parametrize("label", list(_ROLLUP_POINTS))
+def test_ablation_rollup(benchmark, per_event_extra_info, engine_name, label):
+    point = _ROLLUP_POINTS[label]
+    benchmark.group = f"ablation-rollup {label}"
+    engine = prepared_engine(engine_name, point)
+    events = benchmark.pedantic(
+        lambda: run_measured_phase(engine, point), rounds=1, iterations=1, warmup_rounds=0
+    )
+    per_event_extra_info(benchmark, events, engine)
+    benchmark.extra_info["candidate_matches"] = engine.counters.candidate_matches
+
+
+@pytest.mark.parametrize("engine_name", _PROBE.engines)
+@pytest.mark.parametrize("label", list(_PROBE_POINTS))
+def test_ablation_probe_order(benchmark, per_event_extra_info, engine_name, label):
+    point = _PROBE_POINTS[label]
+    benchmark.group = f"ablation-probe-order {label}"
+    engine = prepared_engine(engine_name, point)
+    events = benchmark.pedantic(
+        lambda: run_measured_phase(engine, point), rounds=1, iterations=1, warmup_rounds=0
+    )
+    per_event_extra_info(benchmark, events, engine)
+    benchmark.extra_info["postings_scanned"] = engine.counters.postings_scanned

@@ -1,0 +1,26 @@
+"""Ablation A2: sensitivity to the result size k.
+
+Larger k lowers S_k and the local thresholds, widening the monitored
+region of the term-frequency space; this ablation quantifies the effect on
+both engines.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_scale, prepared_engine, run_measured_phase
+from repro.workloads.experiments import ablation_k
+
+_DEFINITION = ablation_k(bench_scale())
+_POINTS = {point.label: point for point in _DEFINITION.points}
+
+
+@pytest.mark.parametrize("engine_name", _DEFINITION.engines)
+@pytest.mark.parametrize("label", list(_POINTS))
+def test_ablation_k(benchmark, per_event_extra_info, engine_name, label):
+    point = _POINTS[label]
+    benchmark.group = f"ablation-k {label}"
+    engine = prepared_engine(engine_name, point)
+    events = benchmark.pedantic(
+        lambda: run_measured_phase(engine, point), rounds=1, iterations=1, warmup_rounds=0
+    )
+    per_event_extra_info(benchmark, events, engine)

@@ -1,0 +1,38 @@
+"""Ablation A3: the k_max materialised-view size of the Naive competitor.
+
+The paper enhances Naive with the Yi et al. top-k_max technique.  This
+ablation sweeps the k_max multiplier to show the trade-off the enhancement
+navigates: a larger view means rarer full recomputations but a higher
+per-arrival maintenance cost.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_scale, prepared_engine, run_measured_phase
+from repro.workloads.experiments import ablation_kmax
+
+_DEFINITION = ablation_kmax(bench_scale())
+_POINTS = {point.label: point for point in _DEFINITION.points}
+
+
+@pytest.mark.parametrize("label", list(_POINTS))
+def test_ablation_kmax_competitor(benchmark, per_event_extra_info, label):
+    point = _POINTS[label]
+    benchmark.group = f"ablation-kmax {label}"
+    engine = prepared_engine("naive-kmax", point)
+    events = benchmark.pedantic(
+        lambda: run_measured_phase(engine, point), rounds=1, iterations=1, warmup_rounds=0
+    )
+    per_event_extra_info(benchmark, events, engine)
+    benchmark.extra_info["full_recomputations"] = engine.counters.full_recomputations
+
+
+def test_ablation_kmax_ita_reference(benchmark, per_event_extra_info):
+    """ITA reference point: unaffected by the competitor's k_max setting."""
+    point = next(iter(_POINTS.values()))
+    benchmark.group = "ablation-kmax ita-reference"
+    engine = prepared_engine("ita", point)
+    events = benchmark.pedantic(
+        lambda: run_measured_phase(engine, point), rounds=1, iterations=1, warmup_rounds=0
+    )
+    per_event_extra_info(benchmark, events, engine)

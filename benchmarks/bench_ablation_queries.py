@@ -1,0 +1,28 @@
+"""Ablation A1: scaling with the number of installed queries.
+
+The paper's motivation is supporting "a large number of user queries while
+sustaining high document arrival rates"; this ablation sweeps the number of
+installed queries and shows that Naive's per-arrival cost grows linearly
+with it (one score computation per query per arrival) while ITA's grows
+only with the number of *affected* queries.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_scale, prepared_engine, run_measured_phase
+from repro.workloads.experiments import ablation_num_queries
+
+_DEFINITION = ablation_num_queries(bench_scale())
+_POINTS = {point.label: point for point in _DEFINITION.points}
+
+
+@pytest.mark.parametrize("engine_name", _DEFINITION.engines)
+@pytest.mark.parametrize("label", list(_POINTS))
+def test_ablation_num_queries(benchmark, per_event_extra_info, engine_name, label):
+    point = _POINTS[label]
+    benchmark.group = f"ablation-queries {label}"
+    engine = prepared_engine(engine_name, point)
+    events = benchmark.pedantic(
+        lambda: run_measured_phase(engine, point), rounds=1, iterations=1, warmup_rounds=0
+    )
+    per_event_extra_info(benchmark, events, engine)

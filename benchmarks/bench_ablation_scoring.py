@@ -1,0 +1,26 @@
+"""Ablation A5: cosine (Formula (1)) versus Okapi BM25 impact weights.
+
+The paper claims the incremental threshold machinery is independent of the
+similarity measure; this ablation runs the same workload under both
+weighting schemes.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_scale, prepared_engine, run_measured_phase
+from repro.workloads.experiments import ablation_scoring
+
+_DEFINITION = ablation_scoring(bench_scale())
+_POINTS = {point.label: point for point in _DEFINITION.points}
+
+
+@pytest.mark.parametrize("engine_name", _DEFINITION.engines)
+@pytest.mark.parametrize("label", list(_POINTS))
+def test_ablation_scoring(benchmark, per_event_extra_info, engine_name, label):
+    point = _POINTS[label]
+    benchmark.group = f"ablation-scoring {label}"
+    engine = prepared_engine(engine_name, point)
+    events = benchmark.pedantic(
+        lambda: run_measured_phase(engine, point), rounds=1, iterations=1, warmup_rounds=0
+    )
+    per_event_extra_info(benchmark, events, engine)

@@ -1,0 +1,26 @@
+"""Ablation A4: count-based versus time-based sliding windows.
+
+The paper evaluates count-based windows and states that "the results for a
+time-based one are similar"; this ablation runs both window disciplines
+with the same expected number of valid documents.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_scale, prepared_engine, run_measured_phase
+from repro.workloads.experiments import ablation_window_type
+
+_DEFINITION = ablation_window_type(bench_scale())
+_POINTS = {point.label: point for point in _DEFINITION.points}
+
+
+@pytest.mark.parametrize("engine_name", _DEFINITION.engines)
+@pytest.mark.parametrize("label", list(_POINTS))
+def test_ablation_window_type(benchmark, per_event_extra_info, engine_name, label):
+    point = _POINTS[label]
+    benchmark.group = f"ablation-window-type {label}"
+    engine = prepared_engine(engine_name, point)
+    events = benchmark.pedantic(
+        lambda: run_measured_phase(engine, point), rounds=1, iterations=1, warmup_rounds=0
+    )
+    per_event_extra_info(benchmark, events, engine)

@@ -1,0 +1,45 @@
+"""Micro-benchmark: analytical cost-model evaluation.
+
+Not a paper figure; confirms the cost-model predictions are cheap to
+compute (they are used to sanity-check measured counters) and exercises the
+model across the paper's parameter ranges.
+"""
+
+import pytest
+
+from repro.workloads.cost_model import (
+    WorkloadParameters,
+    ita_scores_per_arrival,
+    naive_scores_per_arrival,
+    speedup_estimate,
+)
+
+
+def _params(num_queries):
+    return WorkloadParameters(
+        num_queries=num_queries,
+        query_length=10,
+        dictionary_size=181_978,
+        window_size=1_000,
+        mean_doc_terms=150.0,
+        k=10,
+        kmax=20,
+    )
+
+
+@pytest.mark.parametrize("num_queries", [100, 1_000, 10_000])
+def test_cost_model_evaluation(benchmark, num_queries):
+    params = _params(num_queries)
+    benchmark.group = "cost-model"
+
+    def evaluate():
+        return (
+            naive_scores_per_arrival(params).scores_per_arrival,
+            ita_scores_per_arrival(params).scores_per_arrival,
+            speedup_estimate(params),
+        )
+
+    naive, ita, speedup = benchmark(evaluate)
+    benchmark.extra_info["predicted_naive_scores"] = naive
+    benchmark.extra_info["predicted_ita_scores"] = ita
+    benchmark.extra_info["predicted_score_ratio"] = speedup

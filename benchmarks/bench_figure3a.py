@@ -1,0 +1,34 @@
+"""Figure 3(a): processing time versus query length.
+
+Paper setup: window = 1,000 documents, 1,000 queries, k = 10, query length
+n varied from 4 to 40; ITA is reported ~10x faster than the k_max-enhanced
+Naive at n = 4 and ~6x faster at n = 40.
+
+Each benchmark measures one (engine, n) combination: the time to process
+the measured slice of the stream on a pre-filled window.  Divide by
+``extra_info['events_per_round']`` to obtain the per-arrival milliseconds
+the paper plots.  Run ``python -m repro.workloads.cli figure3a`` for the
+full table in one shot.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_scale, prepared_engine, run_measured_phase
+from repro.workloads.experiments import figure_3a
+
+_DEFINITION = figure_3a(bench_scale())
+_POINTS = {point.label: point for point in _DEFINITION.points}
+
+
+@pytest.mark.parametrize("engine_name", _DEFINITION.engines)
+@pytest.mark.parametrize("label", list(_POINTS))
+def test_figure3a_processing_time(benchmark, per_event_extra_info, engine_name, label):
+    point = _POINTS[label]
+    benchmark.group = f"figure3a {label}"
+    engine = prepared_engine(engine_name, point)
+
+    def measured_phase():
+        return run_measured_phase(engine, point)
+
+    events = benchmark.pedantic(measured_phase, rounds=1, iterations=1, warmup_rounds=0)
+    per_event_extra_info(benchmark, events, engine)

@@ -1,0 +1,32 @@
+"""Figure 3(b): processing time versus window size.
+
+Paper setup: query length 10, window size N varied from 10 to 100,000;
+ITA is reported 13x faster at N = 10 and 18x faster at N = 10,000, and the
+Naive competitor saturates the CPU at N = 100,000.
+
+The benchmark scale caps the largest window (see
+``repro.workloads.experiments.SCALES``); the CLI at ``--scale paper`` runs
+the full sweep.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_scale, prepared_engine, run_measured_phase
+from repro.workloads.experiments import figure_3b
+
+_DEFINITION = figure_3b(bench_scale())
+_POINTS = {point.label: point for point in _DEFINITION.points}
+
+
+@pytest.mark.parametrize("engine_name", _DEFINITION.engines)
+@pytest.mark.parametrize("label", list(_POINTS))
+def test_figure3b_processing_time(benchmark, per_event_extra_info, engine_name, label):
+    point = _POINTS[label]
+    benchmark.group = f"figure3b {label}"
+    engine = prepared_engine(engine_name, point)
+
+    def measured_phase():
+        return run_measured_phase(engine, point)
+
+    events = benchmark.pedantic(measured_phase, rounds=1, iterations=1, warmup_rounds=0)
+    per_event_extra_info(benchmark, events, engine)

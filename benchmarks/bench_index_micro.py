@@ -1,0 +1,87 @@
+"""Micro-benchmarks of the inverted-file substrate.
+
+These are not paper figures; they expose the per-operation costs (posting
+insertion/deletion, threshold-tree probes, TA descents) that explain the
+macro numbers of the figure benchmarks.
+"""
+
+import random
+
+import pytest
+
+from repro.core.descent import threshold_descent
+from repro.documents.document import CompositionList, Document, StreamedDocument
+from repro.index.inverted_index import InvertedIndex
+from repro.index.inverted_list import InvertedList
+from repro.index.threshold_tree import ThresholdTree
+from repro.query.query import ContinuousQuery
+from repro.query.result import ResultList
+
+
+def _random_documents(count, num_terms, terms_per_doc, seed=0):
+    rng = random.Random(seed)
+    documents = []
+    for doc_id in range(count):
+        terms = rng.sample(range(num_terms), terms_per_doc)
+        weights = {t: rng.uniform(0.01, 1.0) for t in terms}
+        documents.append(
+            StreamedDocument(
+                document=Document(doc_id=doc_id, composition=CompositionList(weights)),
+                arrival_time=float(doc_id),
+            )
+        )
+    return documents
+
+
+def test_posting_insert_delete_cycle(benchmark):
+    """Insert + delete one posting in a list of 10,000 entries."""
+    rng = random.Random(1)
+    inverted_list = InvertedList(0)
+    for doc_id in range(10_000):
+        inverted_list.insert(doc_id, rng.uniform(0.01, 1.0))
+    counter = [10_000]
+
+    def cycle():
+        doc_id = counter[0]
+        counter[0] += 1
+        inverted_list.insert(doc_id, 0.42)
+        inverted_list.delete(doc_id)
+
+    benchmark(cycle)
+
+
+def test_threshold_tree_probe(benchmark):
+    """Probe a threshold tree holding 1,000 query registrations."""
+    rng = random.Random(2)
+    tree = ThresholdTree(0)
+    for query_id in range(1_000):
+        tree.register(query_id, rng.uniform(0.0, 1.0))
+
+    benchmark(lambda: tree.queries_at_or_below(0.05))
+
+
+def test_document_index_and_unindex(benchmark):
+    """Index + un-index a 60-term document against a populated index."""
+    documents = _random_documents(2_000, num_terms=5_000, terms_per_doc=60)
+    index = InvertedIndex()
+    for document in documents[:-1]:
+        index.insert_document(document)
+    extra = documents[-1]
+
+    def cycle():
+        index.insert_document(extra)
+        index.remove_document(extra.doc_id)
+
+    benchmark(cycle)
+
+
+def test_initial_topk_descent(benchmark):
+    """The initial TA search of a 10-term query over a 2,000-document window."""
+    documents = _random_documents(2_000, num_terms=5_000, terms_per_doc=60, seed=3)
+    index = InvertedIndex()
+    for document in documents:
+        index.insert_document(document)
+    rng = random.Random(4)
+    query = ContinuousQuery.from_term_ids(0, rng.sample(range(5_000), 10), k=10)
+
+    benchmark(lambda: threshold_descent(query, index, ResultList()))

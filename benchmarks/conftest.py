@@ -1,0 +1,98 @@
+"""Shared infrastructure for the benchmark suite.
+
+Every benchmark regenerates (a slice of) one figure or ablation of the
+paper via the same harness the CLI uses (``repro.workloads``).  Because the
+full paper-scale sweeps take long on pure Python, the benchmarks default to
+the ``smoke`` scale so ``pytest benchmarks/ --benchmark-only`` finishes in a
+few minutes; set ``REPRO_BENCH_SCALE=small`` (or ``paper``) to run closer to
+the paper's parameters, and use ``python -m repro.workloads.cli`` for the
+full sweeps and tables.
+
+What is timed: the benchmark rounds call ``engine.process(document)`` over
+the measured slice of the stream -- the paper's metric is exactly the mean
+per-arrival processing time, so ``benchmark.stats`` divided by the number of
+measured events corresponds to the figures' y-axis.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.core.base import MonitoringEngine                     # noqa: E402
+from repro.workloads.experiments import SweepPoint               # noqa: E402
+from repro.workloads.generators import GeneratedWorkload, build_workload  # noqa: E402
+from repro.workloads.runner import make_engine                   # noqa: E402
+
+
+def bench_scale() -> str:
+    """The workload scale used by the benchmark suite."""
+    return os.environ.get("REPRO_BENCH_SCALE", "smoke")
+
+
+_WORKLOAD_CACHE: Dict[Tuple, GeneratedWorkload] = {}
+
+
+def workload_for(point: SweepPoint) -> GeneratedWorkload:
+    """Build (and cache) the workload of a sweep point.
+
+    The cache keeps benchmark collection fast when several engines are
+    measured on the same point; workloads are deterministic for a config,
+    and engines never mutate the shared document objects.
+    """
+    key = (
+        point.config.num_queries,
+        point.config.query_length,
+        point.config.k,
+        point.config.window_size,
+        point.config.time_based_window,
+        point.config.scoring,
+        point.config.measured_events,
+        point.config.corpus.dictionary_size,
+        point.config.seed,
+    )
+    if key not in _WORKLOAD_CACHE:
+        _WORKLOAD_CACHE[key] = build_workload(point.config)
+    return _WORKLOAD_CACHE[key]
+
+
+def prepared_engine(engine_name: str, point: SweepPoint) -> MonitoringEngine:
+    """An engine with the window pre-filled and the queries registered."""
+    workload = workload_for(point)
+    engine = make_engine(engine_name, point.config, point.engine_options)
+    for document in workload.prefill:
+        engine.process(document)
+    for query in workload.queries:
+        engine.register_query(query)
+    engine.counters.reset()
+    return engine
+
+
+def run_measured_phase(engine: MonitoringEngine, point: SweepPoint) -> int:
+    """Process the measured slice of the stream; returns the event count."""
+    workload = workload_for(point)
+    for document in workload.measured:
+        engine.process(document)
+    return len(workload.measured)
+
+
+@pytest.fixture
+def per_event_extra_info():
+    """Helper attaching per-event derived metrics to a benchmark."""
+
+    def attach(benchmark, events: int, engine: MonitoringEngine) -> None:
+        benchmark.extra_info["events_per_round"] = events
+        benchmark.extra_info["scores_per_event"] = (
+            engine.counters.scores_computed / events if events else 0.0
+        )
+        benchmark.extra_info["scale"] = bench_scale()
+
+    return attach

@@ -1,0 +1,114 @@
+"""Domain example: a newsflash monitoring desk.
+
+This reproduces the paper's motivating scenario of an investment manager
+and an entrepreneur who each register standing queries over a newsflash
+stream (Reuters/Bloomberg-style) to surface the most relevant recent
+reports.  Several analysts with different interest profiles are monitored
+simultaneously, and the script prints an alert whenever a query's top-k
+result changes -- the event a real monitoring UI would react to.
+
+Run with::
+
+    python examples/news_monitoring.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro import (
+    Analyzer,
+    ContinuousQuery,
+    CountBasedWindow,
+    DocumentStream,
+    FixedRateArrivalProcess,
+    InMemoryCorpus,
+    ITAEngine,
+    Vocabulary,
+)
+
+
+NEWSFLASHES: List[str] = [
+    "Oil prices surge as OPEC announces surprise production cuts",
+    "Semiconductor maker reports record quarterly chip revenue",
+    "Central bank signals further interest rate hikes to fight inflation",
+    "Electric vehicle startup unveils new long-range battery technology",
+    "Airline stocks fall on rising jet fuel costs and weak demand",
+    "Cloud computing giant expands data center footprint in Asia",
+    "Gold rallies to record high amid banking sector jitters",
+    "Automaker recalls vehicles over battery fire risk concerns",
+    "Tech conglomerate beats earnings as advertising revenue rebounds",
+    "Renewable energy firm wins major offshore wind contract",
+    "Bond yields climb as inflation data exceeds expectations",
+    "Chipmaker warns of softening demand in the smartphone market",
+    "Oil refiner posts strong margins on robust fuel demand",
+    "Startup raises funding round to scale its battery recycling plant",
+    "Bank earnings disappoint as loan loss provisions rise",
+]
+
+
+@dataclass
+class Analyst:
+    name: str
+    interests: str
+    k: int
+
+
+ANALYSTS = [
+    Analyst("energy-desk", "oil energy fuel renewable wind", k=3),
+    Analyst("semiconductors", "chip semiconductor smartphone demand", k=2),
+    Analyst("rates-and-banks", "interest rate inflation bank bond yield", k=3),
+    Analyst("ev-batteries", "battery electric vehicle recycling", k=2),
+]
+
+
+def main() -> None:
+    analyzer = Analyzer()
+    vocabulary = Vocabulary()
+    corpus = InMemoryCorpus(NEWSFLASHES, analyzer=analyzer, vocabulary=vocabulary)
+
+    # A sliding window of the 8 most recent newsflashes.
+    engine = ITAEngine(CountBasedWindow(size=8))
+    analysts_by_id: Dict[int, Analyst] = {}
+    for query_id, analyst in enumerate(ANALYSTS):
+        query = ContinuousQuery.from_text(
+            query_id=query_id,
+            text=analyst.interests,
+            k=analyst.k,
+            analyzer=analyzer,
+            vocabulary=vocabulary,
+        )
+        engine.register_query(query)
+        analysts_by_id[query_id] = analyst
+
+    print("Newsflash monitoring desk -- window of the 8 most recent reports")
+    print("=" * 70)
+
+    stream = DocumentStream(corpus, FixedRateArrivalProcess(rate=1.0))
+    for streamed in stream:
+        changes = engine.process(streamed)
+        print(f"\n[{streamed.arrival_time:5.1f}s] FLASH #{streamed.doc_id}: "
+              f"{NEWSFLASHES[streamed.doc_id]}")
+        for change in changes:
+            analyst = analysts_by_id[change.query_id]
+            entered = ", ".join(f"#{e.doc_id}" for e in change.entered) or "-"
+            left = ", ".join(f"#{e.doc_id}" for e in change.left) or "-"
+            print(f"    ALERT [{analyst.name}] watchlist updated "
+                  f"(in: {entered}; out: {left})")
+
+    print("\n" + "=" * 70)
+    print("Final watchlists:")
+    for query_id, analyst in analysts_by_id.items():
+        print(f"\n  {analyst.name} (top {analyst.k}, interests: {analyst.interests!r})")
+        for rank, entry in enumerate(engine.current_result(query_id), start=1):
+            print(f"    {rank}. [{entry.score:.3f}] {NEWSFLASHES[entry.doc_id]}")
+
+    print("\nWork performed (ITA operation counters):")
+    counters = engine.counters.as_dict()
+    for key in ("arrivals", "expirations", "scores_computed", "rollup_steps", "refills"):
+        print(f"    {key:18s} {counters[key]}")
+
+
+if __name__ == "__main__":
+    main()

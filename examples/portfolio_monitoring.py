@@ -1,0 +1,108 @@
+"""Domain example: portfolio monitoring on the synthetic corpus at scale.
+
+This example matches the paper's evaluation setup more closely than the
+other two: it streams the synthetic WSJ stand-in corpus through a large set
+of randomly generated continuous queries (standing "portfolio" interests),
+and reports the per-arrival processing time and the score-computation
+savings of ITA against the k_max-enhanced Naive competitor.
+
+It is effectively a miniature, self-contained version of the Figure 3
+benchmarks, runnable directly without pytest.
+
+Run with::
+
+    python examples/portfolio_monitoring.py
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List
+
+from repro import (
+    ContinuousQuery,
+    CountBasedWindow,
+    ITAEngine,
+    KMaxNaiveEngine,
+)
+from repro.baselines.kmax import FixedKMaxPolicy
+from repro.documents.corpus import SyntheticCorpus, SyntheticCorpusConfig
+from repro.documents.stream import DocumentStream, PoissonArrivalProcess
+
+
+def build_queries(corpus: SyntheticCorpus, count: int, query_length: int, k: int):
+    return [
+        ContinuousQuery.from_term_ids(
+            query_id=query_id,
+            term_ids=corpus.sample_query_terms(query_length, skew_towards_frequent=False),
+            k=k,
+        )
+        for query_id in range(count)
+    ]
+
+
+def run_engine(engine, prefill, queries, measured):
+    for document in prefill:
+        engine.process(document)
+    for query in queries:
+        engine.register_query(query)
+    engine.counters.reset()
+    started = time.perf_counter()
+    for document in measured:
+        engine.process(document)
+    elapsed_ms = (time.perf_counter() - started) * 1000.0
+    return elapsed_ms / len(measured)
+
+
+def main() -> None:
+    num_queries = 400
+    query_length = 8
+    k = 10
+    window_size = 1_000
+    measured_events = 150
+
+    config = SyntheticCorpusConfig(dictionary_size=20_000, mean_log_length=4.0, seed=42)
+    corpus = SyntheticCorpus(config)
+    queries = build_queries(corpus, num_queries, query_length, k)
+
+    documents = corpus.take(window_size + measured_events)
+    arrivals = PoissonArrivalProcess(rate=200.0, seed=7)
+    from repro.documents.stream import stream_from_documents
+
+    streamed = list(stream_from_documents(documents, arrivals))
+    prefill, measured = streamed[:window_size], streamed[window_size:]
+
+    print("Portfolio monitoring -- synthetic WSJ stand-in corpus")
+    print("=" * 70)
+    print(f"  queries        : {num_queries} (length {query_length}, k={k})")
+    print(f"  window size    : {window_size} documents")
+    print(f"  measured events: {measured_events}")
+    print(f"  dictionary     : {config.dictionary_size} terms")
+    print()
+
+    ita = ITAEngine(CountBasedWindow(window_size), track_changes=False)
+    kmax = KMaxNaiveEngine(CountBasedWindow(window_size), policy=FixedKMaxPolicy(2.0), track_changes=False)
+
+    ita_ms = run_engine(ita, prefill, queries, measured)
+    kmax_ms = run_engine(kmax, list(prefill), queries, list(measured))
+
+    print(f"  ITA          : {ita_ms:6.3f} ms/arrival   "
+          f"{ita.counters.scores_computed / measured_events:8.1f} scores/arrival")
+    print(f"  Naive (kmax) : {kmax_ms:6.3f} ms/arrival   "
+          f"{kmax.counters.scores_computed / measured_events:8.1f} scores/arrival")
+    print()
+    speedup = kmax_ms / ita_ms if ita_ms else float("inf")
+    score_ratio = (
+        kmax.counters.scores_computed / ita.counters.scores_computed
+        if ita.counters.scores_computed
+        else float("inf")
+    )
+    print(f"  ITA is {speedup:.1f}x faster in wall-clock time and computes "
+          f"{score_ratio:.0f}x fewer similarity scores.")
+    print()
+    print("  (Increase num_queries towards the paper's 1,000 to widen the gap: the")
+    print("   Naive cost grows linearly with the query count, ITA's does not.)")
+
+
+if __name__ == "__main__":
+    main()

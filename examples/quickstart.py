@@ -1,0 +1,75 @@
+"""Quickstart: monitor a tiny document stream with one continuous query.
+
+Run with::
+
+    python examples/quickstart.py
+
+This is the smallest end-to-end use of the library: build the shared text
+analyzer and dictionary, install one continuous query, then stream a few
+documents through an :class:`~repro.ITAEngine` and print how the top-k
+result evolves.
+"""
+
+from __future__ import annotations
+
+from repro import (
+    Analyzer,
+    ContinuousQuery,
+    CountBasedWindow,
+    DocumentStream,
+    FixedRateArrivalProcess,
+    InMemoryCorpus,
+    ITAEngine,
+    Vocabulary,
+)
+
+
+HEADLINES = [
+    "Stocks rally as the central bank holds interest rates steady",
+    "Local weather: sunny skies expected through the weekend",
+    "Markets tumble on fresh inflation data and rate-hike fears",
+    "Tech earnings beat expectations, lifting the broader market",
+    "Sports roundup: underdogs claim a stunning playoff victory",
+    "Investors weigh recession risk as bond yields climb again",
+]
+
+
+def main() -> None:
+    # A query and the documents must share one analyzer + dictionary so that
+    # "markets" in a headline and "market" in the query map to one term.
+    analyzer = Analyzer()
+    vocabulary = Vocabulary()
+
+    corpus = InMemoryCorpus(HEADLINES, analyzer=analyzer, vocabulary=vocabulary)
+
+    # Monitor the 3 most recent headlines most similar to a market query.
+    engine = ITAEngine(CountBasedWindow(size=4))
+    query = ContinuousQuery.from_text(
+        query_id=0,
+        text="stock market rates",
+        k=3,
+        analyzer=analyzer,
+        vocabulary=vocabulary,
+    )
+    engine.register_query(query)
+
+    stream = DocumentStream(corpus, FixedRateArrivalProcess(rate=1.0))
+    print("Streaming headlines through a count-based window of size 4\n")
+    for streamed in stream:
+        changes = engine.process(streamed)
+        print(f"t={streamed.arrival_time:4.1f}  arrived #{streamed.doc_id}: "
+              f"{HEADLINES[streamed.doc_id]}")
+        if changes:
+            result = engine.current_result(0)
+            ranked = ", ".join(f"#{entry.doc_id}({entry.score:.2f})" for entry in result)
+            print(f"          -> result changed: [{ranked}]")
+        else:
+            print("          -> result unchanged")
+
+    print("\nFinal top-3 for query 'stock market rates':")
+    for rank, entry in enumerate(engine.current_result(0), start=1):
+        print(f"  {rank}. #{entry.doc_id}  score={entry.score:.3f}  {HEADLINES[entry.doc_id]}")
+
+
+if __name__ == "__main__":
+    main()

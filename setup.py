@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` / ``python setup.py develop`` keep working on
+environments whose setuptools tool-chain predates PEP 660 editable wheels
+(e.g. offline machines without the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

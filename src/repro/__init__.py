@@ -1,0 +1,123 @@
+"""repro -- a reproduction of "An Incremental Threshold Method for
+Continuous Text Search Queries" (Mouratidis & Pang, ICDE 2009).
+
+The library implements a main-memory text filtering server that maintains,
+for a large set of standing (continuous) text search queries, the top-k
+most similar documents within a sliding window over a document stream.
+
+Public API overview
+-------------------
+* :class:`~repro.core.engine.ITAEngine` -- the paper's contribution: the
+  Incremental Threshold Algorithm.
+* :class:`~repro.baselines.naive.NaiveEngine` and
+  :class:`~repro.baselines.kmax.KMaxNaiveEngine` -- the baselines of the
+  paper's evaluation.
+* :class:`~repro.query.query.ContinuousQuery` -- a standing top-k query.
+* :mod:`repro.documents` -- documents, corpora (including the synthetic
+  WSJ stand-in), arrival processes and sliding windows.
+* :mod:`repro.workloads` -- the experiment harness reproducing the
+  paper's figures.
+
+Quickstart
+----------
+>>> from repro import (ITAEngine, ContinuousQuery, CountBasedWindow,
+...                    Analyzer, Vocabulary, InMemoryCorpus, DocumentStream,
+...                    FixedRateArrivalProcess)
+>>> analyzer, vocabulary = Analyzer(), Vocabulary()
+>>> corpus = InMemoryCorpus(
+...     ["breaking news about markets", "weather update for tomorrow"],
+...     analyzer=analyzer, vocabulary=vocabulary)
+>>> engine = ITAEngine(CountBasedWindow(100))
+>>> query = ContinuousQuery.from_text(0, "market news", k=1,
+...                                   analyzer=analyzer, vocabulary=vocabulary)
+>>> engine.register_query(query)
+>>> stream = DocumentStream(corpus, FixedRateArrivalProcess(rate=1.0))
+>>> _ = engine.process_many(stream)
+>>> [entry.doc_id for entry in engine.current_result(0)]
+[0]
+"""
+
+from repro.baselines.kmax import (
+    AdaptiveKMaxPolicy,
+    AnalyticalKMaxPolicy,
+    FixedKMaxPolicy,
+    KMaxNaiveEngine,
+)
+from repro.baselines.naive import NaiveEngine
+from repro.baselines.oracle import OracleEngine
+from repro.core.base import MonitoringEngine, ResultChange
+from repro.core.descent import ProbeOrder
+from repro.core.engine import ITAEngine
+from repro.core.ita import ITAQueryState
+from repro.alerting import Alert, AlertDispatcher
+from repro.persistence import restore_engine, snapshot_engine
+from repro.documents.corpus import (
+    Corpus,
+    FileCorpus,
+    InMemoryCorpus,
+    SyntheticCorpus,
+    SyntheticCorpusConfig,
+)
+from repro.documents.document import CompositionList, Document, StreamedDocument
+from repro.documents.stream import (
+    DocumentStream,
+    FixedRateArrivalProcess,
+    PoissonArrivalProcess,
+    ReplayArrivalProcess,
+)
+from repro.documents.window import CountBasedWindow, TimeBasedWindow
+from repro.exceptions import ReproError
+from repro.query.query import ContinuousQuery
+from repro.query.result import ResultEntry, ResultList
+from repro.text.analyzer import Analyzer, AnalyzerConfig
+from repro.text.vocabulary import Vocabulary
+from repro.weighting.schemes import CosineWeighting, OkapiBM25Weighting
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # engines
+    "MonitoringEngine",
+    "ITAEngine",
+    "ITAQueryState",
+    "ProbeOrder",
+    "NaiveEngine",
+    "KMaxNaiveEngine",
+    "FixedKMaxPolicy",
+    "AdaptiveKMaxPolicy",
+    "AnalyticalKMaxPolicy",
+    "OracleEngine",
+    "ResultChange",
+    "snapshot_engine",
+    "restore_engine",
+    "Alert",
+    "AlertDispatcher",
+    # queries and results
+    "ContinuousQuery",
+    "ResultEntry",
+    "ResultList",
+    # documents and streams
+    "Document",
+    "StreamedDocument",
+    "CompositionList",
+    "Corpus",
+    "InMemoryCorpus",
+    "FileCorpus",
+    "SyntheticCorpus",
+    "SyntheticCorpusConfig",
+    "DocumentStream",
+    "PoissonArrivalProcess",
+    "FixedRateArrivalProcess",
+    "ReplayArrivalProcess",
+    "CountBasedWindow",
+    "TimeBasedWindow",
+    # text analysis and weighting
+    "Analyzer",
+    "AnalyzerConfig",
+    "Vocabulary",
+    "CosineWeighting",
+    "OkapiBM25Weighting",
+    # errors
+    "ReproError",
+]

@@ -1,0 +1,145 @@
+"""Result-change subscriptions (alerting).
+
+The paper's motivating applications -- e-mail threat monitoring, news
+tracking, portfolio alerts -- all *react* to changes in a query's result:
+the security analyst wants to be told when a new e-mail enters a threat
+profile's top-k, not to poll it.  :meth:`MonitoringEngine.process` already
+returns the :class:`~repro.core.base.ResultChange` objects for the queries
+whose top-k changed; this module layers a small, dependency-free
+publish/subscribe API on top so applications can register callbacks instead
+of threading the change lists through their own code.
+
+:class:`AlertDispatcher` wraps any engine, forwards every stream event to
+it, and invokes the registered subscribers for the queries that changed.
+Subscribers may be global (notified of every query's change) or scoped to a
+single query id.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional
+
+from repro.core.base import MonitoringEngine, ResultChange
+from repro.documents.document import StreamedDocument
+
+__all__ = ["Alert", "AlertDispatcher", "AlertSubscriber"]
+
+
+#: A subscriber callback: receives the change and the triggering document.
+AlertSubscriber = Callable[["Alert"], None]
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One delivered alert: a result change plus its triggering event.
+
+    ``document`` is the arriving document that caused the change; for
+    changes caused purely by time-based expiry (via :meth:`advance_time`)
+    there is no single triggering document and it is ``None``.
+    """
+
+    change: ResultChange
+    document: Optional[StreamedDocument]
+
+    @property
+    def query_id(self) -> int:
+        return self.change.query_id
+
+
+class AlertDispatcher:
+    """Forwards stream events to an engine and fans out result-change alerts.
+
+    Example
+    -------
+    >>> from repro import ITAEngine, ContinuousQuery, CountBasedWindow
+    >>> engine = ITAEngine(CountBasedWindow(100))
+    >>> engine.register_query(ContinuousQuery(0, {1: 1.0}, k=1))
+    >>> dispatcher = AlertDispatcher(engine)
+    >>> seen = []
+    >>> _ = dispatcher.subscribe(seen.append)           # global subscriber
+    >>> from repro.documents.document import Document, CompositionList, StreamedDocument
+    >>> doc = StreamedDocument(Document(0, CompositionList({1: 0.9})), 0.0)
+    >>> _ = dispatcher.process(doc)
+    >>> len(seen)
+    1
+    """
+
+    def __init__(self, engine: MonitoringEngine) -> None:
+        if not engine.track_changes:
+            raise ValueError(
+                "AlertDispatcher requires an engine with track_changes=True"
+            )
+        self.engine = engine
+        self._global_subscribers: List[AlertSubscriber] = []
+        self._query_subscribers: Dict[int, List[AlertSubscriber]] = defaultdict(list)
+        self._delivered = 0
+
+    # ------------------------------------------------------------------ #
+    # subscription management
+    # ------------------------------------------------------------------ #
+    def subscribe(self, callback: AlertSubscriber, query_id: Optional[int] = None) -> Callable[[], None]:
+        """Register ``callback``; return a function that unsubscribes it.
+
+        With ``query_id=None`` the callback fires for every query's change;
+        otherwise only for that query.
+        """
+        if query_id is None:
+            self._global_subscribers.append(callback)
+
+            def unsubscribe_global() -> None:
+                if callback in self._global_subscribers:
+                    self._global_subscribers.remove(callback)
+
+            return unsubscribe_global
+
+        self._query_subscribers[query_id].append(callback)
+
+        def unsubscribe_scoped() -> None:
+            callbacks = self._query_subscribers.get(query_id)
+            if callbacks and callback in callbacks:
+                callbacks.remove(callback)
+
+        return unsubscribe_scoped
+
+    @property
+    def delivered(self) -> int:
+        """Total number of alert callbacks invoked so far."""
+        return self._delivered
+
+    # ------------------------------------------------------------------ #
+    # event forwarding
+    # ------------------------------------------------------------------ #
+    def process(self, document: StreamedDocument) -> List[ResultChange]:
+        """Forward ``document`` to the engine and dispatch any alerts."""
+        changes = self.engine.process(document)
+        self._dispatch(changes, document)
+        return changes
+
+    def process_many(self, documents: Iterable[StreamedDocument]) -> List[ResultChange]:
+        all_changes: List[ResultChange] = []
+        for document in documents:
+            all_changes.extend(self.process(document))
+        return all_changes
+
+    def advance_time(self, now: float) -> List[ResultChange]:
+        """Advance the clock (time-based windows) and dispatch expiry alerts.
+
+        Expirations are not triggered by a single document, so the alerts'
+        ``document`` field is ``None``.
+        """
+        changes = self.engine.advance_time(now)
+        self._dispatch(changes, None)
+        return changes
+
+    # ------------------------------------------------------------------ #
+    def _dispatch(self, changes: List[ResultChange], document: Optional[StreamedDocument]) -> None:
+        for change in changes:
+            alert = Alert(change=change, document=document)
+            for callback in self._global_subscribers:
+                callback(alert)
+                self._delivered += 1
+            for callback in self._query_subscribers.get(change.query_id, ()):
+                callback(alert)
+                self._delivered += 1

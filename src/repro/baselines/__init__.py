@@ -1,0 +1,31 @@
+"""Baseline engines.
+
+* :mod:`repro.baselines.naive` -- the paper's Naive strategy: score every
+  arriving document against every query, check every expiring document
+  against every result, and recompute a result from scratch (scanning all
+  valid documents) whenever it shrinks below ``k``.
+* :mod:`repro.baselines.kmax` -- the enhancement the paper applies to
+  Naive for its evaluation: maintain a materialised top-``k_max`` list
+  (k_max > k, after Yi et al., ICDE 2003) so that recomputations are
+  amortised over many expirations.
+* :mod:`repro.baselines.oracle` -- a recompute-everything reference engine
+  used by the tests as ground truth (never benchmarked).
+"""
+
+from repro.baselines.kmax import (
+    AdaptiveKMaxPolicy,
+    AnalyticalKMaxPolicy,
+    FixedKMaxPolicy,
+    KMaxNaiveEngine,
+)
+from repro.baselines.naive import NaiveEngine
+from repro.baselines.oracle import OracleEngine
+
+__all__ = [
+    "NaiveEngine",
+    "KMaxNaiveEngine",
+    "FixedKMaxPolicy",
+    "AdaptiveKMaxPolicy",
+    "AnalyticalKMaxPolicy",
+    "OracleEngine",
+]

@@ -1,0 +1,27 @@
+"""The paper's primary contribution: the Incremental Threshold Algorithm.
+
+* :mod:`repro.core.base` -- the :class:`MonitoringEngine` interface shared
+  with the baselines, plus the event types engines emit.
+* :mod:`repro.core.descent` -- the threshold-algorithm descent used both
+  for the initial top-k computation (paper Section III-A) and for the
+  incremental refill after expirations (Section III-B).
+* :mod:`repro.core.ita` -- the per-query state (result list R, local
+  thresholds, influence threshold tau) and the arrival / expiration /
+  roll-up logic.
+* :mod:`repro.core.engine` -- :class:`ITAEngine`, the monitoring server:
+  sliding window + inverted index + threshold trees + per-query states.
+"""
+
+from repro.core.base import MonitoringEngine, ResultChange
+from repro.core.descent import DescentOutcome, threshold_descent
+from repro.core.engine import ITAEngine
+from repro.core.ita import ITAQueryState
+
+__all__ = [
+    "MonitoringEngine",
+    "ResultChange",
+    "threshold_descent",
+    "DescentOutcome",
+    "ITAQueryState",
+    "ITAEngine",
+]

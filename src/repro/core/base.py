@@ -1,0 +1,119 @@
+"""The engine interface shared by ITA and the baselines.
+
+A *monitoring engine* owns a sliding window over the document stream and a
+set of installed continuous queries, and keeps every query's top-k result
+up to date as documents arrive and expire.  The experiment harness and the
+examples only talk to this interface, so ITA, Naive and the k_max-enhanced
+Naive are interchangeable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.documents.document import Document, StreamedDocument
+from repro.documents.window import SlidingWindow
+from repro.monitoring.instrumentation import OperationCounters
+from repro.query.query import ContinuousQuery
+from repro.query.result import ResultEntry
+
+__all__ = ["ResultChange", "MonitoringEngine", "TopKResult"]
+
+
+#: A query's reported result: the top-k documents, best first.
+TopKResult = List[ResultEntry]
+
+
+@dataclass(frozen=True)
+class ResultChange:
+    """A change to one query's reported top-k result.
+
+    Engines return these from :meth:`MonitoringEngine.process` so that
+    downstream applications (alerting, dashboards) can react only to
+    queries whose answer actually changed -- the monitoring model of the
+    paper's introduction (news tracking, e-mail threat profiles).
+    """
+
+    query_id: int
+    #: documents that entered the reported top-k
+    entered: Tuple[ResultEntry, ...] = ()
+    #: documents that left the reported top-k
+    left: Tuple[ResultEntry, ...] = ()
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.entered or self.left)
+
+
+class MonitoringEngine:
+    """Abstract base class of the continuous-text-query engines."""
+
+    #: human-readable engine name used by the experiment reports
+    name: str = "abstract"
+
+    def __init__(self, window: SlidingWindow) -> None:
+        self.window = window
+        self.counters = OperationCounters()
+
+    # ------------------------------------------------------------------ #
+    # query management
+    # ------------------------------------------------------------------ #
+    def register_query(self, query: ContinuousQuery) -> None:
+        """Install a continuous query and compute its initial result."""
+        raise NotImplementedError
+
+    def unregister_query(self, query_id: int) -> None:
+        """Terminate a continuous query."""
+        raise NotImplementedError
+
+    def query_ids(self) -> List[int]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # stream processing
+    # ------------------------------------------------------------------ #
+    def process(self, document: StreamedDocument) -> List[ResultChange]:
+        """Process one arrival (and any expirations it causes).
+
+        Returns the list of result changes across all installed queries.
+        """
+        raise NotImplementedError
+
+    def process_many(self, documents: Iterable[StreamedDocument]) -> List[ResultChange]:
+        """Feed a sequence of stream elements; return all result changes."""
+        changes: List[ResultChange] = []
+        for document in documents:
+            changes.extend(self.process(document))
+        return changes
+
+    def advance_time(self, now: float) -> List[ResultChange]:
+        """Advance the clock without an arrival (time-based windows only)."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # results
+    # ------------------------------------------------------------------ #
+    def current_result(self, query_id: int) -> TopKResult:
+        """The current top-k result of ``query_id`` (best document first)."""
+        raise NotImplementedError
+
+    def current_results(self) -> Dict[int, TopKResult]:
+        """The current results of every installed query."""
+        return {query_id: self.current_result(query_id) for query_id in self.query_ids()}
+
+    # ------------------------------------------------------------------ #
+    # helpers shared by implementations
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _diff_results(
+        query_id: int,
+        before: Sequence[ResultEntry],
+        after: Sequence[ResultEntry],
+    ) -> ResultChange:
+        """Compute the entered/left sets between two reported results."""
+        before_ids = {entry.doc_id for entry in before}
+        after_ids = {entry.doc_id for entry in after}
+        entered = tuple(entry for entry in after if entry.doc_id not in before_ids)
+        left = tuple(entry for entry in before if entry.doc_id not in after_ids)
+        return ResultChange(query_id=query_id, entered=entered, left=left)

@@ -1,0 +1,241 @@
+"""The threshold-algorithm descent.
+
+This module implements the search procedure of Section III-A of the paper,
+which is used in two places:
+
+* **Initial top-k search** -- when a query is first registered, the
+  inverted lists of its terms are probed "from their first entry
+  downwards", always advancing the list with the highest
+  ``w_{Q,t} * c_t`` (where ``c_t`` is the weight of the next unread entry
+  of ``L_t``), until ``k`` documents are *verified*, i.e. have a score at
+  least equal to the running threshold ``tau = sum_t w_{Q,t} * c_t``.
+
+* **Incremental refill** -- when a top-k document expires, the search is
+  *resumed* from the recorded local thresholds rather than restarted
+  ("we resume the search from where it stopped previously ... looking
+  inside the involved inverted lists from their local thresholds
+  downwards").
+
+Both cases share the same loop; they differ only in where the per-term
+cursors start.  The descent reads entries, scores the corresponding
+documents (documents already present in ``R`` keep their stored scores),
+lowers the per-term thresholds as it goes, and stops as soon as ``k``
+documents in ``R`` have a score >= ``tau`` or every list is exhausted.
+
+Correctness argument (see DESIGN.md, INV-COVER): every valid document that
+is *not* in ``R`` has, for each query term, a per-term weight at most the
+current threshold of that term, hence a score at most ``tau``; once ``k``
+documents in ``R`` score at least ``tau``, no absent document can belong to
+the top-k.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.index.inverted_index import InvertedIndex
+from repro.index.inverted_list import PostingEntry
+from repro.monitoring.instrumentation import OperationCounters
+from repro.query.query import ContinuousQuery
+from repro.query.result import ResultList
+
+__all__ = ["DescentOutcome", "ProbeOrder", "threshold_descent"]
+
+
+class ProbeOrder(Enum):
+    """How the threshold descent chooses which list to advance next.
+
+    * ``WEIGHTED`` -- the paper's design: advance the list with the highest
+      ``w_{Q,t} * c_t``.  The paper explicitly departs from the original
+      threshold algorithm here ("Unlike the original threshold algorithm,
+      we do not probe the lists in a round-robin fashion ... we favor those
+      lists with higher such weights").
+    * ``ROUND_ROBIN`` -- Fagin's original strategy: cycle through the
+      non-exhausted lists in turn.  Provided for the design-choice ablation
+      that shows the weighted strategy reads fewer postings.
+    """
+
+    WEIGHTED = "weighted"
+    ROUND_ROBIN = "round_robin"
+
+
+@dataclass
+class DescentOutcome:
+    """What a descent did: the new local thresholds plus work counters."""
+
+    #: the per-term local thresholds at termination (theta_{Q,t})
+    thresholds: Dict[int, float]
+    #: the influence threshold tau = sum_t w_{Q,t} * theta_{Q,t}
+    tau: float
+    #: posting entries read from the inverted lists
+    postings_scanned: int
+    #: full similarity scores computed (documents not already in R)
+    scores_computed: int
+    #: True when every involved list was exhausted before k were verified
+    exhausted: bool
+
+
+class _ListCursor:
+    """A lazy cursor over one inverted list, descending from a start weight."""
+
+    __slots__ = ("term_id", "query_weight", "_iterator", "next_entry")
+
+    def __init__(
+        self,
+        term_id: int,
+        query_weight: float,
+        iterator: Iterator[PostingEntry],
+    ) -> None:
+        self.term_id = term_id
+        self.query_weight = query_weight
+        self._iterator = iterator
+        self.next_entry: Optional[PostingEntry] = None
+        self._advance()
+
+    def _advance(self) -> None:
+        try:
+            self.next_entry = next(self._iterator)
+        except StopIteration:
+            self.next_entry = None
+
+    # ------------------------------------------------------------------ #
+    @property
+    def exhausted(self) -> bool:
+        return self.next_entry is None
+
+    @property
+    def ceiling(self) -> float:
+        """``c_t``: the weight of the next unread entry (0.0 when exhausted)."""
+        if self.next_entry is None:
+            return 0.0
+        return self.next_entry.weight
+
+    @property
+    def priority(self) -> float:
+        """``w_{Q,t} * c_t``: the paper's list-selection criterion."""
+        return self.query_weight * self.ceiling
+
+    def consume(self) -> PostingEntry:
+        """Return the next entry and advance the cursor past it."""
+        entry = self.next_entry
+        if entry is None:
+            raise StopIteration("cursor is exhausted")
+        self._advance()
+        return entry
+
+
+def threshold_descent(
+    query: ContinuousQuery,
+    index: InvertedIndex,
+    results: ResultList,
+    start_thresholds: Optional[Dict[int, float]] = None,
+    counters: Optional[OperationCounters] = None,
+    probe_order: ProbeOrder = ProbeOrder.WEIGHTED,
+) -> DescentOutcome:
+    """Run the (initial or resumed) threshold search for ``query``.
+
+    Parameters
+    ----------
+    query:
+        The continuous query being evaluated.
+    index:
+        The inverted index over the currently valid documents.
+    results:
+        The query's result container ``R``.  It is updated in place: every
+        encountered document is inserted with its exact score (documents
+        already present are not re-scored).
+    start_thresholds:
+        ``None`` for the initial search (probe the lists from their first
+        entry); otherwise the recorded local thresholds, from which the
+        search resumes downwards (inclusive, so entries tied with the
+        recorded threshold are re-examined -- they may not have been read
+        before).
+    counters:
+        Optional instrumentation block to update.
+
+    Returns
+    -------
+    DescentOutcome
+        The new local thresholds (one per query term), the influence
+        threshold, and the work performed.
+    """
+    cursors: List[_ListCursor] = []
+    for term_id, query_weight in query.weights.items():
+        inverted_list = index.existing_list(term_id)
+        if inverted_list is None:
+            # No valid document currently contains this term: the cursor is
+            # born exhausted and the term's threshold is 0.
+            iterator: Iterator[PostingEntry] = iter(())
+        elif start_thresholds is None:
+            iterator = inverted_list.iter_from_top()
+        else:
+            start = start_thresholds.get(term_id, 0.0)
+            iterator = inverted_list.iter_from_weight(start, inclusive=True)
+        cursors.append(_ListCursor(term_id, query_weight, iterator))
+
+    postings_scanned = 0
+    scores_computed = 0
+    k = query.k
+
+    def current_tau() -> float:
+        return sum(cursor.priority for cursor in cursors)
+
+    tau = current_tau()
+    round_robin_cursor = 0
+
+    def pick_weighted() -> Optional[_ListCursor]:
+        best: Optional[_ListCursor] = None
+        for cursor in cursors:
+            if cursor.exhausted:
+                continue
+            if best is None or cursor.priority > best.priority:
+                best = cursor
+        return best
+
+    def pick_round_robin() -> Optional[_ListCursor]:
+        nonlocal round_robin_cursor
+        for _ in range(len(cursors)):
+            cursor = cursors[round_robin_cursor % len(cursors)]
+            round_robin_cursor += 1
+            if not cursor.exhausted:
+                return cursor
+        return None
+
+    pick = pick_weighted if probe_order is ProbeOrder.WEIGHTED else pick_round_robin
+
+    # Main loop: while fewer than k documents are verified and at least one
+    # list still has unread entries, consume the next entry chosen by the
+    # probing strategy.
+    while True:
+        verified = results.count_at_or_above(tau)
+        if verified >= k:
+            exhausted = False
+            break
+        best = pick() if cursors else None
+        if best is None:
+            exhausted = True
+            break
+        entry = best.consume()
+        postings_scanned += 1
+        if entry.doc_id not in results:
+            document = index.documents.get(entry.doc_id)
+            score = query.score(document.composition)
+            scores_computed += 1
+            results.add(entry.doc_id, score)
+        tau = current_tau()
+
+    thresholds = {cursor.term_id: cursor.ceiling for cursor in cursors}
+
+    if counters is not None:
+        counters.postings_scanned += postings_scanned
+        counters.scores_computed += scores_computed
+
+    return DescentOutcome(
+        thresholds=thresholds,
+        tau=tau,
+        postings_scanned=postings_scanned,
+        scores_computed=scores_computed,
+        exhausted=exhausted,
+    )

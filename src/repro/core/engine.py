@@ -1,0 +1,190 @@
+"""The ITA monitoring engine.
+
+:class:`ITAEngine` is the "monitoring server" of the paper: it owns the
+sliding window, the inverted index with its threshold trees, and one
+:class:`~repro.core.ita.ITAQueryState` per installed query.  Processing one
+stream element consists of
+
+1. sliding the window (which may expire one or more documents),
+2. for each expiration: deleting the document's impact entries from the
+   inverted lists, probing the threshold tree of each affected term for
+   the queries whose local threshold lies at or below the removed weight,
+   and letting those queries update their results (removal and, if needed,
+   incremental refill),
+3. for the arrival: inserting the impact entries, probing the threshold
+   trees the same way, and letting the potentially affected queries score
+   the document (and roll up their thresholds when it enters their top-k).
+
+Queries never touched by the probes are not visited at all -- the source
+of ITA's advantage over the Naive baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.core.base import MonitoringEngine, ResultChange, TopKResult
+from repro.core.descent import ProbeOrder
+from repro.core.ita import ITAQueryState
+from repro.documents.document import StreamedDocument
+from repro.documents.window import CountBasedWindow, SlidingWindow
+from repro.exceptions import UnknownQueryError
+from repro.index.inverted_index import InvertedIndex
+from repro.query.query import ContinuousQuery
+from repro.query.registry import QueryRegistry
+
+__all__ = ["ITAEngine"]
+
+
+class ITAEngine(MonitoringEngine):
+    """Continuous text-query engine implementing the Incremental Threshold
+    Algorithm of Mouratidis & Pang (ICDE 2009).
+
+    Parameters
+    ----------
+    window:
+        The sliding window (count- or time-based).  Defaults to a
+        count-based window of 1,000 documents.
+    track_changes:
+        When ``True`` (default) :meth:`process` returns the per-query
+        result changes; set ``False`` in benchmarks to avoid the diffing
+        cost when only the final results matter.
+    enable_rollup, probe_order:
+        Forwarded to each :class:`~repro.core.ita.ITAQueryState`; exposed so
+        the design-choice ablations can disable roll-up or switch the
+        threshold descent to round-robin probing.
+    """
+
+    name = "ita"
+
+    def __init__(
+        self,
+        window: Optional[SlidingWindow] = None,
+        track_changes: bool = True,
+        enable_rollup: bool = True,
+        probe_order: ProbeOrder = ProbeOrder.WEIGHTED,
+    ) -> None:
+        super().__init__(window if window is not None else CountBasedWindow(1000))
+        self.index = InvertedIndex()
+        self.registry = QueryRegistry()
+        self.track_changes = track_changes
+        self.enable_rollup = enable_rollup
+        self.probe_order = probe_order
+        self._states: Dict[int, ITAQueryState] = {}
+
+    # ------------------------------------------------------------------ #
+    # query management
+    # ------------------------------------------------------------------ #
+    def register_query(self, query: ContinuousQuery) -> None:
+        """Install ``query`` and compute its initial top-k result."""
+        self.registry.register(query)
+        state = ITAQueryState(
+            query,
+            self.index,
+            self.counters,
+            enable_rollup=self.enable_rollup,
+            probe_order=self.probe_order,
+        )
+        state.initialise()
+        self._states[query.query_id] = state
+
+    def unregister_query(self, query_id: int) -> None:
+        """Terminate the query with ``query_id``."""
+        self.registry.unregister(query_id)
+        state = self._states.pop(query_id)
+        state.detach()
+
+    def query_ids(self) -> List[int]:
+        return self.registry.query_ids()
+
+    def state_of(self, query_id: int) -> ITAQueryState:
+        """The internal per-query state (exposed for tests and diagnostics)."""
+        try:
+            return self._states[query_id]
+        except KeyError:
+            raise UnknownQueryError(f"query id {query_id} is not registered") from None
+
+    # ------------------------------------------------------------------ #
+    # stream processing
+    # ------------------------------------------------------------------ #
+    def process(self, document: StreamedDocument) -> List[ResultChange]:
+        """Process one arrival and the expirations it causes."""
+        self.counters.arrivals += 1
+        before: Dict[int, TopKResult] = {}
+        expired = self.window.insert(document)
+        for expired_document in expired:
+            self._process_expiration(expired_document, before)
+        self._process_arrival(document, before)
+        return self._collect_changes(before)
+
+    def advance_time(self, now: float) -> List[ResultChange]:
+        """Expire documents by the passage of time (time-based windows)."""
+        before: Dict[int, TopKResult] = {}
+        for expired_document in self.window.advance_time(now):
+            self._process_expiration(expired_document, before)
+        return self._collect_changes(before)
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    def _snapshot(self, query_id: int, before: Dict[int, TopKResult]) -> None:
+        if not self.track_changes:
+            return
+        if query_id not in before:
+            before[query_id] = self._states[query_id].top_k()
+
+    def _collect_changes(self, before: Dict[int, TopKResult]) -> List[ResultChange]:
+        if not self.track_changes:
+            return []
+        changes: List[ResultChange] = []
+        for query_id, previous in before.items():
+            change = self._diff_results(query_id, previous, self._states[query_id].top_k())
+            if change.changed:
+                changes.append(change)
+        return changes
+
+    def _affected_queries(self, document: StreamedDocument) -> Set[int]:
+        """Probe the threshold trees: queries with a local threshold at or
+        below the document's weight in at least one shared term."""
+        affected: Set[int] = set()
+        for term_id, weight in document.composition.items():
+            tree = self.index.existing_tree(term_id)
+            if tree is None or not len(tree):
+                continue
+            self.counters.threshold_probes += 1
+            for query_id in tree.iter_queries_at_or_below(weight):
+                affected.add(query_id)
+        self.counters.candidate_matches += len(affected)
+        return affected
+
+    def _process_arrival(self, document: StreamedDocument, before: Dict[int, TopKResult]) -> None:
+        """Index the arriving document and notify potentially affected queries."""
+        inserted = self.index.insert_document(document)
+        self.counters.postings_inserted += inserted
+        for query_id in self._affected_queries(document):
+            self._snapshot(query_id, before)
+            self._states[query_id].handle_arrival(document)
+
+    def _process_expiration(self, document: StreamedDocument, before: Dict[int, TopKResult]) -> None:
+        """Un-index the expiring document and notify potentially affected queries."""
+        self.counters.expirations += 1
+        _, removed = self.index.remove_document(document.doc_id)
+        self.counters.postings_deleted += removed
+        for query_id in self._affected_queries(document):
+            self._snapshot(query_id, before)
+            self._states[query_id].handle_expiration(document.doc_id)
+
+    # ------------------------------------------------------------------ #
+    # results
+    # ------------------------------------------------------------------ #
+    def current_result(self, query_id: int) -> TopKResult:
+        return self.state_of(query_id).top_k()
+
+    # ------------------------------------------------------------------ #
+    # diagnostics
+    # ------------------------------------------------------------------ #
+    def check_invariants(self) -> None:
+        """Validate the index and every per-query state (tests only)."""
+        self.index.check_invariants()
+        for state in self._states.values():
+            state.check_invariants()

@@ -1,0 +1,215 @@
+"""Document streams and arrival processes.
+
+The paper's evaluation streams the WSJ corpus "following a Poisson process
+with a mean arrival rate of 200 documents/second".  This module separates
+the two concerns:
+
+* an :class:`ArrivalProcess` produces arrival timestamps
+  (:class:`PoissonArrivalProcess`, :class:`FixedRateArrivalProcess`, or a
+  :class:`ReplayArrivalProcess` over recorded timestamps), and
+* a :class:`DocumentStream` pairs each document from a corpus with the next
+  arrival timestamp, producing
+  :class:`~repro.documents.document.StreamedDocument` objects.
+
+All timestamps are simulated seconds (floats) on a virtual clock starting
+at ``start_time``; the engines never look at the wall clock, so experiments
+are deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator, List, Optional, Sequence
+
+from repro.documents.corpus import Corpus
+from repro.documents.document import Document, StreamedDocument
+from repro.exceptions import ConfigurationError, StreamError
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivalProcess",
+    "FixedRateArrivalProcess",
+    "ReplayArrivalProcess",
+    "DocumentStream",
+]
+
+
+class ArrivalProcess:
+    """Base class for arrival-timestamp generators."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self.start_time = float(start_time)
+        self._current_time = float(start_time)
+
+    @property
+    def current_time(self) -> float:
+        """The timestamp of the most recently generated arrival."""
+        return self._current_time
+
+    def next_interarrival(self) -> float:
+        """Return the gap (in seconds) until the next arrival."""
+        raise NotImplementedError
+
+    def next_arrival_time(self) -> float:
+        """Advance the virtual clock and return the next arrival timestamp."""
+        gap = self.next_interarrival()
+        if gap < 0:
+            raise StreamError("inter-arrival gaps must be non-negative")
+        self._current_time += gap
+        return self._current_time
+
+    def reset(self) -> None:
+        """Rewind the virtual clock to ``start_time``."""
+        self._current_time = self.start_time
+
+
+class PoissonArrivalProcess(ArrivalProcess):
+    """Poisson arrivals: exponential inter-arrival gaps with the given rate.
+
+    Parameters
+    ----------
+    rate:
+        Mean arrival rate in documents per second (the paper uses 200).
+    seed:
+        Seed for the private RNG; runs are reproducible for a fixed seed.
+    """
+
+    def __init__(self, rate: float = 200.0, seed: Optional[int] = None, start_time: float = 0.0) -> None:
+        if rate <= 0:
+            raise ConfigurationError("rate must be positive")
+        super().__init__(start_time=start_time)
+        self.rate = float(rate)
+        self._rng = random.Random(seed)
+
+    def next_interarrival(self) -> float:
+        return self._rng.expovariate(self.rate)
+
+
+class FixedRateArrivalProcess(ArrivalProcess):
+    """Deterministic arrivals exactly ``1/rate`` seconds apart."""
+
+    def __init__(self, rate: float = 200.0, start_time: float = 0.0) -> None:
+        if rate <= 0:
+            raise ConfigurationError("rate must be positive")
+        super().__init__(start_time=start_time)
+        self.rate = float(rate)
+
+    def next_interarrival(self) -> float:
+        return 1.0 / self.rate
+
+
+class ReplayArrivalProcess(ArrivalProcess):
+    """Replays a recorded sequence of absolute arrival timestamps.
+
+    Useful for re-running an experiment against the exact arrival pattern
+    of a previous run, or for feeding real traces.
+    """
+
+    def __init__(self, timestamps: Sequence[float], start_time: float = 0.0) -> None:
+        super().__init__(start_time=start_time)
+        self._timestamps = list(timestamps)
+        previous = start_time
+        for timestamp in self._timestamps:
+            if timestamp < previous:
+                raise ConfigurationError("replay timestamps must be non-decreasing")
+            previous = timestamp
+        self._position = 0
+
+    def next_interarrival(self) -> float:
+        if self._position >= len(self._timestamps):
+            raise StreamError("replay arrival process exhausted")
+        timestamp = self._timestamps[self._position]
+        self._position += 1
+        gap = timestamp - self._current_time
+        return max(0.0, gap)
+
+    def reset(self) -> None:
+        super().reset()
+        self._position = 0
+
+
+class DocumentStream:
+    """Pairs corpus documents with arrival timestamps.
+
+    Parameters
+    ----------
+    corpus:
+        The document source.  May be unbounded (e.g.
+        :class:`~repro.documents.corpus.SyntheticCorpus`).
+    arrivals:
+        The arrival process assigning timestamps.
+    limit:
+        Optional maximum number of documents to emit; mandatory in spirit
+        when the corpus is unbounded and the caller iterates the stream to
+        exhaustion.
+    """
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        arrivals: Optional[ArrivalProcess] = None,
+        limit: Optional[int] = None,
+    ) -> None:
+        if limit is not None and limit < 0:
+            raise ConfigurationError("limit must be non-negative")
+        self.corpus = corpus
+        self.arrivals = arrivals if arrivals is not None else PoissonArrivalProcess(seed=0)
+        self.limit = limit
+        self._emitted = 0
+        self._source: Optional[Iterator[Document]] = None
+
+    # ------------------------------------------------------------------ #
+    def _document_source(self) -> Iterator[Document]:
+        """The single underlying corpus iterator shared by all consumers.
+
+        Consuming the stream in several steps (e.g. repeated :meth:`take`
+        calls) must continue where the previous step stopped rather than
+        restart the corpus, so the iterator is created once and reused.
+        """
+        if self._source is None:
+            self._source = iter(self.corpus)
+        return self._source
+
+    def __iter__(self) -> Iterator[StreamedDocument]:
+        source = self._document_source()
+        while True:
+            if self.limit is not None and self._emitted >= self.limit:
+                return
+            try:
+                document = next(source)
+            except StopIteration:
+                return
+            yield self._wrap(document)
+
+    def _wrap(self, document: Document) -> StreamedDocument:
+        arrival_time = self.arrivals.next_arrival_time()
+        self._emitted += 1
+        return StreamedDocument(document=document, arrival_time=arrival_time)
+
+    def take(self, count: int) -> List[StreamedDocument]:
+        """Emit exactly ``count`` stream elements (or fewer if exhausted)."""
+        if count < 0:
+            raise ConfigurationError("count must be non-negative")
+        out: List[StreamedDocument] = []
+        iterator = iter(self)
+        for _ in range(count):
+            try:
+                out.append(next(iterator))
+            except StopIteration:
+                break
+        return out
+
+    @property
+    def emitted(self) -> int:
+        """Number of documents emitted so far."""
+        return self._emitted
+
+
+def stream_from_documents(
+    documents: Iterable[Document],
+    arrivals: Optional[ArrivalProcess] = None,
+) -> Iterator[StreamedDocument]:
+    """Attach arrival times to an already-materialised document sequence."""
+    process = arrivals if arrivals is not None else PoissonArrivalProcess(seed=0)
+    for document in documents:
+        yield StreamedDocument(document=document, arrival_time=process.next_arrival_time())

@@ -1,0 +1,151 @@
+"""Sliding windows.
+
+The paper considers *count-based* windows ("the 500 most recent documents")
+and *time-based* windows ("documents received in the last 15 minutes").
+Only the documents inside the window are *valid* and participate in query
+evaluation.
+
+A window object decides, upon each arrival (and, for time-based windows,
+upon clock advancement), which documents expire.  The engines then process
+one arrival event plus zero or more expiration events.  For a count-based
+window of size N in steady state each arrival expires exactly one document,
+matching the paper's description of an update as "a document d_ins arrives,
+forcing an existing one d_del to expire".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, List, Optional, Tuple
+
+from repro.documents.document import StreamedDocument
+from repro.exceptions import ConfigurationError, WindowError
+
+__all__ = ["SlidingWindow", "CountBasedWindow", "TimeBasedWindow"]
+
+
+class SlidingWindow:
+    """Base class for sliding windows over the document stream.
+
+    Subclasses implement :meth:`_expired_by_arrival` and
+    :meth:`_expired_by_time`; the base class maintains the FIFO order of
+    valid documents and rejects out-of-order arrivals.
+    """
+
+    def __init__(self) -> None:
+        self._valid: Deque[StreamedDocument] = deque()
+        self._last_arrival_time: Optional[float] = None
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._valid)
+
+    def __iter__(self) -> Iterator[StreamedDocument]:
+        return iter(self._valid)
+
+    def __contains__(self, doc_id: int) -> bool:
+        return any(entry.doc_id == doc_id for entry in self._valid)
+
+    def valid_documents(self) -> List[StreamedDocument]:
+        """A list snapshot of the currently valid documents, oldest first."""
+        return list(self._valid)
+
+    @property
+    def oldest(self) -> Optional[StreamedDocument]:
+        return self._valid[0] if self._valid else None
+
+    @property
+    def newest(self) -> Optional[StreamedDocument]:
+        return self._valid[-1] if self._valid else None
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+    def insert(self, document: StreamedDocument) -> List[StreamedDocument]:
+        """Insert an arriving document; return the documents it expires.
+
+        Expired documents are returned oldest-first and have already been
+        removed from the window when the method returns.
+        """
+        if self._last_arrival_time is not None and document.arrival_time < self._last_arrival_time:
+            raise WindowError(
+                f"arrival time went backwards: {document.arrival_time} < {self._last_arrival_time}"
+            )
+        self._last_arrival_time = document.arrival_time
+        expired = self._expired_by_time(document.arrival_time)
+        self._valid.append(document)
+        expired.extend(self._expired_by_arrival())
+        return expired
+
+    def advance_time(self, now: float) -> List[StreamedDocument]:
+        """Advance the clock without an arrival; return expirations.
+
+        Only meaningful for time-based windows; a count-based window never
+        expires documents because of the passage of time alone.
+        """
+        if self._last_arrival_time is not None and now < self._last_arrival_time:
+            raise WindowError("time cannot go backwards")
+        return self._expired_by_time(now)
+
+    # hooks ------------------------------------------------------------- #
+    def _expired_by_arrival(self) -> List[StreamedDocument]:
+        raise NotImplementedError
+
+    def _expired_by_time(self, now: float) -> List[StreamedDocument]:
+        raise NotImplementedError
+
+    def _pop_oldest(self) -> StreamedDocument:
+        if not self._valid:
+            raise WindowError("window is empty")
+        return self._valid.popleft()
+
+
+class CountBasedWindow(SlidingWindow):
+    """Keeps the ``size`` most recent documents valid."""
+
+    def __init__(self, size: int) -> None:
+        if size <= 0:
+            raise ConfigurationError("window size must be positive")
+        super().__init__()
+        self.size = size
+
+    def _expired_by_arrival(self) -> List[StreamedDocument]:
+        expired: List[StreamedDocument] = []
+        while len(self._valid) > self.size:
+            expired.append(self._pop_oldest())
+        return expired
+
+    def _expired_by_time(self, now: float) -> List[StreamedDocument]:
+        return []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(size={self.size}, valid={len(self)})"
+
+
+class TimeBasedWindow(SlidingWindow):
+    """Keeps documents that arrived within the last ``span`` seconds valid.
+
+    A document with arrival time ``a`` is valid at time ``now`` iff
+    ``now - a < span`` (half-open interval, so a document expires exactly
+    ``span`` seconds after its arrival).
+    """
+
+    def __init__(self, span: float) -> None:
+        if span <= 0:
+            raise ConfigurationError("window span must be positive")
+        super().__init__()
+        self.span = float(span)
+
+    def _expired_by_arrival(self) -> List[StreamedDocument]:
+        return []
+
+    def _expired_by_time(self, now: float) -> List[StreamedDocument]:
+        expired: List[StreamedDocument] = []
+        while self._valid and now - self._valid[0].arrival_time >= self.span:
+            expired.append(self._pop_oldest())
+        return expired
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(span={self.span}, valid={len(self)})"

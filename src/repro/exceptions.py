@@ -1,0 +1,76 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised by the library derive from :class:`ReproError`, so
+callers can catch a single base class.  Subclasses are organised by
+subsystem: text analysis, document/stream handling, indexing, query
+management, and experiment execution.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was configured with inconsistent or invalid parameters."""
+
+
+class AnalysisError(ReproError):
+    """Text analysis (tokenisation, stemming, weighting) failed."""
+
+
+class VocabularyError(ReproError):
+    """A term or term identifier could not be resolved by a vocabulary."""
+
+
+class DocumentError(ReproError):
+    """A document is malformed (e.g. empty composition list, bad weights)."""
+
+
+class StreamError(ReproError):
+    """A document stream was used incorrectly (exhausted, out of order...)."""
+
+
+class WindowError(ReproError):
+    """A sliding-window operation violated the window discipline."""
+
+
+class IndexError_(ReproError):
+    """An inverted-index operation failed.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`IndexError`; exported as ``IndexCorruptionError`` too.
+    """
+
+
+IndexCorruptionError = IndexError_
+
+
+class DuplicateDocumentError(IndexError_):
+    """A document identifier was inserted twice into the same structure."""
+
+
+class UnknownDocumentError(IndexError_):
+    """A document identifier was not found where it was expected."""
+
+
+class QueryError(ReproError):
+    """A continuous query is malformed or was registered incorrectly."""
+
+
+class DuplicateQueryError(QueryError):
+    """A query identifier was registered twice with the same engine."""
+
+
+class UnknownQueryError(QueryError):
+    """A query identifier is not registered with the engine."""
+
+
+class EngineError(ReproError):
+    """The monitoring engine was driven incorrectly (e.g. time going backwards)."""
+
+
+class ExperimentError(ReproError):
+    """An experiment definition or run is invalid."""

@@ -1,0 +1,34 @@
+"""The inverted-file substrate.
+
+This package implements the in-memory index of Figure 1 of the paper:
+
+* :mod:`repro.index.sorted_list` -- a block-based sorted container
+  (:class:`SortedKeyList`) used as the ordered backbone of both the
+  inverted lists and the threshold trees.
+* :mod:`repro.index.inverted_list` -- one impact-ordered posting list
+  ``L_t`` per term, holding ``(d, w_{d,t})`` impact entries sorted by
+  decreasing weight, with the navigation primitives the ITA needs
+  (descend from a frontier, find the entry just above a threshold, ...).
+* :mod:`repro.index.threshold_tree` -- the per-list book-keeping structure
+  that stores one ``(theta_{Q,t}, Q)`` entry per query containing ``t`` and
+  answers "which queries have a local threshold <= w?" probes.
+* :mod:`repro.index.document_store` -- the FIFO list of valid documents.
+* :mod:`repro.index.inverted_index` -- the dictionary tying it together:
+  term id -> inverted list (+ its threshold tree), plus whole-document
+  insertion and removal.
+"""
+
+from repro.index.document_store import DocumentStore
+from repro.index.inverted_index import InvertedIndex
+from repro.index.inverted_list import InvertedList, PostingEntry
+from repro.index.sorted_list import SortedKeyList
+from repro.index.threshold_tree import ThresholdTree
+
+__all__ = [
+    "SortedKeyList",
+    "PostingEntry",
+    "InvertedList",
+    "ThresholdTree",
+    "DocumentStore",
+    "InvertedIndex",
+]

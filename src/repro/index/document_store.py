@@ -1,0 +1,102 @@
+"""The FIFO store of valid documents.
+
+Figure 1 of the paper shows the valid documents kept "in a first-in-first-
+out list": arriving documents are appended at the tail, expiring ones are
+removed from the head, and every impact entry in the inverted lists points
+back to the document's full information (text, composition list, arrival
+time).
+
+:class:`DocumentStore` provides exactly that, with O(1) lookup by document
+identifier on top (the pointer-chasing of the figure becomes a dictionary
+lookup in Python).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, List, Optional
+
+from repro.documents.document import StreamedDocument
+from repro.exceptions import DuplicateDocumentError, UnknownDocumentError
+
+__all__ = ["DocumentStore"]
+
+
+class DocumentStore:
+    """Holds the currently valid documents in arrival (FIFO) order."""
+
+    __slots__ = ("_documents",)
+
+    def __init__(self) -> None:
+        # doc_id -> StreamedDocument, in insertion (arrival) order.
+        self._documents: "OrderedDict[int, StreamedDocument]" = OrderedDict()
+
+    # ------------------------------------------------------------------ #
+    # basic protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __contains__(self, doc_id: int) -> bool:
+        return doc_id in self._documents
+
+    def __iter__(self) -> Iterator[StreamedDocument]:
+        """Iterate valid documents oldest-first."""
+        return iter(self._documents.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({len(self)} valid documents)"
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+    def add(self, document: StreamedDocument) -> None:
+        """Append an arriving document at the tail of the FIFO list."""
+        doc_id = document.doc_id
+        if doc_id in self._documents:
+            raise DuplicateDocumentError(f"document {doc_id} is already stored")
+        self._documents[doc_id] = document
+
+    def remove(self, doc_id: int) -> StreamedDocument:
+        """Remove (and return) the document with ``doc_id``."""
+        document = self._documents.pop(doc_id, None)
+        if document is None:
+            raise UnknownDocumentError(f"document {doc_id} is not stored")
+        return document
+
+    def pop_oldest(self) -> StreamedDocument:
+        """Remove and return the oldest valid document."""
+        if not self._documents:
+            raise UnknownDocumentError("document store is empty")
+        _, document = self._documents.popitem(last=False)
+        return document
+
+    # ------------------------------------------------------------------ #
+    # lookups
+    # ------------------------------------------------------------------ #
+    def get(self, doc_id: int) -> StreamedDocument:
+        """Return the stored document with ``doc_id``."""
+        try:
+            return self._documents[doc_id]
+        except KeyError:
+            raise UnknownDocumentError(f"document {doc_id} is not stored") from None
+
+    def find(self, doc_id: int) -> Optional[StreamedDocument]:
+        """Return the stored document or ``None`` when absent."""
+        return self._documents.get(doc_id)
+
+    @property
+    def oldest(self) -> Optional[StreamedDocument]:
+        if not self._documents:
+            return None
+        return next(iter(self._documents.values()))
+
+    @property
+    def newest(self) -> Optional[StreamedDocument]:
+        if not self._documents:
+            return None
+        return next(reversed(self._documents.values()))
+
+    def doc_ids(self) -> List[int]:
+        """All valid document ids, oldest first."""
+        return list(self._documents.keys())

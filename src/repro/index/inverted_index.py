@@ -1,0 +1,151 @@
+"""The inverted index over the valid documents.
+
+This ties the substrate together (paper, Figure 1): a term dictionary maps
+each term id to its impact-ordered :class:`InvertedList` and to the
+associated :class:`ThresholdTree`; a :class:`DocumentStore` holds the full
+document information.  Whole-document insertion and removal update every
+per-term structure, returning the per-term impact entries so that the
+engines can drive their per-query maintenance from them.
+
+The index is shared by the ITA engine and by the baselines so that all
+engines pay identical substrate costs and the measured differences are due
+to the query-maintenance strategies alone (which is also how the paper's
+evaluation is set up: both systems see the same stream and window).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.documents.document import StreamedDocument
+from repro.exceptions import UnknownDocumentError
+from repro.index.document_store import DocumentStore
+from repro.index.inverted_list import InvertedList, PostingEntry
+from repro.index.threshold_tree import ThresholdTree
+
+__all__ = ["InvertedIndex"]
+
+
+class InvertedIndex:
+    """In-memory inverted file over the currently valid documents."""
+
+    def __init__(self) -> None:
+        self._lists: Dict[int, InvertedList] = {}
+        self._trees: Dict[int, ThresholdTree] = {}
+        self.documents = DocumentStore()
+
+    # ------------------------------------------------------------------ #
+    # dictionary access
+    # ------------------------------------------------------------------ #
+    def inverted_list(self, term_id: int) -> InvertedList:
+        """The inverted list of ``term_id``, created on first use."""
+        inverted_list = self._lists.get(term_id)
+        if inverted_list is None:
+            inverted_list = InvertedList(term_id)
+            self._lists[term_id] = inverted_list
+        return inverted_list
+
+    def existing_list(self, term_id: int) -> Optional[InvertedList]:
+        """The inverted list of ``term_id`` or ``None`` if never created."""
+        return self._lists.get(term_id)
+
+    def threshold_tree(self, term_id: int) -> ThresholdTree:
+        """The threshold tree of ``term_id``, created on first use."""
+        tree = self._trees.get(term_id)
+        if tree is None:
+            tree = ThresholdTree(term_id)
+            self._trees[term_id] = tree
+        return tree
+
+    def existing_tree(self, term_id: int) -> Optional[ThresholdTree]:
+        return self._trees.get(term_id)
+
+    def terms(self) -> Iterator[int]:
+        """Term ids that currently have an inverted list."""
+        return iter(self._lists.keys())
+
+    def __len__(self) -> int:
+        """Number of valid documents."""
+        return len(self.documents)
+
+    def __contains__(self, doc_id: int) -> bool:
+        return doc_id in self.documents
+
+    # ------------------------------------------------------------------ #
+    # whole-document updates
+    # ------------------------------------------------------------------ #
+    def insert_document(self, document: StreamedDocument) -> int:
+        """Index an arriving document.
+
+        Scans the composition list and inserts one impact entry per term
+        (paper, Section III-B: "We first scan its composition list and
+        insert impact entries into the corresponding inverted lists").
+        Returns the number of impact entries inserted.
+        """
+        self.documents.add(document)
+        doc_id = document.doc_id
+        inserted = 0
+        lists = self._lists
+        for term_id, weight in document.composition.items():
+            inverted_list = lists.get(term_id)
+            if inverted_list is None:
+                inverted_list = InvertedList(term_id)
+                lists[term_id] = inverted_list
+            inverted_list.insert(doc_id, weight)
+            inserted += 1
+        return inserted
+
+    def remove_document(self, doc_id: int) -> Tuple[StreamedDocument, int]:
+        """Un-index an expiring document.
+
+        Deletes its impact entry from every term's list and removes it from
+        the document store.  Returns the document and the number of impact
+        entries deleted.
+        """
+        document = self.documents.remove(doc_id)
+        removed = 0
+        lists = self._lists
+        trees = self._trees
+        for term_id in document.composition.terms():
+            inverted_list = lists.get(term_id)
+            if inverted_list is None:
+                raise UnknownDocumentError(
+                    f"document {doc_id} lists term {term_id} but the term has no inverted list"
+                )
+            inverted_list.delete(doc_id)
+            removed += 1
+            if not inverted_list and term_id not in trees:
+                # Reclaim empty lists for terms no query is interested in;
+                # lists with registered queries are kept so the threshold
+                # trees stay attached to a live structure.
+                del lists[term_id]
+        return document, removed
+
+    # ------------------------------------------------------------------ #
+    # statistics / diagnostics
+    # ------------------------------------------------------------------ #
+    def posting_count(self) -> int:
+        """Total number of impact entries across all lists."""
+        return sum(len(lst) for lst in self._lists.values())
+
+    def list_lengths(self) -> Dict[int, int]:
+        """``{term_id: postings}`` for every non-empty list."""
+        return {term_id: len(lst) for term_id, lst in self._lists.items() if len(lst)}
+
+    def check_invariants(self) -> None:
+        """Cross-check lists against the document store (tests only)."""
+        for term_id, inverted_list in self._lists.items():
+            inverted_list.check_invariants()
+            for entry in inverted_list:
+                document = self.documents.find(entry.doc_id)
+                assert document is not None, (
+                    f"posting for absent document {entry.doc_id} in term {term_id}"
+                )
+                assert abs(document.composition.weight(term_id) - entry.weight) < 1e-12
+        for document in self.documents:
+            for term_id, weight in document.composition.items():
+                inverted_list = self._lists.get(term_id)
+                assert inverted_list is not None, f"missing list for term {term_id}"
+                assert inverted_list.weight_of(document.doc_id) == weight
+        for term_id, tree in self._trees.items():
+            tree.check_invariants()

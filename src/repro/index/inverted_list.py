@@ -1,0 +1,199 @@
+"""Impact-ordered inverted lists.
+
+An inverted list ``L_t`` (paper, Figure 1) holds one *impact entry*
+``<d, w_{d,t}>`` for each valid document ``d`` containing term ``t``,
+sorted by decreasing weight ``w_{d,t}``.  On top of plain insertion and
+deletion (on document arrival and expiration), the Incremental Threshold
+Algorithm needs a few ordered-navigation primitives:
+
+* iterate the list top-down starting from the beginning (initial top-k
+  search) or from a recorded local threshold (incremental refill),
+* given a local threshold ``theta``, find the entry *just above* it --
+  i.e. the smallest weight strictly greater than ``theta`` -- which is the
+  candidate value a roll-up would raise the threshold to,
+* report the current top weight (to initialise thresholds / bounds).
+
+Internally the entries are stored in a :class:`SortedKeyList` of
+``(-weight, doc_id)`` pairs, so ascending container order is "descending
+weight, ties broken by ascending document id" -- ties are therefore broken
+towards *older* documents first, a deterministic choice that keeps runs
+reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple
+
+from repro.exceptions import DuplicateDocumentError, UnknownDocumentError
+from repro.index.sorted_list import SortedKeyList
+
+__all__ = ["PostingEntry", "InvertedList"]
+
+
+@dataclass(frozen=True)
+class PostingEntry:
+    """One impact entry of an inverted list."""
+
+    doc_id: int
+    weight: float
+
+    def key(self) -> Tuple[float, int]:
+        """The container sort key (descending weight, ascending doc id)."""
+        return (-self.weight, self.doc_id)
+
+
+class InvertedList:
+    """The impact-ordered posting list of a single term."""
+
+    __slots__ = ("term_id", "_entries", "_weights")
+
+    def __init__(self, term_id: int) -> None:
+        self.term_id = term_id
+        #: ordered (-weight, doc_id) pairs
+        self._entries = SortedKeyList()
+        #: doc_id -> weight, for O(1) membership and deletion by id
+        self._weights: dict = {}
+
+    # ------------------------------------------------------------------ #
+    # basic protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __bool__(self) -> bool:
+        return bool(self._entries)
+
+    def __contains__(self, doc_id: int) -> bool:
+        return doc_id in self._weights
+
+    def __iter__(self) -> Iterator[PostingEntry]:
+        """Iterate entries in impact order (highest weight first)."""
+        for negative_weight, doc_id in self._entries:
+            yield PostingEntry(doc_id=doc_id, weight=-negative_weight)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(term={self.term_id}, postings={len(self)})"
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+    def insert(self, doc_id: int, weight: float) -> None:
+        """Insert the impact entry of ``doc_id``; weight must be positive.
+
+        This is on the per-arrival hot path (one call per distinct term of
+        every streamed document), so it deliberately returns nothing rather
+        than building an entry object.
+        """
+        if weight <= 0.0:
+            raise ValueError(f"impact weights must be positive, got {weight}")
+        if doc_id in self._weights:
+            raise DuplicateDocumentError(
+                f"document {doc_id} already has a posting for term {self.term_id}"
+            )
+        self._entries.add((-weight, doc_id))
+        self._weights[doc_id] = weight
+
+    def delete(self, doc_id: int) -> float:
+        """Remove the impact entry of ``doc_id`` and return its weight."""
+        weight = self._weights.pop(doc_id, None)
+        if weight is None:
+            raise UnknownDocumentError(
+                f"document {doc_id} has no posting for term {self.term_id}"
+            )
+        self._entries.remove((-weight, doc_id))
+        return weight
+
+    # ------------------------------------------------------------------ #
+    # lookups
+    # ------------------------------------------------------------------ #
+    def weight_of(self, doc_id: int) -> float:
+        """The stored weight of ``doc_id`` (0.0 if absent)."""
+        return self._weights.get(doc_id, 0.0)
+
+    def top_weight(self) -> float:
+        """The highest weight in the list (0.0 when empty)."""
+        if not self._entries:
+            return 0.0
+        negative_weight, _ = self._entries.first()
+        return -negative_weight
+
+    def bottom_weight(self) -> float:
+        """The lowest weight in the list (0.0 when empty)."""
+        if not self._entries:
+            return 0.0
+        negative_weight, _ = self._entries.last()
+        return -negative_weight
+
+    # ------------------------------------------------------------------ #
+    # ordered navigation used by the ITA
+    # ------------------------------------------------------------------ #
+    def iter_from_top(self) -> Iterator[PostingEntry]:
+        """Iterate all entries from the highest weight downwards."""
+        return iter(self)
+
+    def iter_from_weight(self, weight: float, inclusive: bool = True) -> Iterator[PostingEntry]:
+        """Iterate entries with weight <= ``weight`` (or < when not inclusive),
+        from the highest such weight downwards.
+
+        This is the "resume the search from the local threshold downwards"
+        primitive of the incremental refill: entries strictly above
+        ``weight`` have already been examined and live in the query's
+        result container.
+        """
+        if inclusive:
+            start_key = (-weight, -1)          # before any doc id at this weight
+        else:
+            start_key = (-weight, float("inf"))  # after every doc id at this weight
+        for negative_weight, doc_id in self._entries.irange(minimum=start_key):
+            yield PostingEntry(doc_id=doc_id, weight=-negative_weight)
+
+    def next_weight_above(self, weight: float) -> Optional[PostingEntry]:
+        """The entry with the smallest weight strictly greater than ``weight``.
+
+        Returns ``None`` when no entry lies strictly above ``weight``.
+        Among several entries sharing that smallest weight the one with the
+        largest doc id is returned; only the weight matters to callers
+        (roll-up candidates are weight values).
+        """
+        boundary = (-weight, -1)
+        item = self._entries.find_lt(boundary)
+        if item is None:
+            return None
+        negative_weight, doc_id = item
+        return PostingEntry(doc_id=doc_id, weight=-negative_weight)
+
+    def first_entry_at_or_below(self, weight: float) -> Optional[PostingEntry]:
+        """The highest-impact entry with weight <= ``weight`` (None if none)."""
+        for entry in self.iter_from_weight(weight, inclusive=True):
+            return entry
+        return None
+
+    def entries_at_or_above(self, weight: float) -> List[PostingEntry]:
+        """All entries with weight >= ``weight``, highest first.
+
+        Used by tests and by invariant checks; the hot path never needs to
+        materialise this list.
+        """
+        out: List[PostingEntry] = []
+        for negative_weight, doc_id in self._entries:
+            current = -negative_weight
+            if current < weight:
+                break
+            out.append(PostingEntry(doc_id=doc_id, weight=current))
+        return out
+
+    def to_pairs(self) -> List[Tuple[int, float]]:
+        """The whole list as ``(doc_id, weight)`` pairs, impact order."""
+        return [(entry.doc_id, entry.weight) for entry in self]
+
+    # ------------------------------------------------------------------ #
+    def check_invariants(self) -> None:
+        """Validate internal consistency (ordering and the id->weight map)."""
+        self._entries.check_invariants()
+        assert len(self._entries) == len(self._weights), "entry/weight map size mismatch"
+        previous_weight = float("inf")
+        for entry in self:
+            assert entry.weight <= previous_weight, "weights not non-increasing"
+            assert self._weights.get(entry.doc_id) == entry.weight, "map/list disagree"
+            previous_weight = entry.weight

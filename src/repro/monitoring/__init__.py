@@ -1,0 +1,20 @@
+"""Instrumentation: timers, counters and summaries.
+
+The paper's evaluation metric is the *average processing time* per arrival
+event (the elapsed time between a document arrival -- which additionally
+causes an expiration -- and the point where all query results are up to
+date).  This package provides:
+
+* :class:`~repro.monitoring.metrics.Timer` and
+  :class:`~repro.monitoring.metrics.TimingSummary` for wall-clock style
+  measurements on the simulated server, and
+* :class:`~repro.monitoring.instrumentation.OperationCounters` for
+  hardware-independent cost proxies (scores computed, postings touched,
+  roll-ups, refills, threshold probes) that make the behaviour of the
+  algorithms inspectable in tests and benchmarks.
+"""
+
+from repro.monitoring.instrumentation import OperationCounters
+from repro.monitoring.metrics import PercentileSummary, Timer, TimingSummary
+
+__all__ = ["Timer", "TimingSummary", "PercentileSummary", "OperationCounters"]

@@ -1,0 +1,139 @@
+"""Timing utilities.
+
+All measurements use :func:`time.perf_counter` and are reported in
+milliseconds, the unit of the paper's Figure 3.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = ["Timer", "TimingSummary", "PercentileSummary"]
+
+
+class Timer:
+    """A context-manager stopwatch accumulating elapsed milliseconds.
+
+    Example
+    -------
+    >>> timer = Timer()
+    >>> with timer:
+    ...     pass
+    >>> timer.count
+    1
+    """
+
+    def __init__(self) -> None:
+        self.total_ms = 0.0
+        self.count = 0
+        self._started: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        if self._started is not None:
+            raise RuntimeError("timer already started")
+        self._started = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop the current measurement and return it in milliseconds."""
+        if self._started is None:
+            raise RuntimeError("timer was not started")
+        elapsed_ms = (time.perf_counter() - self._started) * 1000.0
+        self._started = None
+        self.total_ms += elapsed_ms
+        self.count += 1
+        return elapsed_ms
+
+    @property
+    def mean_ms(self) -> float:
+        """Average milliseconds per measurement (0.0 when never used)."""
+        if self.count == 0:
+            return 0.0
+        return self.total_ms / self.count
+
+    def reset(self) -> None:
+        self.total_ms = 0.0
+        self.count = 0
+        self._started = None
+
+
+@dataclass
+class PercentileSummary:
+    """Summary statistics over a sample of measurements."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p90: float
+    p99: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "PercentileSummary":
+        if not samples:
+            return cls(count=0, mean=0.0, minimum=0.0, maximum=0.0, p50=0.0, p90=0.0, p99=0.0)
+        ordered = sorted(samples)
+        return cls(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            minimum=ordered[0],
+            maximum=ordered[-1],
+            p50=_percentile(ordered, 0.50),
+            p90=_percentile(ordered, 0.90),
+            p99=_percentile(ordered, 0.99),
+        )
+
+
+def _percentile(ordered: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile over an already-sorted sample."""
+    if not ordered:
+        return 0.0
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    return ordered[rank - 1]
+
+
+class TimingSummary:
+    """Accumulates per-event processing times, grouped by label.
+
+    The experiment runner records one sample per arrival event, per engine
+    ("ita", "naive", ...), and reports means in milliseconds -- the metric
+    of the paper's figures.
+    """
+
+    def __init__(self) -> None:
+        self._samples: Dict[str, List[float]] = {}
+
+    def record(self, label: str, elapsed_ms: float) -> None:
+        self._samples.setdefault(label, []).append(elapsed_ms)
+
+    def extend(self, label: str, samples: Iterable[float]) -> None:
+        self._samples.setdefault(label, []).extend(samples)
+
+    def labels(self) -> List[str]:
+        return list(self._samples.keys())
+
+    def samples(self, label: str) -> List[float]:
+        return list(self._samples.get(label, []))
+
+    def mean_ms(self, label: str) -> float:
+        samples = self._samples.get(label, [])
+        if not samples:
+            return 0.0
+        return sum(samples) / len(samples)
+
+    def summary(self, label: str) -> PercentileSummary:
+        return PercentileSummary.from_samples(self._samples.get(label, []))
+
+    def merge(self, other: "TimingSummary") -> None:
+        for label in other.labels():
+            self.extend(label, other.samples(label))

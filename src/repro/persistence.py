@@ -1,0 +1,162 @@
+"""Snapshot and restore of a monitoring engine's state.
+
+The paper's server is main-memory only; a production deployment of such a
+server still needs to checkpoint its state so it can recover after a
+restart without replaying the whole stream.  This module serialises the
+*logical* state of a monitoring engine -- the valid documents (with arrival
+times and composition lists) and the installed queries -- to a plain,
+JSON-compatible dictionary, and rebuilds an equivalent engine from it.
+
+The internal ITA bookkeeping (local thresholds, the result container R) is
+deliberately *not* serialised: it is derived state that the rebuilt engine
+recomputes by re-registering the queries over the restored window.  This
+keeps the snapshot format small, engine-agnostic (the same snapshot can be
+restored into an ITA engine or a baseline), and robust to changes in the
+internal data structures.
+
+The format is intentionally pure-Python/JSON so snapshots can be written
+with :func:`json.dump` without any custom encoder.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Type
+
+from repro.core.base import MonitoringEngine
+from repro.core.engine import ITAEngine
+from repro.documents.document import CompositionList, Document, StreamedDocument
+from repro.documents.window import CountBasedWindow, SlidingWindow, TimeBasedWindow
+from repro.exceptions import ConfigurationError, ReproError
+from repro.query.query import ContinuousQuery
+
+__all__ = ["snapshot_engine", "restore_engine", "EngineSnapshot"]
+
+SNAPSHOT_VERSION = 1
+
+
+def _window_to_dict(window: SlidingWindow) -> Dict[str, Any]:
+    if isinstance(window, CountBasedWindow):
+        return {"type": "count", "size": window.size}
+    if isinstance(window, TimeBasedWindow):
+        return {"type": "time", "span": window.span}
+    raise ConfigurationError(f"cannot serialise window of type {type(window).__name__}")
+
+
+def _window_from_dict(data: Dict[str, Any]) -> SlidingWindow:
+    kind = data.get("type")
+    if kind == "count":
+        return CountBasedWindow(int(data["size"]))
+    if kind == "time":
+        return TimeBasedWindow(float(data["span"]))
+    raise ConfigurationError(f"unknown window type {kind!r}")
+
+
+def _valid_documents(engine: MonitoringEngine) -> List[StreamedDocument]:
+    """Return the engine's valid documents, oldest first.
+
+    ITA exposes them through its document store; every other engine keeps
+    them in the sliding window itself.  Both are ordered oldest-first.
+    """
+    index = getattr(engine, "index", None)
+    if index is not None:
+        return list(index.documents)
+    return list(engine.window)
+
+
+def snapshot_engine(engine: MonitoringEngine) -> Dict[str, Any]:
+    """Serialise ``engine`` to a JSON-compatible dictionary.
+
+    The snapshot captures the window configuration, the valid documents
+    (id, arrival time, composition list, text, metadata), and the installed
+    queries (id, k, term weights, text).
+    """
+    registry = getattr(engine, "registry", None)
+    if registry is None:
+        raise ReproError("engine does not expose a query registry to snapshot")
+
+    documents = []
+    for streamed in _valid_documents(engine):
+        document = streamed.document
+        documents.append(
+            {
+                "doc_id": document.doc_id,
+                "arrival_time": streamed.arrival_time,
+                "weights": {str(t): w for t, w in document.composition.items()},
+                "text": document.text,
+                "metadata": dict(document.metadata),
+            }
+        )
+
+    queries = []
+    for query in registry:
+        queries.append(
+            {
+                "query_id": query.query_id,
+                "k": query.k,
+                "weights": {str(t): w for t, w in query.weights.items()},
+                "text": query.text,
+            }
+        )
+
+    return {
+        "version": SNAPSHOT_VERSION,
+        "engine": engine.name,
+        "window": _window_to_dict(engine.window),
+        "documents": documents,
+        "queries": queries,
+    }
+
+
+EngineSnapshot = Dict[str, Any]
+
+
+def restore_engine(
+    snapshot: EngineSnapshot,
+    engine_factory: Optional[Callable[[SlidingWindow], MonitoringEngine]] = None,
+) -> MonitoringEngine:
+    """Rebuild a monitoring engine from a :func:`snapshot_engine` result.
+
+    Parameters
+    ----------
+    snapshot:
+        A dictionary produced by :func:`snapshot_engine`.
+    engine_factory:
+        Callable taking the restored window and returning a fresh engine.
+        Defaults to building an :class:`~repro.core.engine.ITAEngine`; pass
+        a different factory to restore the same logical state into a
+        baseline engine.
+
+    The documents are replayed through the engine in arrival order *before*
+    the queries are registered, so each query's initial result is computed
+    over the full restored window -- reproducing the exact logical state of
+    the snapshotted engine.
+    """
+    version = snapshot.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise ConfigurationError(f"unsupported snapshot version {version!r}")
+
+    window = _window_from_dict(snapshot["window"])
+    factory = engine_factory or (lambda w: ITAEngine(w))
+    engine = factory(window)
+
+    for record in sorted(snapshot["documents"], key=lambda r: r["arrival_time"]):
+        weights = {int(term): float(weight) for term, weight in record["weights"].items()}
+        document = Document(
+            doc_id=int(record["doc_id"]),
+            composition=CompositionList(weights),
+            text=record.get("text"),
+            metadata=record.get("metadata", {}),
+        )
+        engine.process(StreamedDocument(document=document, arrival_time=float(record["arrival_time"])))
+
+    for record in snapshot["queries"]:
+        weights = {int(term): float(weight) for term, weight in record["weights"].items()}
+        query = ContinuousQuery(
+            query_id=int(record["query_id"]),
+            weights=weights,
+            k=int(record["k"]),
+            text=record.get("text"),
+        )
+        engine.register_query(query)
+
+    return engine

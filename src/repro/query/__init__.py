@@ -1,0 +1,15 @@
+"""Continuous-query model.
+
+* :mod:`repro.query.query` -- :class:`ContinuousQuery`: a fixed set of
+  weighted search terms plus the result size ``k``.
+* :mod:`repro.query.result` -- :class:`ResultList`: the per-query container
+  ``R`` holding both the reported top-k documents and the extra
+  (unverified) documents the ITA keeps around for incremental refills.
+* :mod:`repro.query.registry` -- book-keeping of installed queries.
+"""
+
+from repro.query.query import ContinuousQuery
+from repro.query.registry import QueryRegistry
+from repro.query.result import ResultEntry, ResultList
+
+__all__ = ["ContinuousQuery", "ResultList", "ResultEntry", "QueryRegistry"]

@@ -1,0 +1,189 @@
+"""Continuous text search queries.
+
+A query ``Q`` specifies a set of terms and a parameter ``k``; the query
+string is translated into the weighted vector
+``{<t_1, w_{Q,t_1}>, ..., <t_n, w_{Q,t_n}>}`` (paper, Section II) where the
+weights are the cosine-normalised query term frequencies of Formula (1).
+
+Queries are immutable: the paper's model installs a query once and keeps it
+active until the user terminates it, and the engines rely on the query
+weights never changing.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.documents.document import CompositionList
+from repro.exceptions import QueryError
+from repro.text.analyzer import Analyzer
+from repro.text.vocabulary import Vocabulary
+from repro.weighting.schemes import WeightingScheme, CosineWeighting, dot_product
+
+__all__ = ["ContinuousQuery"]
+
+
+class ContinuousQuery:
+    """A continuous top-k text search query.
+
+    Parameters
+    ----------
+    query_id:
+        Unique identifier assigned by the caller (or the registry).
+    weights:
+        The ``{term_id: w_{Q,t}}`` mapping.  Must be non-empty with
+        positive finite weights.
+    k:
+        The number of result documents to monitor.
+    text:
+        Optional original query string, kept for display purposes.
+    """
+
+    __slots__ = ("query_id", "k", "_weights", "text")
+
+    def __init__(
+        self,
+        query_id: int,
+        weights: Mapping[int, float],
+        k: int,
+        text: Optional[str] = None,
+    ) -> None:
+        if k <= 0:
+            raise QueryError(f"k must be positive, got {k}")
+        cleaned: Dict[int, float] = {}
+        for term_id, weight in weights.items():
+            weight = float(weight)
+            if not math.isfinite(weight) or weight < 0:
+                raise QueryError(f"invalid query weight {weight!r} for term {term_id}")
+            if weight == 0.0:
+                continue
+            cleaned[int(term_id)] = weight
+        if not cleaned:
+            raise QueryError("a query must have at least one positively weighted term")
+        self.query_id = query_id
+        self.k = k
+        self._weights: Dict[int, float] = cleaned
+        self.text = text
+
+    # ------------------------------------------------------------------ #
+    # constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_text(
+        cls,
+        query_id: int,
+        text: str,
+        k: int,
+        analyzer: Analyzer,
+        vocabulary: Vocabulary,
+        weighting: Optional[WeightingScheme] = None,
+        allow_unknown_terms: bool = True,
+    ) -> "ContinuousQuery":
+        """Build a query from a raw search string.
+
+        The string is run through the same analyzer as the documents; terms
+        absent from the vocabulary are either registered (default) or
+        dropped, depending on ``allow_unknown_terms`` and on whether the
+        vocabulary is frozen.  Term frequencies within the string become
+        the ``f_{Q,t}`` of Formula (1) (e.g. the example query
+        ``{white white tower}`` weighs "white" twice as heavily as
+        "tower" before normalisation).
+        """
+        weighting = weighting or CosineWeighting()
+        counts = analyzer.term_frequencies(text)
+        frequencies: Dict[int, int] = {}
+        for term, count in counts.items():
+            if allow_unknown_terms and not vocabulary.frozen:
+                term_id: Optional[int] = vocabulary.add(term)
+            else:
+                term_id = vocabulary.get_id(term)
+            if term_id is None:
+                continue
+            frequencies[term_id] = frequencies.get(term_id, 0) + count
+        if not frequencies:
+            raise QueryError(f"query text {text!r} contains no indexable terms")
+        weights = weighting.query_weights(frequencies)
+        return cls(query_id=query_id, weights=weights, k=k, text=text)
+
+    @classmethod
+    def from_term_ids(
+        cls,
+        query_id: int,
+        term_ids: Iterable[int],
+        k: int,
+        weighting: Optional[WeightingScheme] = None,
+    ) -> "ContinuousQuery":
+        """Build a query from raw term ids with unit frequencies.
+
+        This is how the paper's workload is generated ("1,000 queries with
+        k = 10 and terms selected randomly from the dictionary").
+        """
+        weighting = weighting or CosineWeighting()
+        frequencies: Dict[int, int] = {}
+        for term_id in term_ids:
+            frequencies[int(term_id)] = frequencies.get(int(term_id), 0) + 1
+        weights = weighting.query_weights(frequencies)
+        return cls(query_id=query_id, weights=weights, k=k)
+
+    # ------------------------------------------------------------------ #
+    # accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def weights(self) -> Mapping[int, float]:
+        """Read-only view of the query's term weights."""
+        return self._weights
+
+    def terms(self) -> List[int]:
+        """The query's term ids."""
+        return list(self._weights.keys())
+
+    def weight(self, term_id: int) -> float:
+        """The weight of ``term_id`` in the query (0.0 if absent)."""
+        return self._weights.get(term_id, 0.0)
+
+    def __len__(self) -> int:
+        """Number of distinct query terms (the paper's query length n)."""
+        return len(self._weights)
+
+    def __contains__(self, term_id: int) -> bool:
+        return term_id in self._weights
+
+    # ------------------------------------------------------------------ #
+    # scoring
+    # ------------------------------------------------------------------ #
+    def score(self, composition: CompositionList) -> float:
+        """The similarity ``S(d|Q)`` of a document composition list."""
+        return dot_product(self._weights, composition.weights)
+
+    def score_weights(self, document_weights: Mapping[int, float]) -> float:
+        """The similarity against a raw ``{term_id: weight}`` mapping."""
+        return dot_product(self._weights, document_weights)
+
+    def max_possible_score(self, per_term_bounds: Mapping[int, float]) -> float:
+        """Upper bound ``sum_t w_{Q,t} * bound_t`` given per-term weight bounds.
+
+        With ``per_term_bounds`` equal to the local thresholds this is the
+        influence threshold tau of the paper.
+        """
+        return sum(
+            weight * per_term_bounds.get(term_id, 0.0)
+            for term_id, weight in self._weights.items()
+        )
+
+    # ------------------------------------------------------------------ #
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ContinuousQuery):
+            return NotImplemented
+        return (
+            self.query_id == other.query_id
+            and self.k == other.k
+            and self._weights == dict(other.weights)
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.query_id, self.k, tuple(sorted(self._weights.items()))))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" {self.text!r}" if self.text else ""
+        return f"{type(self).__name__}(id={self.query_id}, k={self.k}, n={len(self)}{label})"

@@ -1,0 +1,68 @@
+"""Registry of installed continuous queries.
+
+The monitoring server hosts many standing queries that are "installed once
+and remain active until terminated by the users".  The registry assigns
+query identifiers, enforces uniqueness, and lets the engines iterate over
+or look up installed queries.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.exceptions import DuplicateQueryError, UnknownQueryError
+from repro.query.query import ContinuousQuery
+
+__all__ = ["QueryRegistry"]
+
+
+class QueryRegistry:
+    """Holds the continuous queries installed at a monitoring engine."""
+
+    def __init__(self) -> None:
+        self._queries: Dict[int, ContinuousQuery] = {}
+        self._next_query_id = 0
+
+    # ------------------------------------------------------------------ #
+    def allocate_id(self) -> int:
+        """Return a fresh query identifier."""
+        query_id = self._next_query_id
+        self._next_query_id += 1
+        return query_id
+
+    def register(self, query: ContinuousQuery) -> ContinuousQuery:
+        """Install ``query``; its identifier must be unused."""
+        if query.query_id in self._queries:
+            raise DuplicateQueryError(f"query id {query.query_id} is already registered")
+        self._queries[query.query_id] = query
+        self._next_query_id = max(self._next_query_id, query.query_id + 1)
+        return query
+
+    def unregister(self, query_id: int) -> ContinuousQuery:
+        """Remove and return the query with ``query_id``."""
+        query = self._queries.pop(query_id, None)
+        if query is None:
+            raise UnknownQueryError(f"query id {query_id} is not registered")
+        return query
+
+    # ------------------------------------------------------------------ #
+    def get(self, query_id: int) -> ContinuousQuery:
+        try:
+            return self._queries[query_id]
+        except KeyError:
+            raise UnknownQueryError(f"query id {query_id} is not registered") from None
+
+    def find(self, query_id: int) -> Optional[ContinuousQuery]:
+        return self._queries.get(query_id)
+
+    def __contains__(self, query_id: int) -> bool:
+        return query_id in self._queries
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def __iter__(self) -> Iterator[ContinuousQuery]:
+        return iter(self._queries.values())
+
+    def query_ids(self) -> List[int]:
+        return list(self._queries.keys())

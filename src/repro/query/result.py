@@ -1,0 +1,186 @@
+"""The per-query result container ``R``.
+
+The paper keeps in ``R`` *all* encountered documents -- the k verified
+top-k documents plus any additional (unverified) documents met during the
+threshold search or added by later arrivals.  The extra documents are what
+makes the incremental refill possible after an expiration.
+
+:class:`ResultList` therefore stores ``doc_id -> score`` together with an
+ordered view (descending score) so that:
+
+* the top-k documents and the k-th score ``S_k`` are available in O(k),
+* the number of documents with score >= tau (the "verified" documents) can
+  be counted cheaply, which is the termination test of the threshold
+  descent, and
+* membership tests and removals by document id are O(1)/O(log) -- they are
+  on the hot path of arrival and expiration handling.
+
+Ties are broken by ascending document id (older document first), a
+deterministic convention shared with the oracle baseline used in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.exceptions import UnknownDocumentError
+from repro.index.sorted_list import SortedKeyList
+
+__all__ = ["ResultEntry", "ResultList"]
+
+
+@dataclass(frozen=True)
+class ResultEntry:
+    """One scored document inside ``R``."""
+
+    doc_id: int
+    score: float
+
+
+class ResultList:
+    """Scored document container with an ordered (descending score) view."""
+
+    __slots__ = ("_scores", "_ordered")
+
+    def __init__(self) -> None:
+        #: doc_id -> score
+        self._scores: Dict[int, float] = {}
+        #: ordered (-score, doc_id) pairs
+        self._ordered = SortedKeyList()
+
+    # ------------------------------------------------------------------ #
+    # basic protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._scores)
+
+    def __bool__(self) -> bool:
+        return bool(self._scores)
+
+    def __contains__(self, doc_id: int) -> bool:
+        return doc_id in self._scores
+
+    def __iter__(self) -> Iterator[ResultEntry]:
+        """Iterate entries from the highest score downwards."""
+        for negative_score, doc_id in self._ordered:
+            yield ResultEntry(doc_id=doc_id, score=-negative_score)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({len(self)} documents)"
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+    def add(self, doc_id: int, score: float) -> None:
+        """Insert or update the score of ``doc_id``."""
+        existing = self._scores.get(doc_id)
+        if existing is not None:
+            if existing == score:
+                return
+            self._ordered.remove((-existing, doc_id))
+        self._scores[doc_id] = score
+        self._ordered.add((-score, doc_id))
+
+    def remove(self, doc_id: int) -> float:
+        """Remove ``doc_id`` and return its score."""
+        score = self._scores.pop(doc_id, None)
+        if score is None:
+            raise UnknownDocumentError(f"document {doc_id} is not in the result list")
+        self._ordered.remove((-score, doc_id))
+        return score
+
+    def discard(self, doc_id: int) -> Optional[float]:
+        """Remove ``doc_id`` if present; return its score or ``None``."""
+        if doc_id not in self._scores:
+            return None
+        return self.remove(doc_id)
+
+    def clear(self) -> None:
+        self._scores.clear()
+        self._ordered.clear()
+
+    # ------------------------------------------------------------------ #
+    # lookups
+    # ------------------------------------------------------------------ #
+    def score_of(self, doc_id: int) -> float:
+        """The stored score of ``doc_id``."""
+        try:
+            return self._scores[doc_id]
+        except KeyError:
+            raise UnknownDocumentError(f"document {doc_id} is not in the result list") from None
+
+    def get(self, doc_id: int) -> Optional[float]:
+        return self._scores.get(doc_id)
+
+    def top(self, k: int) -> List[ResultEntry]:
+        """The ``k`` best entries (descending score, ties by ascending id)."""
+        if k <= 0:
+            return []
+        out: List[ResultEntry] = []
+        for negative_score, doc_id in self._ordered:
+            out.append(ResultEntry(doc_id=doc_id, score=-negative_score))
+            if len(out) >= k:
+                break
+        return out
+
+    def kth_score(self, k: int) -> float:
+        """``S_k``: the score of the k-th best document (0.0 if fewer than k).
+
+        The paper denotes this value S_k; it is the bar a new document must
+        clear to enter the top-k result.
+        """
+        if k <= 0:
+            return 0.0
+        count = 0
+        for negative_score, _doc_id in self._ordered:
+            count += 1
+            if count == k:
+                return -negative_score
+        return 0.0
+
+    def min_score(self) -> float:
+        """The lowest stored score (0.0 when empty).
+
+        This is the entry bar of a Naive/k_max materialised view: a new
+        document must beat the worst view member to be admitted.
+        """
+        if not self._ordered:
+            return 0.0
+        negative_score, _doc_id = self._ordered.last()
+        return -negative_score
+
+    def is_in_top_k(self, doc_id: int, k: int) -> bool:
+        """Whether ``doc_id`` is among the k best entries."""
+        score = self._scores.get(doc_id)
+        if score is None:
+            return False
+        for entry in self.top(k):
+            if entry.doc_id == doc_id:
+                return True
+        return False
+
+    def count_at_or_above(self, score: float) -> int:
+        """Number of documents with score >= ``score``.
+
+        With ``score`` equal to the influence threshold tau this is the
+        number of *verified* documents, the termination criterion of the
+        threshold descent.
+        """
+        return self._ordered.count_le((-score, float("inf")))
+
+    def documents(self) -> List[int]:
+        """All document ids in ``R`` (highest score first)."""
+        return [entry.doc_id for entry in self]
+
+    def as_dict(self) -> Dict[int, float]:
+        """A copy of the ``doc_id -> score`` mapping."""
+        return dict(self._scores)
+
+    # ------------------------------------------------------------------ #
+    def check_invariants(self) -> None:
+        """Validate the dictionary and the ordered view agree (tests only)."""
+        self._ordered.check_invariants()
+        assert len(self._ordered) == len(self._scores)
+        for negative_score, doc_id in self._ordered:
+            assert self._scores.get(doc_id) == -negative_score

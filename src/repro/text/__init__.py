@@ -1,0 +1,36 @@
+"""Text-analysis substrate.
+
+This package provides everything needed to turn raw document text into the
+weighted term vectors ("composition lists") used by the continuous-query
+engines:
+
+* :mod:`repro.text.tokenizer` -- Unicode-aware regex tokenisation.
+* :mod:`repro.text.stopwords` -- the stop-word list and filtering helpers.
+* :mod:`repro.text.stemmer` -- a from-scratch Porter stemmer.
+* :mod:`repro.text.analyzer` -- the tokenise / normalise / filter / stem
+  pipeline used by both documents and queries.
+* :mod:`repro.text.vocabulary` -- the term dictionary (term <-> id mapping
+  plus document frequencies).
+* :mod:`repro.text.zipf` -- Zipf / Zipf-Mandelbrot samplers used by the
+  synthetic corpus generator that stands in for the proprietary WSJ corpus.
+"""
+
+from repro.text.analyzer import Analyzer, AnalyzerConfig
+from repro.text.stemmer import PorterStemmer
+from repro.text.stopwords import DEFAULT_STOPWORDS, StopwordFilter
+from repro.text.tokenizer import RegexTokenizer, Token
+from repro.text.vocabulary import Vocabulary
+from repro.text.zipf import ZipfMandelbrotSampler, ZipfSampler
+
+__all__ = [
+    "Analyzer",
+    "AnalyzerConfig",
+    "PorterStemmer",
+    "DEFAULT_STOPWORDS",
+    "StopwordFilter",
+    "RegexTokenizer",
+    "Token",
+    "Vocabulary",
+    "ZipfSampler",
+    "ZipfMandelbrotSampler",
+]

@@ -1,0 +1,126 @@
+"""The text-analysis pipeline used for both documents and queries.
+
+The paper's system computes, for every incoming document, a *composition
+list* of ``(term, weight)`` pairs, and for every registered query a vector
+of query-term weights.  Both start from the same analysis pipeline:
+
+    raw text -> tokenize -> lower-case -> stop-word removal -> stemming
+             -> term frequencies
+
+The :class:`Analyzer` encapsulates that pipeline.  It returns raw term
+frequencies; the conversion into cosine-normalised (or Okapi) weights is the
+job of :mod:`repro.weighting`, because query weights and document weights
+are normalised differently (Formula (1) of the paper).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Protocol
+
+from repro.text.stemmer import NullStemmer, PorterStemmer
+from repro.text.stopwords import StopwordFilter
+from repro.text.tokenizer import RegexTokenizer
+
+__all__ = ["Analyzer", "AnalyzerConfig", "TermCounts"]
+
+
+#: Mapping from term to its raw frequency within one piece of text.
+TermCounts = Dict[str, int]
+
+
+class _SupportsStem(Protocol):
+    def stem(self, word: str) -> str:  # pragma: no cover - protocol
+        ...
+
+
+@dataclass
+class AnalyzerConfig:
+    """Configuration for :class:`Analyzer`.
+
+    Attributes
+    ----------
+    lowercase:
+        Fold tokens to lower case before further processing.
+    remove_stopwords:
+        Apply the stop-word filter.
+    stem:
+        Apply the Porter stemmer.
+    min_token_length:
+        Minimum surviving token length (applied by the stop-word filter).
+    keep_numbers:
+        Whether purely numeric tokens are kept.
+    extra_stopwords:
+        Additional stop-words merged into the default list.
+    """
+
+    lowercase: bool = True
+    remove_stopwords: bool = True
+    stem: bool = True
+    min_token_length: int = 2
+    keep_numbers: bool = True
+    extra_stopwords: Iterable[str] = field(default_factory=tuple)
+
+
+class Analyzer:
+    """Turn raw text into a bag of analysed terms.
+
+    The analyzer is shared by the document-ingestion path and the
+    query-registration path so both sides agree on the dictionary.
+
+    Example
+    -------
+    >>> analyzer = Analyzer()
+    >>> analyzer.analyze("Weapons of mass destruction")
+    ['weapon', 'mass', 'destruct']
+    """
+
+    def __init__(self, config: Optional[AnalyzerConfig] = None) -> None:
+        self.config = config or AnalyzerConfig()
+        self._tokenizer = RegexTokenizer(keep_numbers=self.config.keep_numbers)
+        self._stopword_filter = StopwordFilter(
+            min_length=self.config.min_token_length,
+            extra=self.config.extra_stopwords,
+        )
+        self._stemmer: _SupportsStem
+        if self.config.stem:
+            self._stemmer = PorterStemmer()
+        else:
+            self._stemmer = NullStemmer()
+
+    # ------------------------------------------------------------------ #
+    # pipeline
+    # ------------------------------------------------------------------ #
+    def analyze(self, text: str) -> List[str]:
+        """Return the ordered list of analysed terms for ``text``."""
+        tokens = self._tokenizer.words(text)
+        if self.config.lowercase:
+            tokens = [token.lower() for token in tokens]
+        if self.config.remove_stopwords:
+            tokens = self._stopword_filter.filter(tokens)
+        else:
+            tokens = [t for t in tokens if len(t) >= self.config.min_token_length]
+        if self.config.stem:
+            tokens = [self._stemmer.stem(token) for token in tokens]
+        return tokens
+
+    def term_frequencies(self, text: str) -> TermCounts:
+        """Return a ``{term: count}`` mapping for ``text``.
+
+        These are the ``f_{d,t}`` (or ``f_{Q,t}``) raw frequencies of the
+        paper's Formula (1).
+        """
+        return dict(Counter(self.analyze(text)))
+
+    # Convenience accessors --------------------------------------------- #
+    @property
+    def stopword_filter(self) -> StopwordFilter:
+        return self._stopword_filter
+
+    @property
+    def tokenizer(self) -> RegexTokenizer:
+        return self._tokenizer
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.config!r})"

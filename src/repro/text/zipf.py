@@ -1,0 +1,156 @@
+"""Zipfian samplers for synthetic text generation.
+
+The paper evaluates on the proprietary WSJ corpus (172,961 articles,
+181,978-term dictionary).  Since that corpus cannot be redistributed, the
+reproduction generates synthetic documents whose *statistics* match what
+drives the algorithms' cost: a heavy-tailed term-frequency distribution
+(Zipf's law holds famously well for newswire text) and realistic document
+lengths.  This module provides the samplers; the corpus generator lives in
+:mod:`repro.documents.corpus`.
+
+Two samplers are provided:
+
+* :class:`ZipfSampler` -- classic Zipf: P(rank r) proportional to 1 / r^s.
+* :class:`ZipfMandelbrotSampler` -- Zipf-Mandelbrot: P(r) proportional to
+  1 / (r + q)^s, which flattens the head and fits real vocabularies better.
+
+Both use the alias method for O(1) sampling after O(V) preprocessing, so
+generating multi-million-token streams stays cheap.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+__all__ = ["ZipfSampler", "ZipfMandelbrotSampler", "AliasSampler"]
+
+
+class AliasSampler:
+    """Walker's alias method for sampling from a fixed discrete distribution.
+
+    Preprocessing is O(n); each draw is O(1).  The sampler owns its own
+    :class:`random.Random` instance so experiment runs are reproducible and
+    independent of the global RNG state.
+    """
+
+    def __init__(self, weights: Sequence[float], rng: Optional[random.Random] = None) -> None:
+        if not weights:
+            raise ValueError("weights must be non-empty")
+        if any(w < 0 for w in weights):
+            raise ValueError("weights must be non-negative")
+        total = float(sum(weights))
+        if total <= 0:
+            raise ValueError("at least one weight must be positive")
+        self._rng = rng or random.Random()
+        n = len(weights)
+        scaled = [w * n / total for w in weights]
+        self._prob = [0.0] * n
+        self._alias = [0] * n
+        small = [i for i, w in enumerate(scaled) if w < 1.0]
+        large = [i for i, w in enumerate(scaled) if w >= 1.0]
+        while small and large:
+            s = small.pop()
+            l = large.pop()
+            self._prob[s] = scaled[s]
+            self._alias[s] = l
+            scaled[l] = scaled[l] - (1.0 - scaled[s])
+            if scaled[l] < 1.0:
+                small.append(l)
+            else:
+                large.append(l)
+        for leftover in large + small:
+            self._prob[leftover] = 1.0
+            self._alias[leftover] = leftover
+
+    def sample(self) -> int:
+        """Draw one index according to the configured distribution."""
+        n = len(self._prob)
+        i = self._rng.randrange(n)
+        if self._rng.random() < self._prob[i]:
+            return i
+        return self._alias[i]
+
+    def sample_many(self, count: int) -> List[int]:
+        """Draw ``count`` independent indices."""
+        return [self.sample() for _ in range(count)]
+
+    def __len__(self) -> int:
+        return len(self._prob)
+
+
+class ZipfSampler:
+    """Sample ranks 0..n-1 with probability proportional to 1/(rank+1)^s.
+
+    Parameters
+    ----------
+    n:
+        Number of distinct items (e.g. dictionary size).
+    exponent:
+        The Zipf exponent ``s``.  Natural-language vocabularies are close
+        to 1.0; larger values concentrate mass on the most frequent terms.
+    seed:
+        Seed for the private RNG; pass an int for reproducible streams.
+    """
+
+    def __init__(self, n: int, exponent: float = 1.0, seed: Optional[int] = None) -> None:
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if exponent < 0:
+            raise ValueError("exponent must be non-negative")
+        self.n = n
+        self.exponent = exponent
+        self._rng = random.Random(seed)
+        weights = [1.0 / float(rank + 1) ** exponent for rank in range(n)]
+        self._alias = AliasSampler(weights, rng=self._rng)
+
+    def sample(self) -> int:
+        """Return one rank in ``[0, n)``; rank 0 is the most frequent."""
+        return self._alias.sample()
+
+    def sample_many(self, count: int) -> List[int]:
+        return self._alias.sample_many(count)
+
+    def probability(self, rank: int) -> float:
+        """Exact probability assigned to ``rank`` (for tests / analysis)."""
+        if not 0 <= rank < self.n:
+            raise ValueError(f"rank {rank} out of range [0, {self.n})")
+        weights = (1.0 / float(r + 1) ** self.exponent for r in range(self.n))
+        total = sum(weights)
+        return (1.0 / float(rank + 1) ** self.exponent) / total
+
+
+class ZipfMandelbrotSampler:
+    """Zipf-Mandelbrot sampler: P(rank) proportional to 1/(rank + 1 + q)^s.
+
+    The additive offset ``q`` flattens the distribution head, which better
+    matches the behaviour of real corpora after stop-word removal (the very
+    top ranks of raw text are stop-words, which the paper removes before
+    building its dictionary).
+    """
+
+    def __init__(
+        self,
+        n: int,
+        exponent: float = 1.07,
+        offset: float = 2.7,
+        seed: Optional[int] = None,
+    ) -> None:
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if exponent < 0:
+            raise ValueError("exponent must be non-negative")
+        if offset < 0:
+            raise ValueError("offset must be non-negative")
+        self.n = n
+        self.exponent = exponent
+        self.offset = offset
+        self._rng = random.Random(seed)
+        weights = [1.0 / float(rank + 1 + offset) ** exponent for rank in range(n)]
+        self._alias = AliasSampler(weights, rng=self._rng)
+
+    def sample(self) -> int:
+        return self._alias.sample()
+
+    def sample_many(self, count: int) -> List[int]:
+        return self._alias.sample_many(count)

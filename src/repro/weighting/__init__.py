@@ -1,0 +1,29 @@
+"""Term-weighting schemes.
+
+Formula (1) of the paper defines the cosine similarity between a document
+``d`` and a query ``Q``:
+
+    S(d|Q) = sum over t in Q of  w_{Q,t} * w_{d,t}
+
+with ``w_{Q,t} = f_{Q,t} / sqrt(sum f_{Q,t'}^2)`` over the query terms and
+``w_{d,t} = f_{d,t} / sqrt(sum f_{d,t'}^2)`` over the *whole dictionary*.
+The paper notes that the technique also applies to other measures such as
+the Okapi formulation; both are provided here behind a common
+:class:`WeightingScheme` interface so the engines are scheme-agnostic.
+"""
+
+from repro.weighting.schemes import (
+    CosineWeighting,
+    OkapiBM25Weighting,
+    WeightedVector,
+    WeightingScheme,
+    dot_product,
+)
+
+__all__ = [
+    "WeightingScheme",
+    "CosineWeighting",
+    "OkapiBM25Weighting",
+    "WeightedVector",
+    "dot_product",
+]

@@ -1,0 +1,126 @@
+"""Command-line entry point for the experiment harness.
+
+Examples
+--------
+Run the reproduction of Figure 3(a) at the default (small) scale::
+
+    python -m repro.workloads.cli figure3a
+
+Run every experiment at smoke scale and write the tables to a file::
+
+    python -m repro.workloads.cli all --scale smoke --output results.txt
+
+List the available experiments::
+
+    python -m repro.workloads.cli list
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.workloads.experiments import (
+    SCALES,
+    ExperimentDefinition,
+    ablation_k,
+    ablation_kmax,
+    ablation_num_queries,
+    ablation_probe_order,
+    ablation_rollup,
+    ablation_scoring,
+    ablation_window_type,
+    all_experiments,
+    figure_3a,
+    figure_3b,
+)
+from repro.workloads.reporting import format_result_table, format_speedup_summary
+from repro.workloads.runner import run_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+#: experiment name -> factory taking the scale
+_EXPERIMENTS: Dict[str, Callable[[str], ExperimentDefinition]] = {
+    "figure3a": figure_3a,
+    "figure3b": figure_3b,
+    "ablation-queries": ablation_num_queries,
+    "ablation-k": ablation_k,
+    "ablation-kmax": ablation_kmax,
+    "ablation-window-type": ablation_window_type,
+    "ablation-scoring": ablation_scoring,
+    "ablation-rollup": ablation_rollup,
+    "ablation-probe-order": ablation_probe_order,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description=(
+            "Reproduce the evaluation of 'An Incremental Threshold Method for "
+            "Continuous Text Search Queries' (ICDE 2009)."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(_EXPERIMENTS) + ["all", "list"],
+        help="which experiment to run ('all' for every one, 'list' to enumerate them)",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=sorted(SCALES),
+        default="small",
+        help="workload scale preset (default: small; 'paper' uses the paper's parameters)",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="also write the rendered tables to this file",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress progress messages",
+    )
+    return parser
+
+
+def _selected_definitions(name: str, scale: str) -> List[ExperimentDefinition]:
+    if name == "all":
+        return all_experiments(scale)
+    return [_EXPERIMENTS[name](scale)]
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, factory in sorted(_EXPERIMENTS.items()):
+            definition = factory("smoke")
+            print(f"{name:22s} {definition.paper_reference:35s} {definition.title}")
+        return 0
+
+    progress = None if args.quiet else (lambda message: print(message, file=sys.stderr))
+    sections: List[str] = []
+    for definition in _selected_definitions(args.experiment, args.scale):
+        result = run_experiment(definition, progress=progress)
+        table = format_result_table(result)
+        summary = format_speedup_summary(result)
+        sections.append(f"{table}\n{summary}\n")
+        print(table)
+        print(summary)
+        print()
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write("\n".join(sections))
+        if not args.quiet:
+            print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - module CLI
+    sys.exit(main())

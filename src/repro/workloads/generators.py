@@ -1,0 +1,160 @@
+"""Workload generation.
+
+The paper's evaluation workload is:
+
+* the WSJ corpus streamed at 200 documents/second (Poisson),
+* 1,000 queries with ``k = 10`` and "terms selected randomly from the
+  dictionary",
+* a count-based window (1,000 documents unless the window size itself is
+  the varied parameter).
+
+This module builds the equivalent workload on top of the synthetic corpus
+(see DESIGN.md for the substitution rationale): a :class:`WorkloadConfig`
+captures the knobs, :class:`QueryWorkloadGenerator` materialises the query
+set, and :func:`build_workload` produces everything an experiment run
+needs (corpus, queries, pre-fill documents, measured documents).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.documents.corpus import SyntheticCorpus, SyntheticCorpusConfig
+from repro.documents.document import Document, StreamedDocument
+from repro.documents.stream import PoissonArrivalProcess, stream_from_documents
+from repro.exceptions import ConfigurationError
+from repro.query.query import ContinuousQuery
+from repro.weighting.schemes import CosineWeighting, OkapiBM25Weighting, WeightingScheme
+
+__all__ = ["WorkloadConfig", "QueryWorkloadGenerator", "GeneratedWorkload", "build_workload"]
+
+
+@dataclass
+class WorkloadConfig:
+    """All knobs of one experiment run.
+
+    The defaults correspond to the *paper* parameters; the experiment
+    definitions scale them down via their ``scale`` presets so the whole
+    suite runs on a laptop (see :mod:`repro.workloads.experiments`).
+    """
+
+    #: number of installed continuous queries (paper: 1,000)
+    num_queries: int = 1_000
+    #: query length n, i.e. distinct terms per query (paper: 4..40, default 10)
+    query_length: int = 10
+    #: result size k (paper: 10)
+    k: int = 10
+    #: count-based window size N (paper: 10..100,000, default 1,000)
+    window_size: int = 1_000
+    #: use a time-based window of equivalent expected span instead
+    time_based_window: bool = False
+    #: mean document arrival rate, documents/second (paper: 200)
+    arrival_rate: float = 200.0
+    #: number of measured arrival events per sweep point
+    measured_events: int = 200
+    #: synthetic-corpus parameters (the WSJ stand-in)
+    corpus: SyntheticCorpusConfig = field(default_factory=SyntheticCorpusConfig)
+    #: draw query terms from the corpus' Zipfian law (True) or uniformly
+    #: from the dictionary (False).  The paper selects query terms
+    #: "randomly from the dictionary", i.e. uniformly, which is the default.
+    zipfian_query_terms: bool = False
+    #: similarity scheme: "cosine" (Formula (1)) or "okapi"
+    scoring: str = "cosine"
+    #: master random seed
+    seed: int = 42
+
+    def validate(self) -> None:
+        if self.num_queries <= 0:
+            raise ConfigurationError("num_queries must be positive")
+        if self.query_length <= 0:
+            raise ConfigurationError("query_length must be positive")
+        if self.k <= 0:
+            raise ConfigurationError("k must be positive")
+        if self.window_size <= 0:
+            raise ConfigurationError("window_size must be positive")
+        if self.measured_events <= 0:
+            raise ConfigurationError("measured_events must be positive")
+        if self.arrival_rate <= 0:
+            raise ConfigurationError("arrival_rate must be positive")
+        if self.scoring not in ("cosine", "okapi"):
+            raise ConfigurationError(f"unknown scoring scheme {self.scoring!r}")
+        self.corpus.validate()
+
+    def with_overrides(self, **kwargs) -> "WorkloadConfig":
+        """A copy of the config with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    def weighting(self) -> WeightingScheme:
+        """The document/query weighting scheme implied by ``scoring``."""
+        if self.scoring == "okapi":
+            return OkapiBM25Weighting()
+        return CosineWeighting()
+
+
+class QueryWorkloadGenerator:
+    """Generates the continuous-query set of an experiment."""
+
+    def __init__(self, corpus: SyntheticCorpus, config: WorkloadConfig) -> None:
+        self.corpus = corpus
+        self.config = config
+        self._rng = random.Random(config.seed + 1_000)
+
+    def generate(self) -> List[ContinuousQuery]:
+        """Create ``num_queries`` queries of ``query_length`` random terms."""
+        config = self.config
+        weighting = config.weighting()
+        queries: List[ContinuousQuery] = []
+        for query_id in range(config.num_queries):
+            term_ids = self.corpus.sample_query_terms(
+                config.query_length,
+                skew_towards_frequent=config.zipfian_query_terms,
+            )
+            queries.append(
+                ContinuousQuery.from_term_ids(
+                    query_id=query_id,
+                    term_ids=term_ids,
+                    k=config.k,
+                    weighting=weighting,
+                )
+            )
+        return queries
+
+
+@dataclass
+class GeneratedWorkload:
+    """Everything a single experiment run needs."""
+
+    config: WorkloadConfig
+    queries: List[ContinuousQuery]
+    #: documents used to pre-fill the sliding window before measuring
+    prefill: List[StreamedDocument]
+    #: documents whose processing is measured
+    measured: List[StreamedDocument]
+
+    @property
+    def all_documents(self) -> List[StreamedDocument]:
+        return self.prefill + self.measured
+
+
+def build_workload(config: WorkloadConfig) -> GeneratedWorkload:
+    """Materialise the corpus, query set and document stream for one run.
+
+    The window is pre-filled with exactly ``window_size`` documents so
+    that, during the measured phase, every arrival also causes an
+    expiration -- the steady-state regime the paper measures.
+    """
+    config.validate()
+    corpus = SyntheticCorpus(config.corpus, weighting=config.weighting())
+    generator = QueryWorkloadGenerator(corpus, config)
+    queries = generator.generate()
+
+    total_documents = config.window_size + config.measured_events
+    documents: List[Document] = corpus.take(total_documents)
+    arrivals = PoissonArrivalProcess(rate=config.arrival_rate, seed=config.seed + 2_000)
+    streamed = list(stream_from_documents(documents, arrivals))
+
+    prefill = streamed[: config.window_size]
+    measured = streamed[config.window_size :]
+    return GeneratedWorkload(config=config, queries=queries, prefill=prefill, measured=measured)

@@ -1,0 +1,104 @@
+"""Result rendering.
+
+Turns :class:`~repro.workloads.runner.ExperimentResult` objects into the
+plain-text tables used by the CLI, the benchmark suite and EXPERIMENTS.md.
+Each table lists the same series as the corresponding figure of the paper:
+one row per x-axis value, one column of mean per-arrival milliseconds per
+engine, plus the ITA speedup over the competitor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.workloads.runner import ExperimentResult, PointResult
+
+__all__ = ["format_result_table", "format_speedup_summary", "result_rows"]
+
+
+def result_rows(result: ExperimentResult) -> List[Dict[str, object]]:
+    """The experiment result as a list of plain dictionaries (one per point)."""
+    rows: List[Dict[str, object]] = []
+    engines = list(result.definition.engines)
+    for point in result.points:
+        row: Dict[str, object] = {
+            "experiment": result.definition.experiment_id,
+            "x": point.point.label,
+            "value": point.point.value,
+        }
+        for engine in engines:
+            measurement = point.measurements[engine]
+            row[f"{engine}_ms"] = measurement.mean_ms
+            row[f"{engine}_scores_per_event"] = measurement.scores_per_event
+        if "ita" in engines:
+            competitor = _competitor(engines)
+            if competitor is not None:
+                row["speedup"] = point.speedup("ita", competitor)
+        rows.append(row)
+    return rows
+
+
+def _competitor(engines: Sequence[str]) -> Optional[str]:
+    # Prefer the paper's Naive competitors; otherwise (design-choice
+    # ablations) compare ITA against whichever other variant is present.
+    for candidate in ("naive-kmax", "naive"):
+        if candidate in engines:
+            return candidate
+    for candidate in engines:
+        if candidate != "ita":
+            return candidate
+    return None
+
+
+def format_result_table(result: ExperimentResult) -> str:
+    """Render one experiment as an aligned text table."""
+    definition = result.definition
+    engines = list(definition.engines)
+    competitor = _competitor(engines)
+
+    header = [definition.x_axis]
+    for engine in engines:
+        header.append(f"{engine} (ms)")
+    for engine in engines:
+        header.append(f"{engine} scores/event")
+    if "ita" in engines and competitor is not None:
+        header.append("speedup")
+
+    table: List[List[str]] = [header]
+    for point in result.points:
+        row = [point.point.label]
+        for engine in engines:
+            row.append(f"{point.measurements[engine].mean_ms:.3f}")
+        for engine in engines:
+            row.append(f"{point.measurements[engine].scores_per_event:.1f}")
+        if "ita" in engines and competitor is not None:
+            row.append(f"{point.speedup('ita', competitor):.1f}x")
+        table.append(row)
+
+    widths = [max(len(row[i]) for row in table) for i in range(len(header))]
+    lines = [
+        f"{definition.paper_reference}: {definition.title}",
+        "-" * (sum(widths) + 3 * (len(widths) - 1)),
+    ]
+    for row_index, row in enumerate(table):
+        line = "   ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        lines.append(line)
+        if row_index == 0:
+            lines.append("-" * (sum(widths) + 3 * (len(widths) - 1)))
+    return "\n".join(lines)
+
+
+def format_speedup_summary(result: ExperimentResult) -> str:
+    """One line summarising the ITA speedup range across the sweep."""
+    engines = list(result.definition.engines)
+    competitor = _competitor(engines)
+    if "ita" not in engines or competitor is None:
+        return f"{result.definition.experiment_id}: no ITA/competitor pair to compare"
+    speedups = result.speedups("ita", competitor)
+    if not speedups:
+        return f"{result.definition.experiment_id}: no data"
+    return (
+        f"{result.definition.experiment_id}: ITA is between "
+        f"{min(speedups):.1f}x and {max(speedups):.1f}x faster than {competitor} "
+        f"across the sweep"
+    )

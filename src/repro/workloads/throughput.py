@@ -1,0 +1,145 @@
+"""Throughput and stability analysis.
+
+The paper frames the problem as keeping pace with document arrivals, and
+reports that for large windows the Naive competitor "becomes unstable"
+because "the CPU utilization approaches 100%".  A streaming server is
+*stable* at an arrival rate R only if its mean per-arrival processing time
+is below 1/R seconds; otherwise its backlog grows without bound.
+
+This module measures, for an engine on a given workload, the mean
+per-arrival service time and derives:
+
+* the **maximum sustainable arrival rate** = 1 / mean_service_time, and
+* whether the engine is **stable** at a target arrival rate (the paper's
+  200 docs/s), i.e. whether its utilisation ``target_rate *
+  mean_service_time`` is below 1.
+
+It also runs a simple single-server queue simulation over a Poisson arrival
+process to report the mean backlog, making the "instability" qualitative
+finding of the paper concrete and reproducible.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.base import MonitoringEngine
+from repro.documents.document import StreamedDocument
+from repro.documents.stream import PoissonArrivalProcess
+from repro.workloads.generators import GeneratedWorkload, WorkloadConfig, build_workload
+from repro.workloads.runner import make_engine
+
+__all__ = ["ThroughputResult", "measure_service_time", "analyse_throughput", "simulate_queue"]
+
+
+@dataclass
+class ThroughputResult:
+    """Stability analysis of one engine on one workload."""
+
+    engine: str
+    mean_service_ms: float
+    events: int
+    target_rate: float
+
+    @property
+    def max_sustainable_rate(self) -> float:
+        """Maximum arrivals/second the engine can service (1 / service time)."""
+        if self.mean_service_ms <= 0.0:
+            return float("inf")
+        return 1000.0 / self.mean_service_ms
+
+    @property
+    def utilisation(self) -> float:
+        """Fraction of capacity used at the target rate (rho = lambda * S)."""
+        return self.target_rate * self.mean_service_ms / 1000.0
+
+    @property
+    def stable(self) -> bool:
+        """Whether the server keeps pace with the target arrival rate."""
+        return self.utilisation < 1.0
+
+
+def measure_service_time(engine: MonitoringEngine, workload: GeneratedWorkload) -> float:
+    """Return the mean per-arrival processing time in milliseconds.
+
+    The window is pre-filled and the queries registered before timing, so
+    the measurement is of steady-state service, matching the paper.
+    """
+    for document in workload.prefill:
+        engine.process(document)
+    for query in workload.queries:
+        engine.register_query(query)
+    engine.counters.reset()
+    started = time.perf_counter()
+    for document in workload.measured:
+        engine.process(document)
+    elapsed_ms = (time.perf_counter() - started) * 1000.0
+    count = len(workload.measured)
+    return elapsed_ms / count if count else 0.0
+
+
+def analyse_throughput(
+    config: WorkloadConfig,
+    engines: Sequence[str] = ("ita", "naive-kmax"),
+    target_rate: Optional[float] = None,
+) -> Dict[str, ThroughputResult]:
+    """Measure the stability of each engine on ``config``'s workload."""
+    workload = build_workload(config)
+    target = target_rate if target_rate is not None else config.arrival_rate
+    results: Dict[str, ThroughputResult] = {}
+    for name in engines:
+        engine = make_engine(name, config)
+        mean_service_ms = measure_service_time(engine, workload)
+        results[name] = ThroughputResult(
+            engine=name,
+            mean_service_ms=mean_service_ms,
+            events=len(workload.measured),
+            target_rate=target,
+        )
+    return results
+
+
+def simulate_queue(
+    service_time_ms: float,
+    arrival_rate: float,
+    num_arrivals: int,
+    seed: int = 0,
+) -> Dict[str, float]:
+    """Single-server FIFO queue simulation with deterministic service.
+
+    Returns the mean and maximum backlog (number of documents waiting plus
+    in service) observed over ``num_arrivals`` Poisson arrivals.  An
+    unstable configuration (utilisation >= 1) shows an unbounded, steadily
+    growing backlog; a stable one stays bounded.  This makes the paper's
+    "becomes unstable" statement quantitative.
+    """
+    if service_time_ms < 0:
+        raise ValueError("service_time_ms must be non-negative")
+    arrivals = PoissonArrivalProcess(rate=arrival_rate, seed=seed)
+    service_seconds = service_time_ms / 1000.0
+    server_free_at = 0.0
+    backlog_samples: List[int] = []
+    max_backlog = 0
+    # Track the completion time of each queued job to count the backlog seen
+    # by each arrival.
+    completions: List[float] = []
+    for _ in range(num_arrivals):
+        now = arrivals.next_arrival_time()
+        # Drain jobs that have completed by 'now'.
+        completions = [c for c in completions if c > now]
+        backlog = len(completions)
+        backlog_samples.append(backlog)
+        max_backlog = max(max_backlog, backlog)
+        start = max(now, server_free_at)
+        finish = start + service_seconds
+        server_free_at = finish
+        completions.append(finish)
+    mean_backlog = sum(backlog_samples) / len(backlog_samples) if backlog_samples else 0.0
+    return {
+        "mean_backlog": mean_backlog,
+        "max_backlog": float(max_backlog),
+        "utilisation": arrival_rate * service_seconds,
+        "final_backlog": float(len([c for c in completions if c > arrivals.current_time])),
+    }

@@ -1,0 +1,147 @@
+"""Tests for the k_max-enhanced Naive baseline (the paper's competitor)."""
+
+import pytest
+
+from repro.baselines.kmax import (
+    AdaptiveKMaxPolicy,
+    AnalyticalKMaxPolicy,
+    FixedKMaxPolicy,
+    KMaxNaiveEngine,
+)
+from repro.baselines.naive import NaiveEngine
+from repro.baselines.oracle import OracleEngine
+from repro.documents.window import CountBasedWindow
+from repro.exceptions import ConfigurationError
+from tests.conftest import StreamCase, assert_same_topk, make_document, make_query
+
+
+class TestFixedKMaxPolicy:
+    def test_capacity_is_multiplier_times_k(self):
+        policy = FixedKMaxPolicy(multiplier=2.5)
+        assert policy.capacity(make_query(0, {1: 1.0}, k=10)) == 25
+
+    def test_capacity_never_below_k(self):
+        policy = FixedKMaxPolicy(multiplier=1.0)
+        assert policy.capacity(make_query(0, {1: 1.0}, k=7)) == 7
+
+    def test_multiplier_validation(self):
+        with pytest.raises(ConfigurationError):
+            FixedKMaxPolicy(multiplier=0.5)
+
+
+class TestAdaptiveKMaxPolicy:
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveKMaxPolicy(initial_multiplier=0.5)
+        with pytest.raises(ConfigurationError):
+            AdaptiveKMaxPolicy(target_gap=0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveKMaxPolicy(max_capacity=0)
+
+    def test_capacity_grows_when_recomputations_are_frequent(self):
+        policy = AdaptiveKMaxPolicy(initial_multiplier=2.0, target_gap=100)
+        query = make_query(0, {1: 1.0}, k=10)
+        initial = policy.capacity(query)
+        policy.observe_recompute(query, arrival_count=10)
+        policy.observe_recompute(query, arrival_count=20)   # gap 10 < 100
+        assert policy.capacity(query) > initial
+
+    def test_capacity_shrinks_when_recomputations_are_rare(self):
+        policy = AdaptiveKMaxPolicy(initial_multiplier=8.0, target_gap=10)
+        query = make_query(0, {1: 1.0}, k=10)
+        initial = policy.capacity(query)
+        policy.observe_recompute(query, arrival_count=100)
+        policy.observe_recompute(query, arrival_count=1_000)  # gap 900 > 4 * 10
+        assert policy.capacity(query) < initial
+
+    def test_capacity_never_below_k(self):
+        policy = AdaptiveKMaxPolicy(initial_multiplier=1.0, target_gap=10)
+        query = make_query(0, {1: 1.0}, k=5)
+        policy.observe_recompute(query, arrival_count=10)
+        policy.observe_recompute(query, arrival_count=10_000)
+        policy.observe_recompute(query, arrival_count=100_000)
+        assert policy.capacity(query) >= 5
+
+
+class TestAnalyticalKMaxPolicy:
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            AnalyticalKMaxPolicy(window_size=0)
+        with pytest.raises(ConfigurationError):
+            AnalyticalKMaxPolicy(window_size=100, alpha=-1.0)
+
+    def test_capacity_scales_with_sqrt_window(self):
+        query = make_query(0, {1: 1.0}, k=10)
+        small = AnalyticalKMaxPolicy(window_size=100).capacity(query)    # k + sqrt(100)=20
+        large = AnalyticalKMaxPolicy(window_size=10_000).capacity(query)  # k + sqrt(10000)=110
+        assert small == 20
+        assert large == 110
+        assert large > small
+
+    def test_capacity_never_below_k_or_above_window(self):
+        query = make_query(0, {1: 1.0}, k=5)
+        tiny = AnalyticalKMaxPolicy(window_size=4).capacity(query)
+        assert tiny <= 4 or tiny == query.k  # clamped to the window
+        assert tiny >= min(query.k, 4)
+
+    def test_alpha_scales_capacity(self):
+        query = make_query(0, {1: 1.0}, k=0 + 1)
+        modest = AnalyticalKMaxPolicy(window_size=10_000, alpha=1.0).capacity(query)
+        aggressive = AnalyticalKMaxPolicy(window_size=10_000, alpha=2.0).capacity(query)
+        assert aggressive > modest
+
+
+class TestKMaxEngine:
+    def test_materialised_view_holds_more_than_k(self):
+        engine = KMaxNaiveEngine(CountBasedWindow(10), policy=FixedKMaxPolicy(3.0))
+        engine.register_query(make_query(0, {1: 1.0}, k=2))
+        for i in range(8):
+            engine.process(make_document(i, {1: 0.1 + 0.1 * i}, arrival_time=float(i)))
+        assert len(engine.result_list(0)) == 6  # 3 * k
+
+    def test_fewer_recomputations_than_plain_naive(self):
+        """The whole point of the k_max enhancement (Yi et al.)."""
+        case = StreamCase(seed=31, num_documents=200, num_queries=6)
+        window = 10
+        naive = NaiveEngine(CountBasedWindow(window))
+        kmax = KMaxNaiveEngine(CountBasedWindow(window), policy=FixedKMaxPolicy(4.0))
+        for query in case.queries:
+            naive.register_query(query)
+            kmax.register_query(query)
+        for document in case.documents:
+            naive.process(document)
+            kmax.process(document)
+        assert kmax.counters.full_recomputations <= naive.counters.full_recomputations
+
+    def test_default_policy_is_fixed_2x(self):
+        engine = KMaxNaiveEngine(CountBasedWindow(5))
+        assert isinstance(engine.policy, FixedKMaxPolicy)
+        assert engine.policy.multiplier == 2.0
+
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            FixedKMaxPolicy(2.0),
+            FixedKMaxPolicy(4.0),
+            AdaptiveKMaxPolicy(),
+            AnalyticalKMaxPolicy(window_size=12),
+        ],
+    )
+    def test_matches_oracle_on_seeded_streams(self, policy):
+        case = StreamCase(seed=41, num_documents=150)
+        window = 12
+        kmax = KMaxNaiveEngine(CountBasedWindow(window), policy=policy)
+        oracle = OracleEngine(CountBasedWindow(window))
+        for query in case.queries:
+            kmax.register_query(query)
+            oracle.register_query(query)
+        for position, document in enumerate(case.documents):
+            kmax.process(document)
+            oracle.process(document)
+            if position % 6 == 0 or position >= len(case.documents) - 5:
+                for query in case.queries:
+                    assert_same_topk(
+                        oracle.current_result(query.query_id),
+                        kmax.current_result(query.query_id),
+                        context=f"(query {query.query_id}, event {position})",
+                    )

@@ -1,0 +1,89 @@
+"""Tests for the Naive baseline."""
+
+import pytest
+
+from repro.baselines.naive import NaiveEngine
+from repro.baselines.oracle import OracleEngine
+from repro.documents.window import CountBasedWindow
+from repro.exceptions import UnknownQueryError
+from tests.conftest import StreamCase, assert_same_topk, make_document, make_query
+
+
+class TestNaiveBasics:
+    def test_initial_result_over_populated_window(self):
+        engine = NaiveEngine(CountBasedWindow(5))
+        engine.process(make_document(0, {1: 0.9}, arrival_time=0.0))
+        engine.process(make_document(1, {1: 0.5}, arrival_time=1.0))
+        engine.register_query(make_query(0, {1: 1.0}, k=1))
+        assert [e.doc_id for e in engine.current_result(0)] == [0]
+
+    def test_scores_every_query_on_every_arrival(self):
+        engine = NaiveEngine(CountBasedWindow(5))
+        for query_id in range(4):
+            engine.register_query(make_query(query_id, {query_id: 1.0}, k=1))
+        engine.counters.reset()
+        engine.process(make_document(0, {0: 0.5}, arrival_time=0.0))
+        # Naive pays one score computation per installed query, even for
+        # queries that share no terms with the document.
+        assert engine.counters.scores_computed == 4
+
+    def test_recomputes_when_result_shrinks_below_k(self):
+        engine = NaiveEngine(CountBasedWindow(3))
+        engine.register_query(make_query(0, {1: 1.0}, k=1))
+        engine.process(make_document(0, {1: 0.9}, arrival_time=0.0))
+        engine.process(make_document(1, {1: 0.5}, arrival_time=1.0))
+        engine.process(make_document(2, {1: 0.4}, arrival_time=2.0))
+        recomputations_before = engine.counters.full_recomputations
+        # document 0 (the current top-1) expires with this arrival
+        engine.process(make_document(3, {2: 0.1}, arrival_time=3.0))
+        assert engine.counters.full_recomputations > recomputations_before
+        assert [e.doc_id for e in engine.current_result(0)] == [1]
+
+    def test_unregister(self):
+        engine = NaiveEngine(CountBasedWindow(3))
+        engine.register_query(make_query(0, {1: 1.0}, k=1))
+        engine.unregister_query(0)
+        assert engine.query_ids() == []
+        with pytest.raises(UnknownQueryError):
+            engine.current_result(0)
+
+    def test_result_changes_reported(self):
+        engine = NaiveEngine(CountBasedWindow(3))
+        engine.register_query(make_query(0, {1: 1.0}, k=1))
+        changes = engine.process(make_document(0, {1: 0.9}, arrival_time=0.0))
+        assert [c.query_id for c in changes] == [0]
+        changes = engine.process(make_document(1, {2: 0.9}, arrival_time=1.0))
+        assert changes == []
+
+    def test_track_changes_disabled(self):
+        engine = NaiveEngine(CountBasedWindow(3), track_changes=False)
+        engine.register_query(make_query(0, {1: 1.0}, k=1))
+        assert engine.process(make_document(0, {1: 0.9}, arrival_time=0.0)) == []
+
+    def test_result_list_exposed_for_tests(self):
+        engine = NaiveEngine(CountBasedWindow(3))
+        engine.register_query(make_query(0, {1: 1.0}, k=2))
+        engine.process(make_document(0, {1: 0.9}, arrival_time=0.0))
+        assert 0 in engine.result_list(0)
+
+
+class TestNaiveMatchesOracle:
+    @pytest.mark.parametrize("seed", [21, 22, 23])
+    def test_seeded_streams(self, seed):
+        case = StreamCase(seed=seed, num_documents=120)
+        window = 12
+        naive = NaiveEngine(CountBasedWindow(window))
+        oracle = OracleEngine(CountBasedWindow(window))
+        for query in case.queries:
+            naive.register_query(query)
+            oracle.register_query(query)
+        for position, document in enumerate(case.documents):
+            naive.process(document)
+            oracle.process(document)
+            if position % 6 == 0 or position >= len(case.documents) - 5:
+                for query in case.queries:
+                    assert_same_topk(
+                        oracle.current_result(query.query_id),
+                        naive.current_result(query.query_id),
+                        context=f"(seed {seed}, query {query.query_id}, event {position})",
+                    )

@@ -1,0 +1,63 @@
+"""Tests for the oracle reference engine."""
+
+import pytest
+
+from repro.baselines.oracle import OracleEngine
+from repro.documents.window import CountBasedWindow, TimeBasedWindow
+from repro.exceptions import UnknownQueryError
+from tests.conftest import make_document, make_query
+
+
+class TestOracleEngine:
+    def test_topk_by_full_scan(self):
+        engine = OracleEngine(CountBasedWindow(10))
+        engine.register_query(make_query(0, {1: 1.0}, k=2))
+        engine.process(make_document(0, {1: 0.3}, arrival_time=0.0))
+        engine.process(make_document(1, {1: 0.9}, arrival_time=1.0))
+        engine.process(make_document(2, {1: 0.5}, arrival_time=2.0))
+        assert [e.doc_id for e in engine.current_result(0)] == [1, 2]
+
+    def test_zero_score_documents_excluded(self):
+        engine = OracleEngine(CountBasedWindow(10))
+        engine.register_query(make_query(0, {1: 1.0}, k=5))
+        engine.process(make_document(0, {2: 0.9}, arrival_time=0.0))
+        assert engine.current_result(0) == []
+
+    def test_window_respected(self):
+        engine = OracleEngine(CountBasedWindow(2))
+        engine.register_query(make_query(0, {1: 1.0}, k=2))
+        for i in range(4):
+            engine.process(make_document(i, {1: 0.9 - 0.1 * i}, arrival_time=float(i)))
+        assert [e.doc_id for e in engine.current_result(0)] == [2, 3]
+
+    def test_ties_broken_by_doc_id(self):
+        engine = OracleEngine(CountBasedWindow(5))
+        engine.register_query(make_query(0, {1: 1.0}, k=1))
+        engine.process(make_document(5, {1: 0.5}, arrival_time=0.0))
+        engine.process(make_document(3, {1: 0.5}, arrival_time=1.0))
+        assert [e.doc_id for e in engine.current_result(0)] == [3]
+
+    def test_result_changes_reported(self):
+        engine = OracleEngine(CountBasedWindow(3))
+        engine.register_query(make_query(0, {1: 1.0}, k=1))
+        changes = engine.process(make_document(0, {1: 0.9}, arrival_time=0.0))
+        assert [c.query_id for c in changes] == [0]
+
+    def test_advance_time(self):
+        engine = OracleEngine(TimeBasedWindow(span=5.0))
+        engine.register_query(make_query(0, {1: 1.0}, k=1))
+        engine.process(make_document(0, {1: 0.9}, arrival_time=0.0))
+        changes = engine.advance_time(10.0)
+        assert engine.current_result(0) == []
+        assert [c.query_id for c in changes] == [0]
+
+    def test_unknown_query(self):
+        engine = OracleEngine(CountBasedWindow(2))
+        with pytest.raises(UnknownQueryError):
+            engine.current_result(3)
+
+    def test_unregister(self):
+        engine = OracleEngine(CountBasedWindow(2))
+        engine.register_query(make_query(0, {1: 1.0}, k=1))
+        engine.unregister_query(0)
+        assert engine.query_ids() == []

@@ -1,0 +1,142 @@
+"""Tests for the threshold-descent probing strategies and ITA ablation flags."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.descent import ProbeOrder, threshold_descent
+from repro.core.engine import ITAEngine
+from repro.baselines.oracle import OracleEngine
+from repro.documents.window import CountBasedWindow
+from repro.index.inverted_index import InvertedIndex
+from repro.query.query import ContinuousQuery
+from repro.query.result import ResultList
+from tests.conftest import StreamCase, assert_same_topk, make_document
+
+
+def build_index(documents):
+    index = InvertedIndex()
+    for document in documents:
+        index.insert_document(document)
+    return index
+
+
+@pytest.fixture
+def setup():
+    documents = [
+        make_document(1, {11: 0.9}, arrival_time=1.0),
+        make_document(2, {11: 0.8, 20: 0.5}, arrival_time=2.0),
+        make_document(3, {20: 0.9}, arrival_time=3.0),
+        make_document(4, {11: 0.5, 20: 0.1}, arrival_time=4.0),
+    ]
+    return build_index(documents), ContinuousQuery(0, {11: 0.4, 20: 0.6}, k=2)
+
+
+class TestProbeOrderEquivalence:
+    def test_both_orders_find_the_same_topk(self, setup):
+        index, query = setup
+        weighted = ResultList()
+        threshold_descent(query, index, weighted, probe_order=ProbeOrder.WEIGHTED)
+        round_robin = ResultList()
+        threshold_descent(query, index, round_robin, probe_order=ProbeOrder.ROUND_ROBIN)
+        assert [e.doc_id for e in weighted.top(2)] == [e.doc_id for e in round_robin.top(2)]
+
+    def test_weighted_reads_no_more_postings_than_round_robin(self, setup):
+        index, query = setup
+        weighted = threshold_descent(query, index, ResultList(), probe_order=ProbeOrder.WEIGHTED)
+        round_robin = threshold_descent(
+            query, index, ResultList(), probe_order=ProbeOrder.ROUND_ROBIN
+        )
+        # On this scenario the weighted strategy terminates at least as early.
+        assert weighted.postings_scanned <= round_robin.postings_scanned
+
+
+class TestRoundRobinSpreadsProbes:
+    def test_round_robin_cycles_between_lists(self):
+        # Two lists of equal query weight; round-robin must alternate.
+        documents = [
+            make_document(i, {0: 0.5}, arrival_time=float(i)) for i in range(5)
+        ] + [make_document(10 + i, {1: 0.5}, arrival_time=float(10 + i)) for i in range(5)]
+        index = build_index(documents)
+        query = ContinuousQuery(0, {0: 0.5, 1: 0.5}, k=2)
+        results = ResultList()
+        outcome = threshold_descent(query, index, results, probe_order=ProbeOrder.ROUND_ROBIN)
+        assert outcome.scores_computed >= 2
+
+
+class TestITAAblationFlags:
+    @pytest.mark.parametrize("enable_rollup", [True, False])
+    @pytest.mark.parametrize("probe_order", [ProbeOrder.WEIGHTED, ProbeOrder.ROUND_ROBIN])
+    def test_variants_match_oracle(self, enable_rollup, probe_order):
+        case = StreamCase(seed=3, num_documents=120)
+        window = 12
+        ita = ITAEngine(CountBasedWindow(window), enable_rollup=enable_rollup, probe_order=probe_order)
+        oracle = OracleEngine(CountBasedWindow(window))
+        for query in case.queries:
+            ita.register_query(query)
+            oracle.register_query(query)
+        for position, document in enumerate(case.documents):
+            ita.process(document)
+            oracle.process(document)
+            if position % 8 == 0 or position >= len(case.documents) - 5:
+                for query in case.queries:
+                    assert_same_topk(
+                        oracle.current_result(query.query_id),
+                        ita.current_result(query.query_id),
+                        context=f"(rollup={enable_rollup}, probe={probe_order}, event {position})",
+                    )
+        ita.check_invariants()
+
+    def test_no_rollup_never_raises_thresholds(self):
+        documents = [
+            make_document(1, {11: 0.5}, arrival_time=1.0),
+            make_document(2, {11: 0.4}, arrival_time=2.0),
+        ]
+        index = InvertedIndex()
+        from repro.core.ita import ITAQueryState
+
+        for document in documents:
+            index.insert_document(document)
+        state = ITAQueryState(ContinuousQuery(0, {11: 1.0}, k=1), index, enable_rollup=False)
+        state.initialise()
+        thresholds_before = dict(state.thresholds)
+        arrival = make_document(3, {11: 0.9}, arrival_time=3.0)
+        index.insert_document(arrival)
+        state.handle_arrival(arrival)
+        # The new document still wins the top-1, but no roll-up happened.
+        assert [e.doc_id for e in state.top_k()] == [3]
+        assert state.counters.rollup_steps == 0
+        assert state.thresholds[11] <= thresholds_before[11]
+        state.check_invariants()
+
+    @given(
+        queries=st.lists(
+            st.tuples(
+                st.dictionaries(st.integers(0, 8), st.sampled_from([0.2, 0.5, 1.0]), min_size=1, max_size=3),
+                st.integers(1, 3),
+            ),
+            min_size=1,
+            max_size=3,
+        ),
+        documents=st.lists(
+            st.dictionaries(st.integers(0, 8), st.sampled_from([0.2, 0.5, 1.0]), min_size=0, max_size=4),
+            min_size=1,
+            max_size=25,
+        ),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_no_rollup_equivalence_property(self, queries, documents):
+        window = 6
+        ita = ITAEngine(CountBasedWindow(window), enable_rollup=False)
+        oracle = OracleEngine(CountBasedWindow(window))
+        for query_id, (weights, k) in enumerate(queries):
+            ita.register_query(ContinuousQuery(query_id, weights, k=k))
+            oracle.register_query(ContinuousQuery(query_id, weights, k=k))
+        for doc_id, weights in enumerate(documents):
+            document = make_document(doc_id, weights, arrival_time=float(doc_id))
+            ita.process(document)
+            oracle.process(document)
+            for query_id in range(len(queries)):
+                assert_same_topk(
+                    oracle.current_result(query_id), ita.current_result(query_id)
+                )

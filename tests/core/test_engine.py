@@ -1,0 +1,142 @@
+"""Tests for the ITAEngine monitoring server."""
+
+import pytest
+
+from repro.core.engine import ITAEngine
+from repro.documents.window import CountBasedWindow, TimeBasedWindow
+from repro.exceptions import DuplicateQueryError, UnknownQueryError
+from tests.conftest import make_document, make_query
+
+
+@pytest.fixture
+def engine():
+    engine = ITAEngine(CountBasedWindow(3))
+    engine.register_query(make_query(0, {11: 0.4, 20: 0.6}, k=2))
+    engine.register_query(make_query(1, {30: 1.0}, k=1))
+    return engine
+
+
+class TestQueryManagement:
+    def test_register_computes_initial_result_over_current_window(self):
+        engine = ITAEngine(CountBasedWindow(5))
+        engine.process(make_document(0, {11: 0.9}, arrival_time=0.0))
+        engine.process(make_document(1, {11: 0.5}, arrival_time=1.0))
+        engine.register_query(make_query(0, {11: 1.0}, k=1))
+        assert [e.doc_id for e in engine.current_result(0)] == [0]
+
+    def test_duplicate_registration_rejected(self, engine):
+        with pytest.raises(DuplicateQueryError):
+            engine.register_query(make_query(0, {5: 1.0}, k=1))
+
+    def test_unregister_removes_state_and_tree_entries(self, engine):
+        engine.unregister_query(0)
+        assert 0 not in engine.query_ids()
+        with pytest.raises(UnknownQueryError):
+            engine.current_result(0)
+        tree = engine.index.existing_tree(11)
+        assert tree is None or 0 not in tree
+
+    def test_state_of_unknown_query(self, engine):
+        with pytest.raises(UnknownQueryError):
+            engine.state_of(99)
+
+    def test_query_ids(self, engine):
+        assert sorted(engine.query_ids()) == [0, 1]
+
+
+class TestProcessing:
+    def test_results_update_on_arrivals(self, engine):
+        engine.process(make_document(0, {11: 0.5, 20: 0.5}, arrival_time=0.0))
+        engine.process(make_document(1, {20: 0.9}, arrival_time=1.0))
+        top = engine.current_result(0)
+        assert [e.doc_id for e in top] == [1, 0]
+
+    def test_window_expiration_removes_old_documents_from_results(self, engine):
+        # window of 3: document 0 expires when document 3 arrives
+        for i, weights in enumerate([{11: 0.9}, {11: 0.5}, {11: 0.4}, {11: 0.3}]):
+            engine.process(make_document(i, weights, arrival_time=float(i)))
+        top_ids = [e.doc_id for e in engine.current_result(0)]
+        assert 0 not in top_ids
+        assert top_ids == [1, 2]
+
+    def test_unrelated_documents_do_not_touch_queries(self, engine):
+        before = engine.counters.scores_computed
+        engine.process(make_document(0, {99: 1.0}, arrival_time=0.0))
+        assert engine.counters.scores_computed == before
+
+    def test_result_changes_reported_only_for_affected_queries(self, engine):
+        changes = engine.process(make_document(0, {30: 0.9}, arrival_time=0.0))
+        assert [c.query_id for c in changes] == [1]
+        assert [e.doc_id for e in changes[0].entered] == [0]
+        assert changes[0].left == ()
+
+    def test_result_change_reports_displacement(self, engine):
+        engine.process(make_document(0, {30: 0.5}, arrival_time=0.0))
+        changes = engine.process(make_document(1, {30: 0.9}, arrival_time=1.0))
+        change = next(c for c in changes if c.query_id == 1)
+        assert [e.doc_id for e in change.entered] == [1]
+        assert [e.doc_id for e in change.left] == [0]
+
+    def test_no_change_reported_when_topk_unchanged(self, engine):
+        engine.process(make_document(0, {30: 0.9}, arrival_time=0.0))
+        changes = engine.process(make_document(1, {30: 0.1}, arrival_time=1.0))
+        assert [c for c in changes if c.query_id == 1] == []
+
+    def test_track_changes_disabled(self):
+        engine = ITAEngine(CountBasedWindow(3), track_changes=False)
+        engine.register_query(make_query(0, {11: 1.0}, k=1))
+        assert engine.process(make_document(0, {11: 0.9}, arrival_time=0.0)) == []
+        assert [e.doc_id for e in engine.current_result(0)] == [0]
+
+    def test_process_many(self, engine):
+        documents = [
+            make_document(i, {11: 0.5 + 0.01 * i}, arrival_time=float(i)) for i in range(5)
+        ]
+        engine.process_many(documents)
+        assert len(engine.window) == 3
+        assert engine.counters.arrivals == 5
+        assert engine.counters.expirations == 2
+
+    def test_current_results_returns_every_query(self, engine):
+        engine.process(make_document(0, {11: 0.5, 30: 0.5}, arrival_time=0.0))
+        results = engine.current_results()
+        assert set(results.keys()) == {0, 1}
+
+    def test_counters_track_postings(self, engine):
+        engine.process(make_document(0, {11: 0.5, 20: 0.5, 99: 0.5}, arrival_time=0.0))
+        assert engine.counters.postings_inserted == 3
+        for i in range(1, 4):
+            engine.process(make_document(i, {50: 0.5}, arrival_time=float(i)))
+        assert engine.counters.postings_deleted == 3  # document 0 expired
+
+    def test_engine_invariants_after_random_burst(self, engine):
+        import random
+
+        rng = random.Random(0)
+        for i in range(60):
+            terms = rng.sample([11, 20, 30, 40, 50], rng.randint(0, 3))
+            weights = {t: round(rng.uniform(0.05, 1.0), 3) for t in terms}
+            engine.process(make_document(i, weights, arrival_time=float(i)))
+        engine.check_invariants()
+
+
+class TestTimeBasedWindows:
+    def test_advance_time_expires_documents_and_updates_results(self):
+        engine = ITAEngine(TimeBasedWindow(span=10.0))
+        engine.register_query(make_query(0, {11: 1.0}, k=1))
+        engine.process(make_document(0, {11: 0.9}, arrival_time=0.0))
+        engine.process(make_document(1, {11: 0.5}, arrival_time=5.0))
+        assert [e.doc_id for e in engine.current_result(0)] == [0]
+        changes = engine.advance_time(11.0)
+        assert [e.doc_id for e in engine.current_result(0)] == [1]
+        change = next(c for c in changes if c.query_id == 0)
+        assert [e.doc_id for e in change.left] == [0]
+
+    def test_arrival_can_expire_many_documents(self):
+        engine = ITAEngine(TimeBasedWindow(span=2.0))
+        engine.register_query(make_query(0, {11: 1.0}, k=2))
+        for i in range(4):
+            engine.process(make_document(i, {11: 0.5}, arrival_time=float(i) * 0.1))
+        engine.process(make_document(9, {11: 0.9}, arrival_time=50.0))
+        assert [e.doc_id for e in engine.current_result(0)] == [9]
+        assert len(engine.window) == 1

@@ -1,0 +1,151 @@
+"""End-to-end equivalence: ITA must report the same results as the oracle.
+
+The oracle recomputes every query's top-k from scratch after every event by
+scanning the whole window, so it is correct by construction.  ITA (and the
+baselines, tested in tests/baselines/) must agree with it after every single
+event of any stream -- up to ties at equal scores, where any document
+achieving the tied score is acceptable.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.oracle import OracleEngine
+from repro.core.engine import ITAEngine
+from repro.documents.window import CountBasedWindow, TimeBasedWindow
+from repro.query.query import ContinuousQuery
+from tests.conftest import StreamCase, assert_same_topk, make_document
+
+
+WEIGHT_GRID = st.sampled_from([0.1, 0.2, 0.25, 0.5, 0.75, 1.0])
+TERM_IDS = st.integers(min_value=0, max_value=9)
+
+
+class TestEquivalenceHypothesis:
+    @given(
+        queries=st.lists(
+            st.tuples(
+                st.dictionaries(TERM_IDS, WEIGHT_GRID, min_size=1, max_size=3),
+                st.integers(min_value=1, max_value=3),
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        documents=st.lists(
+            st.dictionaries(TERM_IDS, WEIGHT_GRID, min_size=0, max_size=4),
+            min_size=1,
+            max_size=35,
+        ),
+        window_size=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_ita_matches_oracle_after_every_event(self, queries, documents, window_size):
+        ita = ITAEngine(CountBasedWindow(window_size))
+        oracle = OracleEngine(CountBasedWindow(window_size))
+        for query_id, (weights, k) in enumerate(queries):
+            ita.register_query(ContinuousQuery(query_id, weights, k=k))
+            oracle.register_query(ContinuousQuery(query_id, weights, k=k))
+        for doc_id, weights in enumerate(documents):
+            document = make_document(doc_id, weights, arrival_time=float(doc_id))
+            ita.process(document)
+            oracle.process(document)
+            for query_id in range(len(queries)):
+                assert_same_topk(
+                    oracle.current_result(query_id),
+                    ita.current_result(query_id),
+                    context=f"(query {query_id}, after document {doc_id})",
+                )
+
+
+class TestEquivalenceSeededStreams:
+    @pytest.mark.parametrize("seed", [1, 2, 3, 4, 5])
+    def test_count_based_window_long_stream(self, seed):
+        case = StreamCase(seed=seed, num_documents=150)
+        window = 10 + seed
+        ita = ITAEngine(CountBasedWindow(window))
+        oracle = OracleEngine(CountBasedWindow(window))
+        for query in case.queries:
+            ita.register_query(query)
+            oracle.register_query(query)
+        for position, document in enumerate(case.documents):
+            ita.process(document)
+            oracle.process(document)
+            if position % 7 == 0 or position >= len(case.documents) - 10:
+                for query in case.queries:
+                    assert_same_topk(
+                        oracle.current_result(query.query_id),
+                        ita.current_result(query.query_id),
+                        context=f"(seed {seed}, query {query.query_id}, event {position})",
+                    )
+
+    @pytest.mark.parametrize("seed", [11, 12, 13])
+    def test_time_based_window_long_stream(self, seed):
+        case = StreamCase(seed=seed, num_documents=120)
+        span = 20.0
+        ita = ITAEngine(TimeBasedWindow(span))
+        oracle = OracleEngine(TimeBasedWindow(span))
+        for query in case.queries:
+            ita.register_query(query)
+            oracle.register_query(query)
+        for position, document in enumerate(case.documents):
+            ita.process(document)
+            oracle.process(document)
+            if position % 5 == 0:
+                for query in case.queries:
+                    assert_same_topk(
+                        oracle.current_result(query.query_id),
+                        ita.current_result(query.query_id),
+                        context=f"(seed {seed}, query {query.query_id}, event {position})",
+                    )
+
+    def test_queries_registered_mid_stream(self):
+        case = StreamCase(seed=99, num_documents=100)
+        ita = ITAEngine(CountBasedWindow(15))
+        oracle = OracleEngine(CountBasedWindow(15))
+        half = len(case.queries) // 2
+        for query in case.queries[:half]:
+            ita.register_query(query)
+            oracle.register_query(query)
+        for position, document in enumerate(case.documents):
+            if position == 40:
+                for query in case.queries[half:]:
+                    ita.register_query(query)
+                    oracle.register_query(query)
+            ita.process(document)
+            oracle.process(document)
+            if position >= 40 and position % 6 == 0:
+                for query in case.queries:
+                    assert_same_topk(
+                        oracle.current_result(query.query_id),
+                        ita.current_result(query.query_id),
+                        context=f"(query {query.query_id}, event {position})",
+                    )
+
+    def test_synthetic_corpus_stream_matches_oracle(self):
+        """Equivalence on the realistic synthetic-corpus workload."""
+        from repro.documents.corpus import SyntheticCorpus, SyntheticCorpusConfig
+        from repro.documents.stream import FixedRateArrivalProcess, DocumentStream
+
+        corpus = SyntheticCorpus(SyntheticCorpusConfig(dictionary_size=300, mean_log_length=3.0, seed=21))
+        queries = [
+            ContinuousQuery.from_term_ids(query_id, corpus.sample_query_terms(4), k=5)
+            for query_id in range(10)
+        ]
+        ita = ITAEngine(CountBasedWindow(40))
+        oracle = OracleEngine(CountBasedWindow(40))
+        for query in queries:
+            ita.register_query(query)
+            oracle.register_query(query)
+        stream = DocumentStream(corpus, FixedRateArrivalProcess(rate=10.0), limit=200)
+        for position, document in enumerate(stream):
+            ita.process(document)
+            oracle.process(document)
+            if position % 20 == 0 or position > 190:
+                for query in queries:
+                    assert_same_topk(
+                        oracle.current_result(query.query_id),
+                        ita.current_result(query.query_id),
+                        context=f"(query {query.query_id}, event {position})",
+                    )
+        ita.check_invariants()

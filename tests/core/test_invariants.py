@@ -1,0 +1,113 @@
+"""Property-based tests of the ITA invariants.
+
+These drive the full engine with randomly generated streams of documents
+(random weights drawn from a small grid, so ties happen) and assert, after
+every event, the structural invariants documented in DESIGN.md:
+
+* INV-COVER  -- every valid document strictly above a local threshold in
+  some query-term list is in R with its exact score;
+* INV-REACH  -- every document in R is at or above a local threshold in at
+  least one query-term list (so its expiration will be routed to the query);
+* tau consistency, threshold-tree consistency, and the correctness of the
+  reported top-k against a full scan.
+
+The assertions themselves live in ``ITAQueryState.check_invariants`` and
+``ITAEngine.check_invariants``; these tests generate adversarial inputs.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import ITAEngine
+from repro.documents.window import CountBasedWindow, TimeBasedWindow
+from repro.query.query import ContinuousQuery
+from tests.conftest import make_document
+
+
+WEIGHT_GRID = st.sampled_from([0.1, 0.2, 0.25, 0.5, 0.75, 1.0])
+TERM_IDS = st.integers(min_value=0, max_value=9)
+
+
+def document_strategy():
+    return st.dictionaries(TERM_IDS, WEIGHT_GRID, min_size=0, max_size=4)
+
+
+def query_strategy():
+    return st.builds(
+        lambda weights, k: (weights, k),
+        st.dictionaries(TERM_IDS, WEIGHT_GRID, min_size=1, max_size=3),
+        st.integers(min_value=1, max_value=3),
+    )
+
+
+class TestInvariantsUnderRandomStreams:
+    @given(
+        queries=st.lists(query_strategy(), min_size=1, max_size=4),
+        documents=st.lists(document_strategy(), min_size=1, max_size=40),
+        window_size=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_count_based_window(self, queries, documents, window_size):
+        engine = ITAEngine(CountBasedWindow(window_size))
+        for query_id, (weights, k) in enumerate(queries):
+            engine.register_query(ContinuousQuery(query_id, weights, k=k))
+        for doc_id, weights in enumerate(documents):
+            engine.process(make_document(doc_id, weights, arrival_time=float(doc_id)))
+            engine.check_invariants()
+
+    @given(
+        queries=st.lists(query_strategy(), min_size=1, max_size=3),
+        documents=st.lists(document_strategy(), min_size=1, max_size=30),
+        span=st.floats(min_value=0.5, max_value=10.0),
+        gaps=st.lists(st.floats(min_value=0.1, max_value=3.0), min_size=30, max_size=30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_time_based_window(self, queries, documents, span, gaps):
+        engine = ITAEngine(TimeBasedWindow(span))
+        for query_id, (weights, k) in enumerate(queries):
+            engine.register_query(ContinuousQuery(query_id, weights, k=k))
+        clock = 0.0
+        for doc_id, weights in enumerate(documents):
+            clock += gaps[doc_id % len(gaps)]
+            engine.process(make_document(doc_id, weights, arrival_time=clock))
+            engine.check_invariants()
+
+    @given(
+        queries=st.lists(query_strategy(), min_size=1, max_size=3),
+        prefill=st.lists(document_strategy(), min_size=5, max_size=20),
+        documents=st.lists(document_strategy(), min_size=1, max_size=20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_registration_on_populated_window(self, queries, prefill, documents):
+        """Queries installed after the window already holds documents."""
+        engine = ITAEngine(CountBasedWindow(10))
+        for doc_id, weights in enumerate(prefill):
+            engine.process(make_document(doc_id, weights, arrival_time=float(doc_id)))
+        for query_id, (weights, k) in enumerate(queries):
+            engine.register_query(ContinuousQuery(query_id, weights, k=k))
+        engine.check_invariants()
+        for offset, weights in enumerate(documents):
+            doc_id = len(prefill) + offset
+            engine.process(make_document(doc_id, weights, arrival_time=float(doc_id)))
+            engine.check_invariants()
+
+
+class TestInvariantSmoke:
+    def test_long_seeded_stream(self):
+        """A longer deterministic stream checked at every step."""
+        import random
+
+        rng = random.Random(1234)
+        engine = ITAEngine(CountBasedWindow(12))
+        for query_id in range(6):
+            terms = rng.sample(range(15), rng.randint(1, 4))
+            weights = {t: rng.choice([0.1, 0.3, 0.5, 0.7, 1.0]) for t in terms}
+            engine.register_query(ContinuousQuery(query_id, weights, k=rng.randint(1, 4)))
+        for doc_id in range(250):
+            terms = rng.sample(range(15), rng.randint(0, 5))
+            weights = {t: rng.choice([0.1, 0.2, 0.4, 0.6, 0.8, 1.0]) for t in terms}
+            engine.process(make_document(doc_id, weights, arrival_time=float(doc_id)))
+            if doc_id % 5 == 0:
+                engine.check_invariants()
+        engine.check_invariants()

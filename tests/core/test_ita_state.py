@@ -1,0 +1,177 @@
+"""Directed tests for the per-query ITA state: arrivals, roll-up, expirations,
+refill -- the mechanics of Section III-B of the paper."""
+
+import pytest
+
+from repro.core.ita import ITAQueryState
+from repro.index.inverted_index import InvertedIndex
+from repro.query.query import ContinuousQuery
+from tests.conftest import make_document
+
+
+def build_state(documents, weights, k):
+    index = InvertedIndex()
+    for document in documents:
+        index.insert_document(document)
+    query = ContinuousQuery(0, weights, k=k)
+    state = ITAQueryState(query, index)
+    state.initialise()
+    return index, state
+
+
+@pytest.fixture
+def scenario():
+    """Same two-term scenario as in test_descent (see its docstring)."""
+    documents = [
+        make_document(1, {11: 0.9}, arrival_time=1.0),
+        make_document(2, {11: 0.8, 20: 0.5}, arrival_time=2.0),
+        make_document(3, {20: 0.9}, arrival_time=3.0),
+        make_document(4, {11: 0.5, 20: 0.1}, arrival_time=4.0),
+        make_document(5, {11: 0.3}, arrival_time=5.0),
+    ]
+    return build_state(documents, {11: 0.4, 20: 0.6}, k=2)
+
+
+class TestInitialisation:
+    def test_initial_topk_and_thresholds(self, scenario):
+        index, state = scenario
+        assert [e.doc_id for e in state.top_k()] == [2, 3]
+        assert state.s_k() == pytest.approx(0.54)
+        assert state.thresholds == pytest.approx({11: 0.5, 20: 0.5})
+        assert state.tau == pytest.approx(0.5)
+
+    def test_thresholds_registered_in_trees(self, scenario):
+        index, state = scenario
+        assert index.threshold_tree(11).threshold_of(0) == pytest.approx(0.5)
+        assert index.threshold_tree(20).threshold_of(0) == pytest.approx(0.5)
+
+    def test_invariants_hold_after_initialisation(self, scenario):
+        index, state = scenario
+        state.check_invariants()
+
+    def test_detach_removes_tree_entries(self, scenario):
+        index, state = scenario
+        state.detach()
+        assert 0 not in index.threshold_tree(11)
+        assert 0 not in index.threshold_tree(20)
+
+
+class TestArrivalHandling:
+    def test_arrival_that_enters_topk_rolls_up_thresholds(self, scenario):
+        index, state = scenario
+        arrival = make_document(6, {11: 0.7, 20: 0.6}, arrival_time=6.0)
+        index.insert_document(arrival)
+        state.handle_arrival(arrival)
+
+        assert [e.doc_id for e in state.top_k()] == [6, 2]
+        assert state.s_k() == pytest.approx(0.62)
+        # Roll-up lifts theta_A twice (0.5 -> 0.7 -> 0.8); a third step would
+        # push tau above the new S_k and is rejected.
+        assert state.thresholds[11] == pytest.approx(0.8)
+        assert state.thresholds[20] == pytest.approx(0.5)
+        assert state.tau == pytest.approx(0.62)
+        # The threshold trees must reflect the roll-up.
+        assert index.threshold_tree(11).threshold_of(0) == pytest.approx(0.8)
+        state.check_invariants()
+
+    def test_arrival_below_topk_is_kept_as_unverified(self, scenario):
+        index, state = scenario
+        arrival = make_document(6, {11: 0.6}, arrival_time=6.0)  # score 0.24 < S_k
+        index.insert_document(arrival)
+        state.handle_arrival(arrival)
+        assert [e.doc_id for e in state.top_k()] == [2, 3]
+        # kept in R for later maintenance, exactly like unverified documents
+        # of the initial search
+        assert 6 in state.results
+        state.check_invariants()
+
+    def test_arrival_with_zero_score_is_ignored(self, scenario):
+        index, state = scenario
+        arrival = make_document(6, {77: 0.9}, arrival_time=6.0)
+        index.insert_document(arrival)
+        state.handle_arrival(arrival)
+        assert 6 not in state.results
+        state.check_invariants()
+
+    def test_rollup_counter_increments(self, scenario):
+        index, state = scenario
+        arrival = make_document(6, {11: 0.7, 20: 0.6}, arrival_time=6.0)
+        index.insert_document(arrival)
+        state.handle_arrival(arrival)
+        assert state.counters.rollup_steps == 2
+
+    def test_rollup_evicts_documents_below_all_thresholds(self):
+        # Single-term query, k=1: d_a is the initial result; when a better
+        # document arrives the threshold rolls up above d_a's weight and
+        # d_a must leave R (the paper's d7 in Figure 2).
+        documents = [
+            make_document(1, {11: 0.5}, arrival_time=1.0),
+            make_document(2, {11: 0.4}, arrival_time=2.0),
+        ]
+        index, state = build_state(documents, {11: 1.0}, k=1)
+        assert [e.doc_id for e in state.top_k()] == [1]
+
+        arrival = make_document(3, {11: 0.6}, arrival_time=3.0)
+        index.insert_document(arrival)
+        state.handle_arrival(arrival)
+
+        assert [e.doc_id for e in state.top_k()] == [3]
+        assert state.thresholds[11] == pytest.approx(0.6)
+        assert 1 not in state.results  # evicted: below the rolled-up threshold
+        assert state.counters.result_evictions >= 1
+        state.check_invariants()
+
+
+class TestExpirationHandling:
+    def test_expiration_of_unverified_document_only_removes_it(self, scenario):
+        index, state = scenario
+        index.remove_document(1)  # d1 is in R but not in the top-2
+        state.handle_expiration(1)
+        assert 1 not in state.results
+        assert [e.doc_id for e in state.top_k()] == [2, 3]
+        assert state.counters.refills == 0
+        state.check_invariants()
+
+    def test_expiration_of_topk_document_triggers_refill(self, scenario):
+        index, state = scenario
+        index.remove_document(2)
+        state.handle_expiration(2)
+        assert [e.doc_id for e in state.top_k()] == [3, 1]
+        state.check_invariants()
+
+    def test_expiration_of_unknown_document_is_ignored(self, scenario):
+        index, state = scenario
+        # d4 was never covered by the query's thresholds.
+        index.remove_document(4)
+        state.handle_expiration(4)
+        assert [e.doc_id for e in state.top_k()] == [2, 3]
+        state.check_invariants()
+
+    def test_refill_lowers_thresholds_and_updates_trees(self, scenario):
+        index, state = scenario
+        index.remove_document(2)
+        state.handle_expiration(2)
+        # Refill resumed the search below the recorded thresholds.
+        assert state.thresholds[11] <= 0.5
+        assert index.threshold_tree(11).threshold_of(0) == pytest.approx(state.thresholds[11])
+        assert state.counters.refills == 1
+
+    def test_sequence_of_expirations_down_to_empty(self, scenario):
+        index, state = scenario
+        for doc_id in [2, 3, 1, 4, 5]:
+            index.remove_document(doc_id)
+            state.handle_expiration(doc_id)
+            state.check_invariants()
+        assert state.top_k() == []
+        assert state.tau == 0.0
+
+    def test_interleaved_arrivals_and_expirations(self, scenario):
+        index, state = scenario
+        arrival = make_document(6, {11: 0.7, 20: 0.6}, arrival_time=6.0)
+        index.insert_document(arrival)
+        state.handle_arrival(arrival)
+        index.remove_document(6)
+        state.handle_expiration(6)
+        # Back to the original top-2 once the newcomer leaves.
+        assert [e.doc_id for e in state.top_k()] == [2, 3]
+        state.check_invariants()

@@ -1,0 +1,161 @@
+"""Tests for the corpus implementations, including the WSJ stand-in."""
+
+import math
+
+import pytest
+
+from repro.documents.corpus import (
+    FileCorpus,
+    InMemoryCorpus,
+    SyntheticCorpus,
+    SyntheticCorpusConfig,
+)
+from repro.exceptions import ConfigurationError
+from repro.text.analyzer import Analyzer
+from repro.text.vocabulary import Vocabulary
+from repro.weighting.schemes import OkapiBM25Weighting
+
+
+class TestInMemoryCorpus:
+    def test_documents_get_sequential_ids(self):
+        corpus = InMemoryCorpus(["first story", "second story"])
+        docs = list(corpus)
+        assert [d.doc_id for d in docs] == [0, 1]
+
+    def test_first_doc_id_offset(self):
+        corpus = InMemoryCorpus(["a story"], first_doc_id=10)
+        assert next(iter(corpus)).doc_id == 10
+
+    def test_composition_uses_shared_vocabulary(self):
+        vocabulary = Vocabulary()
+        analyzer = Analyzer()
+        corpus = InMemoryCorpus(["market rally", "market crash"], analyzer=analyzer, vocabulary=vocabulary)
+        docs = list(corpus)
+        market_id = vocabulary.id_of("market")
+        assert docs[0].weight(market_id) > 0
+        assert docs[1].weight(market_id) > 0
+
+    def test_cosine_weights_are_normalised(self):
+        corpus = InMemoryCorpus(["alpha beta beta"])
+        doc = next(iter(corpus))
+        norm = math.sqrt(sum(w * w for w in doc.composition.weights.values()))
+        assert norm == pytest.approx(1.0)
+
+    def test_metadata_alignment_enforced(self):
+        with pytest.raises(ConfigurationError):
+            InMemoryCorpus(["a", "b"], metadata=[{"k": "v"}])
+
+    def test_metadata_attached(self):
+        corpus = InMemoryCorpus(["a story"], metadata=[{"source": "reuters"}])
+        assert next(iter(corpus)).metadata["source"] == "reuters"
+
+    def test_len(self):
+        assert len(InMemoryCorpus(["a", "b", "c"])) == 3
+
+
+class TestFileCorpus:
+    def test_reads_text_files_in_sorted_order(self, tmp_path):
+        (tmp_path / "b.txt").write_text("second document about markets")
+        (tmp_path / "a.txt").write_text("first document about weather")
+        corpus = FileCorpus(tmp_path)
+        docs = list(corpus)
+        assert len(docs) == 2
+        assert docs[0].metadata["path"].endswith("a.txt")
+        assert docs[1].doc_id == 1
+
+    def test_missing_root_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            FileCorpus(tmp_path / "does-not-exist")
+
+    def test_pattern_filters_files(self, tmp_path):
+        (tmp_path / "keep.txt").write_text("keep me")
+        (tmp_path / "skip.csv").write_text("skip me")
+        assert len(list(FileCorpus(tmp_path, pattern="*.txt"))) == 1
+
+
+class TestSyntheticCorpusConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SyntheticCorpusConfig(dictionary_size=0).validate()
+        with pytest.raises(ConfigurationError):
+            SyntheticCorpusConfig(min_document_length=0).validate()
+        with pytest.raises(ConfigurationError):
+            SyntheticCorpusConfig(min_document_length=10, max_document_length=5).validate()
+        with pytest.raises(ConfigurationError):
+            SyntheticCorpusConfig(sigma_log_length=0).validate()
+
+
+class TestSyntheticCorpus:
+    @pytest.fixture
+    def corpus(self):
+        return SyntheticCorpus(SyntheticCorpusConfig(dictionary_size=500, seed=3))
+
+    def test_reproducible_with_seed(self):
+        a = SyntheticCorpus(SyntheticCorpusConfig(dictionary_size=200, seed=5)).take(5)
+        b = SyntheticCorpus(SyntheticCorpusConfig(dictionary_size=200, seed=5)).take(5)
+        assert [dict(x.composition.items()) for x in a] == [dict(y.composition.items()) for y in b]
+
+    def test_document_lengths_respect_bounds(self):
+        config = SyntheticCorpusConfig(
+            dictionary_size=100, min_document_length=5, max_document_length=30, seed=1
+        )
+        corpus = SyntheticCorpus(config)
+        for doc in corpus.take(30):
+            # distinct terms can be fewer than tokens but never more than max
+            assert 1 <= len(doc) <= 30
+
+    def test_term_ids_within_dictionary(self, corpus):
+        for doc in corpus.take(20):
+            assert all(0 <= t < 500 for t in doc.terms())
+
+    def test_vocabulary_is_frozen_and_sized(self, corpus):
+        assert corpus.vocabulary.frozen
+        assert len(corpus.vocabulary) == 500
+
+    def test_take_validates_count(self, corpus):
+        with pytest.raises(ConfigurationError):
+            corpus.take(-1)
+
+    def test_doc_ids_increase(self, corpus):
+        docs = corpus.take(10)
+        assert [d.doc_id for d in docs] == list(range(10))
+
+    def test_zipfian_head_terms_more_common(self):
+        corpus = SyntheticCorpus(SyntheticCorpusConfig(dictionary_size=1000, seed=2))
+        head_hits = 0
+        tail_hits = 0
+        for doc in corpus.take(150):
+            for term in doc.terms():
+                if term < 10:
+                    head_hits += 1
+                elif term >= 900:
+                    tail_hits += 1
+        assert head_hits > tail_hits
+
+    def test_sample_query_terms_distinct_and_in_range(self, corpus):
+        terms = corpus.sample_query_terms(10)
+        assert len(terms) == len(set(terms)) == 10
+        assert all(0 <= t < 500 for t in terms)
+
+    def test_sample_query_terms_uniform_mode(self, corpus):
+        terms = corpus.sample_query_terms(10, skew_towards_frequent=False)
+        assert len(set(terms)) == 10
+
+    def test_sample_query_terms_validation(self, corpus):
+        with pytest.raises(ConfigurationError):
+            corpus.sample_query_terms(0)
+        with pytest.raises(ConfigurationError):
+            corpus.sample_query_terms(501)
+
+    def test_custom_weighting_scheme(self):
+        corpus = SyntheticCorpus(
+            SyntheticCorpusConfig(dictionary_size=100, seed=4),
+            weighting=OkapiBM25Weighting(),
+        )
+        doc = corpus.generate_document()
+        assert all(w > 0 for w in doc.composition.weights.values())
+
+    def test_small_vocabulary_rejected(self):
+        small_vocab = Vocabulary(["only", "two"])
+        with pytest.raises(ConfigurationError):
+            SyntheticCorpus(SyntheticCorpusConfig(dictionary_size=100), vocabulary=small_vocab)

@@ -1,0 +1,92 @@
+"""Tests for the document model."""
+
+import math
+
+import pytest
+
+from repro.documents.document import CompositionList, Document, StreamedDocument
+from repro.exceptions import DocumentError
+
+
+class TestCompositionList:
+    def test_basic_lookup(self):
+        comp = CompositionList({1: 0.5, 2: 0.25})
+        assert comp.weight(1) == 0.5
+        assert comp.weight(3) == 0.0
+        assert 1 in comp and 3 not in comp
+        assert len(comp) == 2
+
+    def test_zero_weights_dropped(self):
+        comp = CompositionList({1: 0.5, 2: 0.0})
+        assert 2 not in comp
+        assert len(comp) == 1
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(DocumentError):
+            CompositionList({1: -0.1})
+
+    def test_non_finite_weight_rejected(self):
+        with pytest.raises(DocumentError):
+            CompositionList({1: float("nan")})
+        with pytest.raises(DocumentError):
+            CompositionList({1: float("inf")})
+
+    def test_invalid_term_id_rejected(self):
+        with pytest.raises(DocumentError):
+            CompositionList({-1: 0.5})
+        with pytest.raises(DocumentError):
+            CompositionList({"a": 0.5})
+
+    def test_weights_are_read_only(self):
+        comp = CompositionList({1: 0.5})
+        with pytest.raises(TypeError):
+            comp.weights[2] = 0.7  # type: ignore[index]
+
+    def test_equality(self):
+        assert CompositionList({1: 0.5}) == CompositionList({1: 0.5})
+        assert CompositionList({1: 0.5}) != CompositionList({1: 0.6})
+
+    def test_norm(self):
+        comp = CompositionList({1: 3.0, 2: 4.0})
+        assert comp.norm() == pytest.approx(5.0)
+
+    def test_iteration_and_items(self):
+        comp = CompositionList({1: 0.5, 7: 0.2})
+        assert set(comp) == {1, 7}
+        assert dict(comp.items()) == {1: 0.5, 7: 0.2}
+
+
+class TestDocument:
+    def test_accessors(self):
+        doc = Document(doc_id=5, composition=CompositionList({1: 0.4}), text="hello")
+        assert doc.weight(1) == 0.4
+        assert list(doc.terms()) == [1]
+        assert len(doc) == 1
+        assert doc.text == "hello"
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(DocumentError):
+            Document(doc_id=-1, composition=CompositionList({1: 0.4}))
+
+    def test_metadata_defaults_to_empty(self):
+        doc = Document(doc_id=0, composition=CompositionList({1: 0.4}))
+        assert dict(doc.metadata) == {}
+
+    def test_documents_are_frozen(self):
+        doc = Document(doc_id=0, composition=CompositionList({1: 0.4}))
+        with pytest.raises(AttributeError):
+            doc.doc_id = 3  # type: ignore[misc]
+
+
+class TestStreamedDocument:
+    def test_delegating_accessors(self):
+        doc = Document(doc_id=3, composition=CompositionList({2: 0.9}))
+        streamed = StreamedDocument(document=doc, arrival_time=12.5)
+        assert streamed.doc_id == 3
+        assert streamed.composition.weight(2) == 0.9
+        assert streamed.arrival_time == 12.5
+
+    def test_non_finite_arrival_time_rejected(self):
+        doc = Document(doc_id=3, composition=CompositionList({2: 0.9}))
+        with pytest.raises(DocumentError):
+            StreamedDocument(document=doc, arrival_time=math.inf)

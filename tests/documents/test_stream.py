@@ -1,0 +1,121 @@
+"""Tests for arrival processes and document streams."""
+
+import pytest
+
+from repro.documents.corpus import InMemoryCorpus, SyntheticCorpus, SyntheticCorpusConfig
+from repro.documents.stream import (
+    DocumentStream,
+    FixedRateArrivalProcess,
+    PoissonArrivalProcess,
+    ReplayArrivalProcess,
+    stream_from_documents,
+)
+from repro.exceptions import ConfigurationError, StreamError
+
+
+class TestPoissonArrivalProcess:
+    def test_rate_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            PoissonArrivalProcess(rate=0)
+
+    def test_timestamps_strictly_increase(self):
+        process = PoissonArrivalProcess(rate=200, seed=1)
+        times = [process.next_arrival_time() for _ in range(100)]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_mean_interarrival_close_to_inverse_rate(self):
+        process = PoissonArrivalProcess(rate=200, seed=2)
+        times = [process.next_arrival_time() for _ in range(5000)]
+        mean_gap = times[-1] / len(times)
+        assert 0.8 / 200 < mean_gap < 1.2 / 200
+
+    def test_reproducible_with_seed(self):
+        a = PoissonArrivalProcess(rate=10, seed=7)
+        b = PoissonArrivalProcess(rate=10, seed=7)
+        assert [a.next_arrival_time() for _ in range(10)] == [
+            b.next_arrival_time() for _ in range(10)
+        ]
+
+    def test_reset_rewinds_clock(self):
+        process = PoissonArrivalProcess(rate=10, seed=1, start_time=5.0)
+        process.next_arrival_time()
+        process.reset()
+        assert process.current_time == 5.0
+
+
+class TestFixedRateArrivalProcess:
+    def test_constant_gaps(self):
+        process = FixedRateArrivalProcess(rate=4.0)
+        times = [process.next_arrival_time() for _ in range(4)]
+        assert times == pytest.approx([0.25, 0.5, 0.75, 1.0])
+
+    def test_rate_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            FixedRateArrivalProcess(rate=-1)
+
+
+class TestReplayArrivalProcess:
+    def test_replays_exact_timestamps(self):
+        process = ReplayArrivalProcess([1.0, 2.5, 7.0])
+        assert [process.next_arrival_time() for _ in range(3)] == [1.0, 2.5, 7.0]
+
+    def test_exhaustion_raises(self):
+        process = ReplayArrivalProcess([1.0])
+        process.next_arrival_time()
+        with pytest.raises(StreamError):
+            process.next_arrival_time()
+
+    def test_non_monotone_timestamps_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ReplayArrivalProcess([2.0, 1.0])
+
+    def test_reset_replays_from_start(self):
+        process = ReplayArrivalProcess([1.0, 2.0])
+        process.next_arrival_time()
+        process.reset()
+        assert process.next_arrival_time() == 1.0
+
+
+class TestDocumentStream:
+    def test_pairs_documents_with_increasing_times(self):
+        corpus = InMemoryCorpus(["one story", "two stories", "three stories"])
+        stream = DocumentStream(corpus, FixedRateArrivalProcess(rate=1.0))
+        docs = list(stream)
+        assert [d.doc_id for d in docs] == [0, 1, 2]
+        assert [d.arrival_time for d in docs] == pytest.approx([1.0, 2.0, 3.0])
+
+    def test_limit_bounds_unbounded_corpora(self):
+        corpus = SyntheticCorpus(SyntheticCorpusConfig(dictionary_size=50, seed=1))
+        stream = DocumentStream(corpus, FixedRateArrivalProcess(rate=1.0), limit=7)
+        assert len(list(stream)) == 7
+        assert stream.emitted == 7
+
+    def test_take(self):
+        corpus = InMemoryCorpus(["a b", "c d", "e f"])
+        stream = DocumentStream(corpus, FixedRateArrivalProcess(rate=1.0))
+        assert len(stream.take(2)) == 2
+        assert len(stream.take(5)) == 1  # only one document left
+
+    def test_negative_limit_rejected(self):
+        corpus = InMemoryCorpus(["a"])
+        with pytest.raises(ConfigurationError):
+            DocumentStream(corpus, limit=-1)
+
+    def test_take_negative_rejected(self):
+        corpus = InMemoryCorpus(["a"])
+        with pytest.raises(ConfigurationError):
+            DocumentStream(corpus).take(-2)
+
+    def test_default_arrival_process_is_poisson(self):
+        corpus = InMemoryCorpus(["a b", "c d"])
+        docs = list(DocumentStream(corpus))
+        assert docs[1].arrival_time > docs[0].arrival_time > 0
+
+
+class TestStreamFromDocuments:
+    def test_wraps_existing_documents(self):
+        corpus = InMemoryCorpus(["alpha beta", "gamma delta"])
+        documents = list(corpus)
+        streamed = list(stream_from_documents(documents, FixedRateArrivalProcess(rate=2.0)))
+        assert [s.doc_id for s in streamed] == [0, 1]
+        assert streamed[0].arrival_time == pytest.approx(0.5)

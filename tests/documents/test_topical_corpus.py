@@ -1,0 +1,124 @@
+"""Tests for the topical (clustered) synthetic corpus."""
+
+import pytest
+
+from repro.documents.corpus import TopicalCorpusConfig, TopicalSyntheticCorpus
+from repro.exceptions import ConfigurationError
+from repro.text.vocabulary import Vocabulary
+
+
+class TestTopicalCorpusConfig:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TopicalCorpusConfig(dictionary_size=0).validate()
+        with pytest.raises(ConfigurationError):
+            TopicalCorpusConfig(num_topics=0).validate()
+        with pytest.raises(ConfigurationError):
+            TopicalCorpusConfig(topic_vocabulary_size=0).validate()
+        with pytest.raises(ConfigurationError):
+            TopicalCorpusConfig(dictionary_size=100, topic_vocabulary_size=200).validate()
+        with pytest.raises(ConfigurationError):
+            TopicalCorpusConfig(background_fraction=1.5).validate()
+
+
+class TestTopicalSyntheticCorpus:
+    @pytest.fixture
+    def corpus(self):
+        config = TopicalCorpusConfig(
+            dictionary_size=2_000,
+            num_topics=8,
+            topic_vocabulary_size=300,
+            mean_log_length=3.5,
+            seed=3,
+        )
+        return TopicalSyntheticCorpus(config)
+
+    def test_reproducible_with_seed(self):
+        config = TopicalCorpusConfig(dictionary_size=1_000, num_topics=5, topic_vocabulary_size=200, seed=5)
+        a = TopicalSyntheticCorpus(config).take(5)
+        b = TopicalSyntheticCorpus(config).take(5)
+        assert [dict(x.composition.items()) for x in a] == [dict(y.composition.items()) for y in b]
+
+    def test_documents_tagged_with_topic(self, corpus):
+        for doc in corpus.take(20):
+            assert "topic" in doc.metadata
+            assert 0 <= int(doc.metadata["topic"]) < 8
+
+    def test_terms_within_dictionary(self, corpus):
+        for doc in corpus.take(30):
+            assert all(0 <= t < 2_000 for t in doc.terms())
+
+    def test_documents_concentrate_in_their_topic_vocabulary(self, corpus):
+        # With background_fraction=0.2, most tokens of a document should
+        # come from its topic slice.
+        config = corpus.config
+        in_topic = 0
+        total = 0
+        for doc in corpus.take(50):
+            topic = int(doc.metadata["topic"])
+            topic_terms = set(corpus.topic_terms(topic))
+            for term in doc.terms():
+                total += 1
+                if term in topic_terms:
+                    in_topic += 1
+        assert in_topic / total > 0.5  # majority from the topic vocabulary
+
+    def test_topic_terms_range(self, corpus):
+        terms = corpus.topic_terms(0)
+        assert len(terms) == 300
+        with pytest.raises(ConfigurationError):
+            corpus.topic_terms(99)
+
+    def test_sample_topic_query_terms(self, corpus):
+        terms = corpus.sample_topic_query_terms(2, 5)
+        assert len(terms) == len(set(terms)) == 5
+        assert set(terms) <= set(corpus.topic_terms(2))
+
+    def test_sample_topic_query_terms_validation(self, corpus):
+        with pytest.raises(ConfigurationError):
+            corpus.sample_topic_query_terms(0, 0)
+        with pytest.raises(ConfigurationError):
+            corpus.sample_topic_query_terms(0, 10_000)
+
+    def test_frozen_vocabulary(self, corpus):
+        assert corpus.vocabulary.frozen
+        assert len(corpus.vocabulary) == 2_000
+
+    def test_small_vocabulary_rejected(self):
+        vocab = Vocabulary(["a", "b"])
+        with pytest.raises(ConfigurationError):
+            TopicalSyntheticCorpus(TopicalCorpusConfig(dictionary_size=100), vocabulary=vocab)
+
+    def test_take_validates_count(self, corpus):
+        with pytest.raises(ConfigurationError):
+            corpus.take(-1)
+
+
+class TestTopicalCorpusWithEngine:
+    def test_topical_query_matches_its_topic(self):
+        """A query built from a topic's vocabulary should match documents of
+        that topic more strongly than random ones -- the realistic signal the
+        topical corpus adds."""
+        from repro.core.engine import ITAEngine
+        from repro.documents.stream import DocumentStream, FixedRateArrivalProcess
+        from repro.documents.window import CountBasedWindow
+        from repro.query.query import ContinuousQuery
+
+        config = TopicalCorpusConfig(
+            dictionary_size=2_000, num_topics=6, topic_vocabulary_size=200,
+            background_fraction=0.1, mean_log_length=3.5, seed=9,
+        )
+        corpus = TopicalSyntheticCorpus(config)
+        query = ContinuousQuery.from_term_ids(0, corpus.sample_topic_query_terms(0, 6), k=5)
+        engine = ITAEngine(CountBasedWindow(60))
+        engine.register_query(query)
+        matched_at_least_once = False
+        stream = DocumentStream(corpus, FixedRateArrivalProcess(rate=10.0), limit=200)
+        for document in stream:
+            engine.process(document)
+            if engine.current_result(0):
+                matched_at_least_once = True
+        engine.check_invariants()
+        # Topical documents repeatedly hit the query's topic vocabulary, so
+        # the query must have had a non-empty result at some point.
+        assert matched_at_least_once

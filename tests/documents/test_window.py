@@ -1,0 +1,130 @@
+"""Tests for count-based and time-based sliding windows."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.documents.window import CountBasedWindow, TimeBasedWindow
+from repro.exceptions import ConfigurationError, WindowError
+from tests.conftest import make_document
+
+
+class TestCountBasedWindow:
+    def test_size_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            CountBasedWindow(0)
+
+    def test_no_expiration_until_full(self):
+        window = CountBasedWindow(3)
+        for i in range(3):
+            assert window.insert(make_document(i, {0: 0.5}, arrival_time=i)) == []
+        assert len(window) == 3
+
+    def test_oldest_expires_when_full(self):
+        window = CountBasedWindow(2)
+        window.insert(make_document(0, {0: 0.5}, arrival_time=0))
+        window.insert(make_document(1, {0: 0.5}, arrival_time=1))
+        expired = window.insert(make_document(2, {0: 0.5}, arrival_time=2))
+        assert [d.doc_id for d in expired] == [0]
+        assert [d.doc_id for d in window] == [1, 2]
+
+    def test_exactly_one_expiration_per_arrival_in_steady_state(self):
+        window = CountBasedWindow(5)
+        for i in range(20):
+            expired = window.insert(make_document(i, {0: 0.1}, arrival_time=i))
+            if i < 5:
+                assert expired == []
+            else:
+                assert len(expired) == 1
+                assert expired[0].doc_id == i - 5
+
+    def test_time_does_not_expire_documents(self):
+        window = CountBasedWindow(2)
+        window.insert(make_document(0, {0: 0.5}, arrival_time=0))
+        assert window.advance_time(1_000_000.0) == []
+
+    def test_out_of_order_arrival_rejected(self):
+        window = CountBasedWindow(2)
+        window.insert(make_document(0, {0: 0.5}, arrival_time=10))
+        with pytest.raises(WindowError):
+            window.insert(make_document(1, {0: 0.5}, arrival_time=5))
+
+    def test_contains_and_accessors(self):
+        window = CountBasedWindow(3)
+        window.insert(make_document(7, {0: 0.5}, arrival_time=0))
+        window.insert(make_document(8, {0: 0.5}, arrival_time=1))
+        assert 7 in window and 9 not in window
+        assert window.oldest.doc_id == 7
+        assert window.newest.doc_id == 8
+        assert [d.doc_id for d in window.valid_documents()] == [7, 8]
+
+    def test_empty_window_accessors(self):
+        window = CountBasedWindow(3)
+        assert window.oldest is None
+        assert window.newest is None
+        assert len(window) == 0
+
+    @given(st.integers(min_value=1, max_value=10), st.integers(min_value=0, max_value=60))
+    @settings(max_examples=60, deadline=None)
+    def test_window_never_exceeds_size(self, size, arrivals):
+        window = CountBasedWindow(size)
+        for i in range(arrivals):
+            window.insert(make_document(i, {0: 0.5}, arrival_time=float(i)))
+            assert len(window) <= size
+        assert len(window) == min(size, arrivals)
+
+
+class TestTimeBasedWindow:
+    def test_span_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            TimeBasedWindow(0)
+
+    def test_documents_expire_after_span(self):
+        window = TimeBasedWindow(span=10.0)
+        window.insert(make_document(0, {0: 0.5}, arrival_time=0.0))
+        window.insert(make_document(1, {0: 0.5}, arrival_time=5.0))
+        expired = window.insert(make_document(2, {0: 0.5}, arrival_time=10.0))
+        assert [d.doc_id for d in expired] == [0]
+        assert len(window) == 2
+
+    def test_arrival_alone_never_expires_recent_documents(self):
+        window = TimeBasedWindow(span=100.0)
+        for i in range(10):
+            assert window.insert(make_document(i, {0: 0.5}, arrival_time=float(i))) == []
+        assert len(window) == 10
+
+    def test_advance_time_expires_documents(self):
+        window = TimeBasedWindow(span=10.0)
+        window.insert(make_document(0, {0: 0.5}, arrival_time=0.0))
+        window.insert(make_document(1, {0: 0.5}, arrival_time=8.0))
+        expired = window.advance_time(12.0)
+        assert [d.doc_id for d in expired] == [0]
+        assert [d.doc_id for d in window] == [1]
+
+    def test_advance_time_backwards_rejected(self):
+        window = TimeBasedWindow(span=10.0)
+        window.insert(make_document(0, {0: 0.5}, arrival_time=5.0))
+        with pytest.raises(WindowError):
+            window.advance_time(1.0)
+
+    def test_multiple_expirations_in_one_step(self):
+        window = TimeBasedWindow(span=2.0)
+        for i in range(5):
+            window.insert(make_document(i, {0: 0.5}, arrival_time=float(i) * 0.1))
+        expired = window.advance_time(50.0)
+        assert len(expired) == 5
+        assert len(window) == 0
+
+    @given(
+        st.lists(st.floats(min_value=0.01, max_value=5.0), min_size=1, max_size=50),
+        st.floats(min_value=0.5, max_value=20.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_validity_matches_definition(self, gaps, span):
+        window = TimeBasedWindow(span=span)
+        now = 0.0
+        for i, gap in enumerate(gaps):
+            now += gap
+            window.insert(make_document(i, {0: 0.5}, arrival_time=now))
+            for document in window:
+                assert now - document.arrival_time < span

@@ -1,0 +1,64 @@
+"""Tests for the FIFO document store."""
+
+import pytest
+
+from repro.exceptions import DuplicateDocumentError, UnknownDocumentError
+from repro.index.document_store import DocumentStore
+from tests.conftest import make_document
+
+
+@pytest.fixture
+def store():
+    store = DocumentStore()
+    for i in range(3):
+        store.add(make_document(i, {0: 0.5}, arrival_time=float(i)))
+    return store
+
+
+class TestDocumentStore:
+    def test_fifo_iteration_order(self, store):
+        assert [d.doc_id for d in store] == [0, 1, 2]
+
+    def test_len_and_contains(self, store):
+        assert len(store) == 3
+        assert 1 in store and 7 not in store
+
+    def test_duplicate_add_rejected(self, store):
+        with pytest.raises(DuplicateDocumentError):
+            store.add(make_document(1, {0: 0.5}))
+
+    def test_get_and_find(self, store):
+        assert store.get(2).doc_id == 2
+        assert store.find(2).doc_id == 2
+        assert store.find(42) is None
+        with pytest.raises(UnknownDocumentError):
+            store.get(42)
+
+    def test_remove(self, store):
+        removed = store.remove(1)
+        assert removed.doc_id == 1
+        assert [d.doc_id for d in store] == [0, 2]
+        with pytest.raises(UnknownDocumentError):
+            store.remove(1)
+
+    def test_pop_oldest(self, store):
+        assert store.pop_oldest().doc_id == 0
+        assert store.pop_oldest().doc_id == 1
+
+    def test_pop_oldest_empty(self):
+        with pytest.raises(UnknownDocumentError):
+            DocumentStore().pop_oldest()
+
+    def test_oldest_newest(self, store):
+        assert store.oldest.doc_id == 0
+        assert store.newest.doc_id == 2
+        empty = DocumentStore()
+        assert empty.oldest is None and empty.newest is None
+
+    def test_doc_ids(self, store):
+        assert store.doc_ids() == [0, 1, 2]
+
+    def test_removal_preserves_relative_order(self, store):
+        store.remove(0)
+        store.add(make_document(9, {0: 0.5}, arrival_time=9.0))
+        assert store.doc_ids() == [1, 2, 9]

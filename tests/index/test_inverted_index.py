@@ -1,0 +1,92 @@
+"""Tests for the whole-document inverted index."""
+
+import pytest
+
+from repro.exceptions import DuplicateDocumentError, UnknownDocumentError
+from repro.index.inverted_index import InvertedIndex
+from tests.conftest import make_document
+
+
+@pytest.fixture
+def index():
+    index = InvertedIndex()
+    index.insert_document(make_document(0, {11: 0.10, 20: 0.03}, arrival_time=0.0))
+    index.insert_document(make_document(1, {11: 0.08, 20: 0.06}, arrival_time=1.0))
+    index.insert_document(make_document(2, {20: 0.08}, arrival_time=2.0))
+    return index
+
+
+class TestInsertion:
+    def test_insert_returns_posting_count(self):
+        index = InvertedIndex()
+        inserted = index.insert_document(make_document(0, {1: 0.5, 2: 0.5, 3: 0.5}))
+        assert inserted == 3
+        assert len(index) == 1
+        assert index.posting_count() == 3
+
+    def test_lists_are_impact_ordered(self, index):
+        assert [e.doc_id for e in index.inverted_list(11)] == [0, 1]
+        assert [e.doc_id for e in index.inverted_list(20)] == [2, 1, 0]
+
+    def test_duplicate_document_rejected(self, index):
+        with pytest.raises(DuplicateDocumentError):
+            index.insert_document(make_document(0, {5: 0.5}))
+
+    def test_document_store_holds_full_documents(self, index):
+        assert index.documents.get(1).composition.weight(20) == pytest.approx(0.06)
+        assert 2 in index
+
+
+class TestRemoval:
+    def test_remove_updates_every_list(self, index):
+        document, removed = index.remove_document(1)
+        assert document.doc_id == 1
+        assert removed == 2
+        assert [e.doc_id for e in index.inverted_list(11)] == [0]
+        assert [e.doc_id for e in index.inverted_list(20)] == [2, 0]
+        assert 1 not in index
+
+    def test_remove_unknown_document(self, index):
+        with pytest.raises(UnknownDocumentError):
+            index.remove_document(99)
+
+    def test_empty_lists_without_queries_are_reclaimed(self):
+        index = InvertedIndex()
+        index.insert_document(make_document(0, {5: 0.5}))
+        index.remove_document(0)
+        assert index.existing_list(5) is None
+
+    def test_empty_lists_with_registered_queries_are_kept(self):
+        index = InvertedIndex()
+        index.threshold_tree(5).register(0, 0.0)
+        index.insert_document(make_document(0, {5: 0.5}))
+        index.remove_document(0)
+        assert index.existing_list(5) is not None
+        assert len(index.existing_list(5)) == 0
+
+
+class TestAccessors:
+    def test_inverted_list_created_on_demand(self):
+        index = InvertedIndex()
+        assert index.existing_list(3) is None
+        lst = index.inverted_list(3)
+        assert index.existing_list(3) is lst
+
+    def test_threshold_tree_created_on_demand(self):
+        index = InvertedIndex()
+        assert index.existing_tree(3) is None
+        tree = index.threshold_tree(3)
+        assert index.existing_tree(3) is tree
+
+    def test_terms_and_list_lengths(self, index):
+        assert set(index.terms()) == {11, 20}
+        assert index.list_lengths() == {11: 2, 20: 3}
+
+    def test_check_invariants_passes_on_consistent_index(self, index):
+        index.check_invariants()
+
+    def test_check_invariants_detects_corruption(self, index):
+        # Simulate corruption: remove a posting behind the index's back.
+        index.inverted_list(11).delete(0)
+        with pytest.raises(AssertionError):
+            index.check_invariants()

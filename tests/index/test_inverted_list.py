@@ -1,0 +1,170 @@
+"""Tests for impact-ordered inverted lists."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DuplicateDocumentError, UnknownDocumentError
+from repro.index.inverted_list import InvertedList, PostingEntry
+
+
+@pytest.fixture
+def populated():
+    """The L11 list of the paper's Figure 1 (weights 0.10, 0.08, 0.07, 0.05)."""
+    lst = InvertedList(term_id=11)
+    lst.insert(7, 0.10)
+    lst.insert(1, 0.08)
+    lst.insert(5, 0.07)
+    lst.insert(8, 0.05)
+    return lst
+
+
+class TestUpdates:
+    def test_insert_orders_by_decreasing_weight(self, populated):
+        assert populated.to_pairs() == [(7, 0.10), (1, 0.08), (5, 0.07), (8, 0.05)]
+
+    def test_duplicate_insert_rejected(self, populated):
+        with pytest.raises(DuplicateDocumentError):
+            populated.insert(7, 0.2)
+
+    def test_non_positive_weight_rejected(self):
+        lst = InvertedList(0)
+        with pytest.raises(ValueError):
+            lst.insert(1, 0.0)
+        with pytest.raises(ValueError):
+            lst.insert(1, -0.3)
+
+    def test_delete_returns_weight(self, populated):
+        assert populated.delete(5) == pytest.approx(0.07)
+        assert 5 not in populated
+        assert len(populated) == 3
+
+    def test_delete_unknown_rejected(self, populated):
+        with pytest.raises(UnknownDocumentError):
+            populated.delete(99)
+
+    def test_ties_ordered_by_doc_id(self):
+        lst = InvertedList(0)
+        lst.insert(9, 0.5)
+        lst.insert(3, 0.5)
+        assert [e.doc_id for e in lst] == [3, 9]
+
+
+class TestLookups:
+    def test_weight_of(self, populated):
+        assert populated.weight_of(1) == pytest.approx(0.08)
+        assert populated.weight_of(42) == 0.0
+
+    def test_top_and_bottom_weight(self, populated):
+        assert populated.top_weight() == pytest.approx(0.10)
+        assert populated.bottom_weight() == pytest.approx(0.05)
+
+    def test_empty_list_weights(self):
+        lst = InvertedList(0)
+        assert lst.top_weight() == 0.0
+        assert lst.bottom_weight() == 0.0
+        assert len(lst) == 0
+        assert not lst
+
+
+class TestNavigation:
+    def test_iter_from_top(self, populated):
+        assert [e.doc_id for e in populated.iter_from_top()] == [7, 1, 5, 8]
+
+    def test_iter_from_weight_inclusive(self, populated):
+        assert [e.doc_id for e in populated.iter_from_weight(0.07)] == [5, 8]
+
+    def test_iter_from_weight_exclusive(self, populated):
+        assert [e.doc_id for e in populated.iter_from_weight(0.07, inclusive=False)] == [8]
+
+    def test_iter_from_weight_above_everything(self, populated):
+        assert [e.doc_id for e in populated.iter_from_weight(1.0)] == [7, 1, 5, 8]
+
+    def test_next_weight_above_finds_preceding_entry(self, populated):
+        # This is the roll-up candidate: the entry just above the threshold.
+        entry = populated.next_weight_above(0.07)
+        assert entry.weight == pytest.approx(0.08)
+
+    def test_next_weight_above_with_threshold_at_top(self, populated):
+        assert populated.next_weight_above(0.10) is None
+        assert populated.next_weight_above(0.5) is None
+
+    def test_next_weight_above_zero_threshold(self, populated):
+        entry = populated.next_weight_above(0.0)
+        assert entry.weight == pytest.approx(0.05)
+
+    def test_first_entry_at_or_below(self, populated):
+        assert populated.first_entry_at_or_below(0.09).doc_id == 1
+        assert populated.first_entry_at_or_below(0.01) is None
+
+    def test_entries_at_or_above(self, populated):
+        entries = populated.entries_at_or_above(0.07)
+        assert [e.doc_id for e in entries] == [7, 1, 5]
+
+    def test_posting_entry_key(self):
+        entry = PostingEntry(doc_id=4, weight=0.3)
+        assert entry.key() == (-0.3, 4)
+
+
+class TestPropertyBased:
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=200),
+            st.floats(min_value=0.001, max_value=1.0, allow_nan=False),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_impact_order_and_membership(self, postings):
+        lst = InvertedList(0)
+        for doc_id, weight in postings.items():
+            lst.insert(doc_id, weight)
+        weights = [entry.weight for entry in lst]
+        assert weights == sorted(weights, reverse=True)
+        assert len(lst) == len(postings)
+        for doc_id, weight in postings.items():
+            assert lst.weight_of(doc_id) == pytest.approx(weight)
+        lst.check_invariants()
+
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=100),
+            st.floats(min_value=0.001, max_value=1.0, allow_nan=False),
+            min_size=2,
+            max_size=40,
+        ),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_next_weight_above_matches_linear_scan(self, postings, threshold):
+        lst = InvertedList(0)
+        for doc_id, weight in postings.items():
+            lst.insert(doc_id, weight)
+        above = [w for w in postings.values() if w > threshold]
+        entry = lst.next_weight_above(threshold)
+        if above:
+            assert entry is not None
+            assert entry.weight == pytest.approx(min(above))
+        else:
+            assert entry is None
+
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=100),
+            st.floats(min_value=0.001, max_value=1.0, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        ),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_iter_from_weight_matches_linear_scan(self, postings, threshold):
+        lst = InvertedList(0)
+        for doc_id, weight in postings.items():
+            lst.insert(doc_id, weight)
+        expected = sorted(
+            (w for w in postings.values() if w <= threshold), reverse=True
+        )
+        got = [entry.weight for entry in lst.iter_from_weight(threshold)]
+        assert got == pytest.approx(expected)

@@ -1,0 +1,230 @@
+"""Tests for the block-based sorted container, including property tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.index.sorted_list import SortedKeyList
+
+
+class TestBasics:
+    def test_empty(self):
+        lst = SortedKeyList()
+        assert len(lst) == 0
+        assert not lst
+        assert list(lst) == []
+        assert 1 not in lst
+
+    def test_block_size_validation(self):
+        with pytest.raises(ValueError):
+            SortedKeyList(block_size=2)
+
+    def test_bulk_construction_is_sorted(self):
+        lst = SortedKeyList([5, 1, 4, 2, 3])
+        assert list(lst) == [1, 2, 3, 4, 5]
+
+    def test_add_keeps_order(self):
+        lst = SortedKeyList()
+        for value in (3, 1, 2, 2, 0):
+            lst.add(value)
+        assert list(lst) == [0, 1, 2, 2, 3]
+
+    def test_duplicates_allowed(self):
+        lst = SortedKeyList([1, 1, 1])
+        assert len(lst) == 3
+
+    def test_remove_one_occurrence(self):
+        lst = SortedKeyList([1, 1, 2])
+        lst.remove(1)
+        assert list(lst) == [1, 2]
+
+    def test_remove_missing_raises(self):
+        with pytest.raises(ValueError):
+            SortedKeyList([1, 2]).remove(3)
+
+    def test_discard(self):
+        lst = SortedKeyList([1, 2])
+        assert lst.discard(1) is True
+        assert lst.discard(1) is False
+        assert list(lst) == [2]
+
+    def test_clear(self):
+        lst = SortedKeyList([1, 2, 3])
+        lst.clear()
+        assert len(lst) == 0
+        lst.add(5)
+        assert list(lst) == [5]
+
+    def test_first_last(self):
+        lst = SortedKeyList([3, 1, 2])
+        assert lst.first() == 1
+        assert lst.last() == 3
+
+    def test_first_last_empty_raise(self):
+        with pytest.raises(IndexError):
+            SortedKeyList().first()
+        with pytest.raises(IndexError):
+            SortedKeyList().last()
+
+    def test_contains(self):
+        lst = SortedKeyList([(1, "a"), (2, "b")])
+        assert (1, "a") in lst
+        assert (1, "b") not in lst
+
+
+class TestOrderedQueries:
+    @pytest.fixture
+    def lst(self):
+        return SortedKeyList([1, 3, 5, 7, 9])
+
+    def test_find_ge(self, lst):
+        assert lst.find_ge(4) == 5
+        assert lst.find_ge(5) == 5
+        assert lst.find_ge(10) is None
+
+    def test_find_gt(self, lst):
+        assert lst.find_gt(5) == 7
+        assert lst.find_gt(9) is None
+
+    def test_find_lt(self, lst):
+        assert lst.find_lt(5) == 3
+        assert lst.find_lt(1) is None
+        assert lst.find_lt(100) == 9
+
+    def test_find_le(self, lst):
+        assert lst.find_le(5) == 5
+        assert lst.find_le(4) == 3
+        assert lst.find_le(0) is None
+
+    def test_irange_full(self, lst):
+        assert list(lst.irange()) == [1, 3, 5, 7, 9]
+
+    def test_irange_minimum_inclusive(self, lst):
+        assert list(lst.irange(minimum=5)) == [5, 7, 9]
+
+    def test_irange_minimum_exclusive(self, lst):
+        assert list(lst.irange(minimum=5, inclusive=False)) == [7, 9]
+
+    def test_irange_maximum(self, lst):
+        assert list(lst.irange(maximum=5)) == [1, 3, 5]
+
+    def test_irange_window(self, lst):
+        assert list(lst.irange(minimum=3, maximum=7)) == [3, 5, 7]
+
+    def test_irange_empty_result(self, lst):
+        assert list(lst.irange(minimum=100)) == []
+
+    def test_count_le(self, lst):
+        assert lst.count_le(0) == 0
+        assert lst.count_le(5) == 3
+        assert lst.count_le(9) == 5
+
+    def test_to_list(self, lst):
+        assert lst.to_list() == [1, 3, 5, 7, 9]
+
+
+class TestBlockSplitting:
+    def test_many_items_split_into_blocks_and_stay_sorted(self):
+        lst = SortedKeyList(block_size=8)
+        values = list(range(200))
+        random.Random(3).shuffle(values)
+        for value in values:
+            lst.add(value)
+        assert list(lst) == list(range(200))
+        lst.check_invariants()
+
+    def test_interleaved_adds_and_removes(self):
+        lst = SortedKeyList(block_size=8)
+        rng = random.Random(5)
+        reference = []
+        for step in range(2000):
+            if reference and rng.random() < 0.45:
+                victim = rng.choice(reference)
+                reference.remove(victim)
+                lst.remove(victim)
+            else:
+                value = rng.randint(0, 100)
+                reference.append(value)
+                lst.add(value)
+        assert list(lst) == sorted(reference)
+        lst.check_invariants()
+
+
+class _Model:
+    """Reference model for hypothesis-based stateful comparison."""
+
+    def __init__(self):
+        self.items = []
+
+    def add(self, item):
+        self.items.append(item)
+        self.items.sort()
+
+    def remove(self, item):
+        self.items.remove(item)
+
+
+class TestPropertyBased:
+    @given(st.lists(st.integers(min_value=-50, max_value=50)))
+    @settings(max_examples=150, deadline=None)
+    def test_matches_sorted_builtin(self, values):
+        lst = SortedKeyList(block_size=4)
+        for value in values:
+            lst.add(value)
+        assert list(lst) == sorted(values)
+        lst.check_invariants()
+
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["add", "remove"]), st.integers(0, 20)),
+            max_size=200,
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_add_remove_sequence_matches_model(self, operations):
+        lst = SortedKeyList(block_size=4)
+        model = _Model()
+        for op, value in operations:
+            if op == "add":
+                lst.add(value)
+                model.add(value)
+            else:
+                if value in model.items:
+                    lst.remove(value)
+                    model.remove(value)
+                else:
+                    with pytest.raises(ValueError):
+                        lst.remove(value)
+        assert list(lst) == model.items
+        lst.check_invariants()
+
+    @given(
+        st.lists(st.integers(-30, 30), min_size=1, max_size=80),
+        st.integers(-35, 35),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_find_queries_match_linear_scan(self, values, probe):
+        lst = SortedKeyList(values, block_size=4)
+        ordered = sorted(values)
+        expected_ge = next((v for v in ordered if v >= probe), None)
+        expected_gt = next((v for v in ordered if v > probe), None)
+        expected_lt = next((v for v in reversed(ordered) if v < probe), None)
+        expected_le = next((v for v in reversed(ordered) if v <= probe), None)
+        assert lst.find_ge(probe) == expected_ge
+        assert lst.find_gt(probe) == expected_gt
+        assert lst.find_lt(probe) == expected_lt
+        assert lst.find_le(probe) == expected_le
+        assert lst.count_le(probe) == sum(1 for v in values if v <= probe)
+
+    @given(
+        st.lists(st.integers(-30, 30), min_size=1, max_size=80),
+        st.integers(-35, 35),
+        st.integers(-35, 35),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_irange_matches_linear_scan(self, values, low, high):
+        lst = SortedKeyList(values, block_size=4)
+        expected = [v for v in sorted(values) if low <= v <= high]
+        assert list(lst.irange(minimum=low, maximum=high)) == expected

@@ -1,0 +1,119 @@
+"""Tests for the threshold trees."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import UnknownQueryError
+from repro.index.threshold_tree import ThresholdTree
+
+
+@pytest.fixture
+def tree():
+    tree = ThresholdTree(term_id=11)
+    tree.register(0, 0.08)
+    tree.register(1, 0.25)
+    tree.register(2, 0.02)
+    return tree
+
+
+class TestRegistration:
+    def test_register_and_lookup(self, tree):
+        assert tree.threshold_of(1) == 0.25
+        assert tree.get(2) == 0.02
+        assert len(tree) == 3
+        assert 1 in tree and 9 not in tree
+
+    def test_register_is_upsert(self, tree):
+        tree.register(0, 0.5)
+        assert tree.threshold_of(0) == 0.5
+        assert len(tree) == 3
+
+    def test_register_same_value_is_noop(self, tree):
+        tree.register(0, 0.08)
+        assert tree.threshold_of(0) == 0.08
+
+    def test_update_requires_registration(self, tree):
+        tree.update(0, 0.9)
+        assert tree.threshold_of(0) == 0.9
+        with pytest.raises(UnknownQueryError):
+            tree.update(42, 0.5)
+
+    def test_unregister(self, tree):
+        tree.unregister(1)
+        assert 1 not in tree
+        assert len(tree) == 2
+        with pytest.raises(UnknownQueryError):
+            tree.unregister(1)
+
+    def test_threshold_of_unknown_raises(self, tree):
+        with pytest.raises(UnknownQueryError):
+            tree.threshold_of(77)
+        assert tree.get(77) is None
+
+
+class TestProbes:
+    def test_queries_at_or_below(self, tree):
+        assert sorted(tree.queries_at_or_below(0.10)) == [0, 2]
+        assert sorted(tree.queries_at_or_below(0.30)) == [0, 1, 2]
+        assert tree.queries_at_or_below(0.01) == []
+
+    def test_probe_includes_exact_ties(self, tree):
+        # The paper's condition is theta_{Q,t} <= w_{d,t}: equality matches.
+        assert 0 in tree.queries_at_or_below(0.08)
+
+    def test_iter_variant_matches_list_variant(self, tree):
+        assert sorted(tree.iter_queries_at_or_below(0.1)) == sorted(tree.queries_at_or_below(0.1))
+
+    def test_min_threshold(self, tree):
+        assert tree.min_threshold() == 0.02
+        assert ThresholdTree(0).min_threshold() is None
+
+    def test_iteration_in_threshold_order(self, tree):
+        thresholds = [threshold for threshold, _ in tree]
+        assert thresholds == sorted(thresholds)
+
+    def test_probe_after_updates(self, tree):
+        tree.register(2, 0.5)   # roll-up: 2 moves out of reach
+        assert sorted(tree.queries_at_or_below(0.10)) == [0]
+        tree.register(1, 0.01)  # refill: 1 becomes reachable
+        assert sorted(tree.queries_at_or_below(0.10)) == [0, 1]
+
+
+class TestPropertyBased:
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=50),
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        ),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_probe_matches_linear_scan(self, registrations, probe_weight):
+        tree = ThresholdTree(0)
+        for query_id, threshold in registrations.items():
+            tree.register(query_id, threshold)
+        expected = sorted(q for q, t in registrations.items() if t <= probe_weight)
+        assert sorted(tree.queries_at_or_below(probe_weight)) == expected
+        tree.check_invariants()
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 10), st.floats(0.0, 1.0, allow_nan=False)),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_repeated_upserts_keep_latest_value(self, updates):
+        tree = ThresholdTree(0)
+        latest = {}
+        for query_id, threshold in updates:
+            tree.register(query_id, threshold)
+            latest[query_id] = threshold
+        for query_id, threshold in latest.items():
+            assert tree.threshold_of(query_id) == threshold
+        assert len(tree) == len(latest)
+        tree.check_invariants()

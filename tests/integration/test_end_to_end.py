@@ -1,0 +1,172 @@
+"""End-to-end integration tests spanning the whole stack.
+
+These exercise the realistic path a user follows -- raw text -> analyzer ->
+vocabulary -> corpus -> stream -> engine -> results/alerts/snapshot -- and
+assert the engines stay mutually consistent throughout.
+"""
+
+import random
+
+import pytest
+
+from repro import (
+    Analyzer,
+    ContinuousQuery,
+    CountBasedWindow,
+    DocumentStream,
+    ITAEngine,
+    InMemoryCorpus,
+    KMaxNaiveEngine,
+    NaiveEngine,
+    OracleEngine,
+    PoissonArrivalProcess,
+    TimeBasedWindow,
+    Vocabulary,
+    snapshot_engine,
+    restore_engine,
+)
+from repro.documents.corpus import SyntheticCorpus, SyntheticCorpusConfig
+from tests.conftest import assert_same_topk
+
+
+def _headline_corpus():
+    analyzer = Analyzer()
+    vocabulary = Vocabulary()
+    texts = [
+        "Central bank raises interest rates to combat inflation",
+        "Tech stocks rally on strong quarterly earnings reports",
+        "Oil prices climb as supply concerns mount in the market",
+        "Weather forecast calls for heavy rain over the weekend",
+        "Inflation data surprises markets and lifts bond yields",
+        "Quarterly earnings from the bank beat analyst expectations",
+        "Renewable energy investment surges amid climate concerns",
+        "Local sports team clinches the championship in overtime",
+        "Market volatility rises as inflation fears return",
+        "Bank of England signals another interest rate decision",
+    ]
+    corpus = InMemoryCorpus(texts, analyzer=analyzer, vocabulary=vocabulary)
+    return analyzer, vocabulary, corpus
+
+
+class TestTextToResultsPipeline:
+    def test_real_text_query_ranks_relevant_documents_first(self):
+        analyzer, vocabulary, corpus = _headline_corpus()
+        engine = ITAEngine(CountBasedWindow(10))
+        query = ContinuousQuery.from_text(
+            0, "inflation interest rate bank", k=3, analyzer=analyzer, vocabulary=vocabulary
+        )
+        engine.register_query(query)
+        oracle = OracleEngine(CountBasedWindow(10))
+        oracle.register_query(query)
+        for streamed in DocumentStream(corpus, PoissonArrivalProcess(rate=1.0, seed=1)):
+            engine.process(streamed)
+            oracle.process(streamed)
+        assert_same_topk(oracle.current_result(0), engine.current_result(0))
+        # The top result must be an inflation/rates/bank headline, not weather/sport.
+        top_doc = engine.current_result(0)[0].doc_id
+        assert top_doc not in {3, 7}  # weather, sports
+
+    def test_all_engines_agree_on_real_text_stream(self):
+        analyzer, vocabulary, corpus = _headline_corpus()
+        window_size = 6
+        engines = {
+            "ita": ITAEngine(CountBasedWindow(window_size)),
+            "naive": NaiveEngine(CountBasedWindow(window_size)),
+            "kmax": KMaxNaiveEngine(CountBasedWindow(window_size)),
+            "oracle": OracleEngine(CountBasedWindow(window_size)),
+        }
+        queries = [
+            ContinuousQuery.from_text(0, "inflation market", k=2, analyzer=analyzer, vocabulary=vocabulary),
+            ContinuousQuery.from_text(1, "earnings bank", k=3, analyzer=analyzer, vocabulary=vocabulary),
+        ]
+        for engine in engines.values():
+            for query in queries:
+                engine.register_query(query)
+        docs = list(DocumentStream(corpus, PoissonArrivalProcess(rate=1.0, seed=2)))
+        for document in docs:
+            for engine in engines.values():
+                engine.process(document)
+            for query in queries:
+                for name in ("ita", "naive", "kmax"):
+                    assert_same_topk(
+                        engines["oracle"].current_result(query.query_id),
+                        engines[name].current_result(query.query_id),
+                        context=f"({name}, query {query.query_id})",
+                    )
+
+
+class TestLargeSyntheticStream:
+    def test_all_engines_consistent_on_large_synthetic_stream(self):
+        config = SyntheticCorpusConfig(dictionary_size=2_000, mean_log_length=3.5, seed=17)
+        corpus = SyntheticCorpus(config)
+        queries = [
+            ContinuousQuery.from_term_ids(i, corpus.sample_query_terms(6), k=5)
+            for i in range(15)
+        ]
+        window = 50
+        ita = ITAEngine(CountBasedWindow(window))
+        kmax = KMaxNaiveEngine(CountBasedWindow(window))
+        oracle = OracleEngine(CountBasedWindow(window))
+        for engine in (ita, kmax, oracle):
+            for query in queries:
+                engine.register_query(query)
+        stream = DocumentStream(corpus, PoissonArrivalProcess(rate=200.0, seed=3), limit=300)
+        for position, document in enumerate(stream):
+            ita.process(document)
+            kmax.process(document)
+            oracle.process(document)
+            if position % 25 == 0 or position > 290:
+                for query in queries:
+                    ref = oracle.current_result(query.query_id)
+                    assert_same_topk(ref, ita.current_result(query.query_id))
+                    assert_same_topk(ref, kmax.current_result(query.query_id))
+        ita.check_invariants()
+
+
+class TestSnapshotRoundtripWithinStream:
+    def test_snapshot_midstream_then_continue(self):
+        config = SyntheticCorpusConfig(dictionary_size=1_000, mean_log_length=3.0, seed=5)
+        corpus = SyntheticCorpus(config)
+        queries = [ContinuousQuery.from_term_ids(i, corpus.sample_query_terms(4), k=3) for i in range(8)]
+        window = 30
+        engine = ITAEngine(CountBasedWindow(window))
+        for query in queries:
+            engine.register_query(query)
+        stream = DocumentStream(corpus, PoissonArrivalProcess(rate=200.0, seed=6), limit=200)
+        docs = list(stream)
+        for document in docs[:100]:
+            engine.process(document)
+        # Snapshot, restore, and verify the restored engine matches.
+        restored = restore_engine(snapshot_engine(engine))
+        for query in queries:
+            assert_same_topk(engine.current_result(query.query_id), restored.current_result(query.query_id))
+        # Continue both; they must stay in lockstep.
+        for document in docs[100:]:
+            engine.process(document)
+            restored.process(document)
+        for query in queries:
+            assert_same_topk(engine.current_result(query.query_id), restored.current_result(query.query_id))
+
+
+class TestTimeBasedEndToEnd:
+    def test_time_window_expiry_matches_oracle(self):
+        config = SyntheticCorpusConfig(dictionary_size=800, mean_log_length=3.0, seed=8)
+        corpus = SyntheticCorpus(config)
+        queries = [ContinuousQuery.from_term_ids(i, corpus.sample_query_terms(5), k=4) for i in range(10)]
+        span = 5.0
+        ita = ITAEngine(TimeBasedWindow(span))
+        oracle = OracleEngine(TimeBasedWindow(span))
+        for engine in (ita, oracle):
+            for query in queries:
+                engine.register_query(query)
+        stream = DocumentStream(corpus, PoissonArrivalProcess(rate=50.0, seed=9), limit=250)
+        for position, document in enumerate(stream):
+            ita.process(document)
+            oracle.process(document)
+            if position % 20 == 0:
+                for query in queries:
+                    assert_same_topk(
+                        oracle.current_result(query.query_id),
+                        ita.current_result(query.query_id),
+                    )
+        ita.check_invariants()

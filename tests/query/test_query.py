@@ -1,0 +1,130 @@
+"""Tests for continuous queries."""
+
+import math
+
+import pytest
+
+from repro.documents.document import CompositionList
+from repro.exceptions import QueryError
+from repro.query.query import ContinuousQuery
+from repro.text.analyzer import Analyzer
+from repro.text.vocabulary import Vocabulary
+from repro.weighting.schemes import CosineWeighting
+
+
+class TestConstruction:
+    def test_basic(self):
+        query = ContinuousQuery(0, {1: 0.5, 2: 0.5}, k=3)
+        assert len(query) == 2
+        assert query.k == 3
+        assert 1 in query and 9 not in query
+        assert query.weight(1) == 0.5
+        assert query.weight(9) == 0.0
+        assert sorted(query.terms()) == [1, 2]
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(QueryError):
+            ContinuousQuery(0, {1: 0.5}, k=0)
+
+    def test_weights_must_be_valid(self):
+        with pytest.raises(QueryError):
+            ContinuousQuery(0, {1: -0.5}, k=1)
+        with pytest.raises(QueryError):
+            ContinuousQuery(0, {1: float("nan")}, k=1)
+
+    def test_zero_weights_dropped_and_empty_rejected(self):
+        with pytest.raises(QueryError):
+            ContinuousQuery(0, {1: 0.0}, k=1)
+        query = ContinuousQuery(0, {1: 0.0, 2: 0.3}, k=1)
+        assert 1 not in query
+
+    def test_equality_and_hash(self):
+        a = ContinuousQuery(0, {1: 0.5}, k=2)
+        b = ContinuousQuery(0, {1: 0.5}, k=2)
+        c = ContinuousQuery(0, {1: 0.6}, k=2)
+        assert a == b and hash(a) == hash(b)
+        assert a != c
+
+
+class TestFromText:
+    @pytest.fixture
+    def env(self):
+        return Analyzer(), Vocabulary()
+
+    def test_repeated_terms_increase_weight(self, env):
+        analyzer, vocabulary = env
+        # The paper's example query {white white tower}.
+        query = ContinuousQuery.from_text(0, "white white tower", k=2,
+                                          analyzer=analyzer, vocabulary=vocabulary)
+        white = vocabulary.id_of("white")
+        tower = vocabulary.id_of("tower")
+        assert query.weight(white) == pytest.approx(2 / math.sqrt(5))
+        assert query.weight(tower) == pytest.approx(1 / math.sqrt(5))
+        assert query.text == "white white tower"
+
+    def test_analysis_matches_documents(self, env):
+        analyzer, vocabulary = env
+        query = ContinuousQuery.from_text(0, "Weapons of Mass Destruction", k=5,
+                                          analyzer=analyzer, vocabulary=vocabulary)
+        assert vocabulary.get_id("weapon") is not None
+        assert len(query) == 3  # "of" removed by stop-wording
+
+    def test_stopword_only_query_rejected(self, env):
+        analyzer, vocabulary = env
+        with pytest.raises(QueryError):
+            ContinuousQuery.from_text(0, "the and of", k=1,
+                                      analyzer=analyzer, vocabulary=vocabulary)
+
+    def test_frozen_vocabulary_drops_unknown_terms(self):
+        analyzer = Analyzer()
+        vocabulary = Vocabulary(["market"])
+        vocabulary.freeze()
+        query = ContinuousQuery.from_text(0, "market meltdown", k=1,
+                                          analyzer=analyzer, vocabulary=vocabulary,
+                                          allow_unknown_terms=False)
+        assert len(query) == 1
+
+    def test_frozen_vocabulary_with_no_known_terms_rejected(self):
+        analyzer = Analyzer()
+        vocabulary = Vocabulary(["market"])
+        vocabulary.freeze()
+        with pytest.raises(QueryError):
+            ContinuousQuery.from_text(0, "meltdown", k=1,
+                                      analyzer=analyzer, vocabulary=vocabulary,
+                                      allow_unknown_terms=False)
+
+
+class TestFromTermIds:
+    def test_unit_frequencies(self):
+        query = ContinuousQuery.from_term_ids(3, [5, 9, 11], k=10)
+        assert query.query_id == 3
+        assert len(query) == 3
+        # cosine weights of three unit frequencies: 1/sqrt(3) each
+        assert query.weight(5) == pytest.approx(1 / math.sqrt(3))
+
+    def test_repeated_term_ids_accumulate(self):
+        query = ContinuousQuery.from_term_ids(0, [5, 5, 9], k=1)
+        assert query.weight(5) > query.weight(9)
+
+
+class TestScoring:
+    def test_score_matches_formula(self):
+        scheme = CosineWeighting()
+        query = ContinuousQuery(0, scheme.query_weights({1: 1, 2: 1}), k=1)
+        composition = CompositionList(scheme.document_weights({1: 2, 3: 1}))
+        expected = query.weight(1) * composition.weight(1)
+        assert query.score(composition) == pytest.approx(expected)
+
+    def test_score_zero_for_disjoint_documents(self):
+        query = ContinuousQuery(0, {1: 1.0}, k=1)
+        assert query.score(CompositionList({2: 0.4})) == 0.0
+
+    def test_score_weights_variant(self):
+        query = ContinuousQuery(0, {1: 0.5, 2: 0.5}, k=1)
+        assert query.score_weights({1: 0.4}) == pytest.approx(0.2)
+
+    def test_max_possible_score(self):
+        query = ContinuousQuery(0, {1: 0.6, 2: 0.8}, k=1)
+        tau = query.max_possible_score({1: 0.1, 2: 0.2})
+        assert tau == pytest.approx(0.6 * 0.1 + 0.8 * 0.2)
+        assert query.max_possible_score({}) == 0.0

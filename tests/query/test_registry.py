@@ -1,0 +1,52 @@
+"""Tests for the query registry."""
+
+import pytest
+
+from repro.exceptions import DuplicateQueryError, UnknownQueryError
+from repro.query.registry import QueryRegistry
+from tests.conftest import make_query
+
+
+class TestQueryRegistry:
+    def test_register_and_lookup(self):
+        registry = QueryRegistry()
+        query = make_query(0, {1: 0.5})
+        registry.register(query)
+        assert registry.get(0) is query
+        assert registry.find(0) is query
+        assert 0 in registry
+        assert len(registry) == 1
+        assert registry.query_ids() == [0]
+
+    def test_duplicate_id_rejected(self):
+        registry = QueryRegistry()
+        registry.register(make_query(3, {1: 0.5}))
+        with pytest.raises(DuplicateQueryError):
+            registry.register(make_query(3, {2: 0.5}))
+
+    def test_unregister(self):
+        registry = QueryRegistry()
+        registry.register(make_query(1, {1: 0.5}))
+        removed = registry.unregister(1)
+        assert removed.query_id == 1
+        assert 1 not in registry
+        with pytest.raises(UnknownQueryError):
+            registry.unregister(1)
+
+    def test_get_unknown_raises_find_returns_none(self):
+        registry = QueryRegistry()
+        with pytest.raises(UnknownQueryError):
+            registry.get(9)
+        assert registry.find(9) is None
+
+    def test_allocate_id_skips_registered_ids(self):
+        registry = QueryRegistry()
+        registry.register(make_query(5, {1: 0.5}))
+        assert registry.allocate_id() == 6
+        assert registry.allocate_id() == 7
+
+    def test_iteration(self):
+        registry = QueryRegistry()
+        for query_id in range(3):
+            registry.register(make_query(query_id, {1: 0.5}))
+        assert [q.query_id for q in registry] == [0, 1, 2]

@@ -1,0 +1,130 @@
+"""Tests for the result container R."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import UnknownDocumentError
+from repro.query.result import ResultEntry, ResultList
+
+
+@pytest.fixture
+def results():
+    r = ResultList()
+    r.add(6, 0.19)
+    r.add(2, 0.17)
+    r.add(7, 0.15)
+    return r
+
+
+class TestUpdates:
+    def test_add_and_lookup(self, results):
+        assert len(results) == 3
+        assert 6 in results and 9 not in results
+        assert results.score_of(2) == pytest.approx(0.17)
+        assert results.get(9) is None
+
+    def test_add_updates_existing_score(self, results):
+        results.add(7, 0.30)
+        assert results.score_of(7) == pytest.approx(0.30)
+        assert len(results) == 3
+        assert results.top(1)[0].doc_id == 7
+
+    def test_remove(self, results):
+        assert results.remove(2) == pytest.approx(0.17)
+        assert 2 not in results
+        with pytest.raises(UnknownDocumentError):
+            results.remove(2)
+
+    def test_discard(self, results):
+        assert results.discard(6) == pytest.approx(0.19)
+        assert results.discard(6) is None
+
+    def test_clear(self, results):
+        results.clear()
+        assert len(results) == 0
+        assert results.top(3) == []
+
+    def test_score_of_unknown_raises(self, results):
+        with pytest.raises(UnknownDocumentError):
+            results.score_of(99)
+
+
+class TestRankedViews:
+    def test_iteration_descends_by_score(self, results):
+        assert [entry.doc_id for entry in results] == [6, 2, 7]
+
+    def test_top_k(self, results):
+        assert [entry.doc_id for entry in results.top(2)] == [6, 2]
+        assert results.top(0) == []
+        assert len(results.top(10)) == 3
+
+    def test_kth_score(self, results):
+        assert results.kth_score(1) == pytest.approx(0.19)
+        assert results.kth_score(3) == pytest.approx(0.15)
+        assert results.kth_score(4) == 0.0
+        assert results.kth_score(0) == 0.0
+
+    def test_min_score(self, results):
+        assert results.min_score() == pytest.approx(0.15)
+        assert ResultList().min_score() == 0.0
+
+    def test_is_in_top_k(self, results):
+        assert results.is_in_top_k(6, 1)
+        assert not results.is_in_top_k(2, 1)
+        assert results.is_in_top_k(2, 2)
+        assert not results.is_in_top_k(99, 3)
+
+    def test_count_at_or_above(self, results):
+        assert results.count_at_or_above(0.19) == 1
+        assert results.count_at_or_above(0.17) == 2
+        assert results.count_at_or_above(0.0) == 3
+        assert results.count_at_or_above(0.5) == 0
+
+    def test_tie_break_by_doc_id(self):
+        r = ResultList()
+        r.add(9, 0.5)
+        r.add(3, 0.5)
+        assert [entry.doc_id for entry in r.top(2)] == [3, 9]
+
+    def test_documents_and_as_dict(self, results):
+        assert results.documents() == [6, 2, 7]
+        assert results.as_dict() == {6: 0.19, 2: 0.17, 7: 0.15}
+
+
+class TestPropertyBased:
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=100),
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        ),
+        st.integers(min_value=1, max_value=10),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_topk_matches_sorted_reference(self, scores, k):
+        results = ResultList()
+        for doc_id, score in scores.items():
+            results.add(doc_id, score)
+        expected = sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))[:k]
+        got = [(entry.doc_id, entry.score) for entry in results.top(k)]
+        assert got == expected
+        results.check_invariants()
+
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=100),
+            st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+            min_size=1,
+            max_size=40,
+        ),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_count_at_or_above_matches_linear_scan(self, scores, threshold):
+        results = ResultList()
+        for doc_id, score in scores.items():
+            results.add(doc_id, score)
+        expected = sum(1 for score in scores.values() if score >= threshold)
+        assert results.count_at_or_above(threshold) == expected

@@ -1,0 +1,106 @@
+"""Tests for engine-state snapshot and restore."""
+
+import json
+
+import pytest
+
+from repro.baselines.naive import NaiveEngine
+from repro.core.engine import ITAEngine
+from repro.documents.window import CountBasedWindow, TimeBasedWindow
+from repro.exceptions import ConfigurationError
+from repro.persistence import restore_engine, snapshot_engine
+from tests.conftest import StreamCase, assert_same_topk, make_document, make_query
+
+
+def populated_ita(window_size=10, num_documents=40):
+    engine = ITAEngine(CountBasedWindow(window_size))
+    engine.register_query(make_query(0, {1: 0.5, 2: 0.5}, k=3))
+    engine.register_query(make_query(1, {3: 1.0}, k=2))
+    import random
+
+    rng = random.Random(5)
+    for doc_id in range(num_documents):
+        weights = {t: round(rng.uniform(0.1, 1.0), 3) for t in rng.sample(range(5), rng.randint(1, 3))}
+        engine.process(make_document(doc_id, weights, arrival_time=float(doc_id)))
+    return engine
+
+
+class TestSnapshotFormat:
+    def test_snapshot_is_json_serialisable(self):
+        snapshot = snapshot_engine(populated_ita())
+        text = json.dumps(snapshot)
+        assert json.loads(text)["version"] == 1
+
+    def test_snapshot_captures_window_and_queries(self):
+        snapshot = snapshot_engine(populated_ita(window_size=7))
+        assert snapshot["window"] == {"type": "count", "size": 7}
+        assert len(snapshot["queries"]) == 2
+
+    def test_snapshot_only_holds_valid_documents(self):
+        engine = populated_ita(window_size=5, num_documents=40)
+        snapshot = snapshot_engine(engine)
+        assert len(snapshot["documents"]) == 5
+
+    def test_time_based_window_snapshot(self):
+        engine = ITAEngine(TimeBasedWindow(span=10.0))
+        engine.register_query(make_query(0, {1: 1.0}, k=1))
+        engine.process(make_document(0, {1: 0.5}, arrival_time=0.0))
+        snapshot = snapshot_engine(engine)
+        assert snapshot["window"] == {"type": "time", "span": 10.0}
+
+
+class TestRestore:
+    def test_roundtrip_preserves_results(self):
+        original = populated_ita()
+        snapshot = snapshot_engine(original)
+        restored = restore_engine(snapshot)
+        for query_id in original.query_ids():
+            assert_same_topk(
+                original.current_result(query_id),
+                restored.current_result(query_id),
+                context=f"(query {query_id})",
+            )
+        restored.check_invariants()
+
+    def test_restore_into_a_baseline_engine(self):
+        original = populated_ita()
+        snapshot = snapshot_engine(original)
+        restored = restore_engine(snapshot, engine_factory=lambda w: NaiveEngine(w))
+        assert isinstance(restored, NaiveEngine)
+        for query_id in original.query_ids():
+            assert_same_topk(
+                original.current_result(query_id),
+                restored.current_result(query_id),
+            )
+
+    def test_restored_engine_continues_streaming(self):
+        original = populated_ita(window_size=10)
+        restored = restore_engine(snapshot_engine(original))
+        # Feed more documents into both; they must stay in agreement.
+        for doc_id in range(100, 120):
+            document = make_document(doc_id, {1: 0.4, 2: 0.6}, arrival_time=float(doc_id))
+            original.process(document)
+            restored.process(document)
+        for query_id in original.query_ids():
+            assert_same_topk(
+                original.current_result(query_id),
+                restored.current_result(query_id),
+            )
+
+    def test_unsupported_version_rejected(self):
+        snapshot = snapshot_engine(populated_ita())
+        snapshot["version"] = 99
+        with pytest.raises(ConfigurationError):
+            restore_engine(snapshot)
+
+    def test_unknown_window_type_rejected(self):
+        snapshot = snapshot_engine(populated_ita())
+        snapshot["window"] = {"type": "sliding-sideways"}
+        with pytest.raises(ConfigurationError):
+            restore_engine(snapshot)
+
+    def test_snapshot_of_empty_engine(self):
+        engine = ITAEngine(CountBasedWindow(5))
+        engine.register_query(make_query(0, {1: 1.0}, k=2))
+        restored = restore_engine(snapshot_engine(engine))
+        assert restored.current_result(0) == []

@@ -1,0 +1,61 @@
+"""Tests of the top-level public API surface."""
+
+import pytest
+
+import repro
+
+
+class TestPublicAPI:
+    def test_version_exposed(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"missing public name {name}"
+
+    def test_engines_share_the_monitoring_interface(self):
+        from repro import ITAEngine, KMaxNaiveEngine, MonitoringEngine, NaiveEngine, OracleEngine
+
+        for engine_class in (ITAEngine, NaiveEngine, KMaxNaiveEngine, OracleEngine):
+            assert issubclass(engine_class, MonitoringEngine)
+
+    def test_quickstart_flow(self):
+        """The README / module-docstring quickstart must keep working."""
+        from repro import (
+            Analyzer,
+            ContinuousQuery,
+            CountBasedWindow,
+            DocumentStream,
+            FixedRateArrivalProcess,
+            InMemoryCorpus,
+            ITAEngine,
+            Vocabulary,
+        )
+
+        analyzer, vocabulary = Analyzer(), Vocabulary()
+        corpus = InMemoryCorpus(
+            ["breaking news about markets", "weather update for tomorrow"],
+            analyzer=analyzer,
+            vocabulary=vocabulary,
+        )
+        engine = ITAEngine(CountBasedWindow(100))
+        query = ContinuousQuery.from_text(
+            0, "market news", k=1, analyzer=analyzer, vocabulary=vocabulary
+        )
+        engine.register_query(query)
+        stream = DocumentStream(corpus, FixedRateArrivalProcess(rate=1.0))
+        engine.process_many(stream)
+        assert [entry.doc_id for entry in engine.current_result(0)] == [0]
+
+    def test_exceptions_derive_from_reproerror(self):
+        from repro.exceptions import (
+            ConfigurationError,
+            DocumentError,
+            QueryError,
+            ReproError,
+            StreamError,
+            WindowError,
+        )
+
+        for exc in (ConfigurationError, DocumentError, QueryError, StreamError, WindowError):
+            assert issubclass(exc, ReproError)

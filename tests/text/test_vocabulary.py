@@ -1,0 +1,83 @@
+"""Tests for the term dictionary."""
+
+import pytest
+
+from repro.exceptions import VocabularyError
+from repro.text.vocabulary import Vocabulary
+
+
+class TestVocabularyBasics:
+    def test_ids_are_dense_and_stable(self):
+        vocab = Vocabulary()
+        assert vocab.add("tower") == 0
+        assert vocab.add("white") == 1
+        assert vocab.add("tower") == 0
+        assert len(vocab) == 2
+
+    def test_constructor_seeds_terms(self):
+        vocab = Vocabulary(["a", "b", "c"])
+        assert vocab.id_of("b") == 1
+
+    def test_id_of_unknown_raises(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary().id_of("missing")
+
+    def test_get_id_returns_none_for_unknown(self):
+        assert Vocabulary().get_id("missing") is None
+
+    def test_term_of_roundtrip(self):
+        vocab = Vocabulary()
+        term_id = vocab.add("market")
+        assert vocab.term_of(term_id) == "market"
+
+    def test_term_of_unknown_id_raises(self):
+        with pytest.raises(VocabularyError):
+            Vocabulary().term_of(3)
+
+    def test_contains_and_iter(self):
+        vocab = Vocabulary(["x", "y"])
+        assert "x" in vocab
+        assert "z" not in vocab
+        assert list(vocab) == ["x", "y"]
+
+    def test_add_all_and_to_terms(self):
+        vocab = Vocabulary()
+        ids = vocab.add_all(["a", "b", "a"])
+        assert ids == [0, 1, 0]
+        assert vocab.to_terms([1, 0]) == ["b", "a"]
+
+    def test_items(self):
+        vocab = Vocabulary(["a", "b"])
+        assert dict(vocab.items()) == {"a": 0, "b": 1}
+
+
+class TestFrozenVocabulary:
+    def test_freeze_blocks_new_terms(self):
+        vocab = Vocabulary(["known"])
+        vocab.freeze()
+        assert vocab.frozen
+        assert vocab.add("known") == 0
+        with pytest.raises(VocabularyError):
+            vocab.add("unknown")
+
+
+class TestDocumentFrequencies:
+    def test_record_and_query(self):
+        vocab = Vocabulary(["a", "b"])
+        vocab.record_document_terms([0, 0, 1])
+        assert vocab.document_frequency(0) == 1  # distinct per document
+        vocab.record_document_terms([0])
+        assert vocab.document_frequency(0) == 2
+        assert vocab.document_frequency(1) == 1
+
+    def test_forget_decrements_and_clamps(self):
+        vocab = Vocabulary(["a"])
+        vocab.record_document_terms([0])
+        vocab.forget_document_terms([0])
+        assert vocab.document_frequency(0) == 0
+        # forgetting again must not go negative
+        vocab.forget_document_terms([0])
+        assert vocab.document_frequency(0) == 0
+
+    def test_unknown_term_has_zero_frequency(self):
+        assert Vocabulary().document_frequency(99) == 0

@@ -1,0 +1,96 @@
+"""Tests for the Zipfian samplers behind the synthetic corpus."""
+
+import pytest
+
+from repro.text.zipf import AliasSampler, ZipfMandelbrotSampler, ZipfSampler
+
+
+class TestAliasSampler:
+    def test_rejects_empty_weights(self):
+        with pytest.raises(ValueError):
+            AliasSampler([])
+
+    def test_rejects_negative_weights(self):
+        with pytest.raises(ValueError):
+            AliasSampler([1.0, -0.5])
+
+    def test_rejects_all_zero_weights(self):
+        with pytest.raises(ValueError):
+            AliasSampler([0.0, 0.0])
+
+    def test_samples_within_range(self):
+        sampler = AliasSampler([1, 2, 3, 4])
+        for _ in range(200):
+            assert 0 <= sampler.sample() < 4
+
+    def test_zero_weight_items_never_sampled(self):
+        import random
+
+        sampler = AliasSampler([0.0, 1.0, 0.0], rng=random.Random(1))
+        assert set(sampler.sample_many(500)) == {1}
+
+    def test_distribution_roughly_matches_weights(self):
+        import random
+
+        sampler = AliasSampler([3.0, 1.0], rng=random.Random(7))
+        draws = sampler.sample_many(20_000)
+        share = draws.count(0) / len(draws)
+        assert 0.70 < share < 0.80  # expected 0.75
+
+
+class TestZipfSampler:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, exponent=-1)
+
+    def test_reproducible_with_seed(self):
+        a = ZipfSampler(100, seed=3).sample_many(50)
+        b = ZipfSampler(100, seed=3).sample_many(50)
+        assert a == b
+
+    def test_head_ranks_more_frequent_than_tail(self):
+        sampler = ZipfSampler(1000, exponent=1.0, seed=11)
+        draws = sampler.sample_many(30_000)
+        head = sum(1 for d in draws if d < 10)
+        tail = sum(1 for d in draws if d >= 500)
+        assert head > tail
+
+    def test_probability_sums_to_one(self):
+        sampler = ZipfSampler(50, exponent=1.2)
+        total = sum(sampler.probability(rank) for rank in range(50))
+        assert abs(total - 1.0) < 1e-9
+
+    def test_probability_is_monotone_decreasing(self):
+        sampler = ZipfSampler(20, exponent=1.0)
+        probabilities = [sampler.probability(rank) for rank in range(20)]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_probability_out_of_range(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(10).probability(10)
+
+
+class TestZipfMandelbrotSampler:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ZipfMandelbrotSampler(0)
+        with pytest.raises(ValueError):
+            ZipfMandelbrotSampler(10, offset=-1)
+
+    def test_offset_flattens_the_head(self):
+        plain = ZipfSampler(1000, exponent=1.0, seed=5)
+        flattened = ZipfMandelbrotSampler(1000, exponent=1.0, offset=10.0, seed=5)
+        plain_head = sum(1 for d in plain.sample_many(20_000) if d == 0)
+        flat_head = sum(1 for d in flattened.sample_many(20_000) if d == 0)
+        assert flat_head < plain_head
+
+    def test_reproducible_with_seed(self):
+        a = ZipfMandelbrotSampler(200, seed=9).sample_many(30)
+        b = ZipfMandelbrotSampler(200, seed=9).sample_many(30)
+        assert a == b
+
+    def test_samples_within_range(self):
+        sampler = ZipfMandelbrotSampler(37, seed=1)
+        assert all(0 <= r < 37 for r in sampler.sample_many(500))

@@ -1,0 +1,40 @@
+"""Tests for the experiment CLI."""
+
+import pytest
+
+from repro.workloads.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["figure3a"])
+        assert args.experiment == "figure3a"
+        assert args.scale == "small"
+        assert args.output is None
+
+    def test_scale_choices(self):
+        parser = build_parser()
+        assert parser.parse_args(["figure3b", "--scale", "paper"]).scale == "paper"
+        with pytest.raises(SystemExit):
+            parser.parse_args(["figure3b", "--scale", "gigantic"])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure3z"])
+
+
+class TestMain:
+    def test_list_prints_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "figure3a" in out and "figure3b" in out
+        assert "ablation-kmax" in out
+
+    def test_smoke_run_prints_table_and_writes_output(self, tmp_path, capsys):
+        output = tmp_path / "results.txt"
+        code = main(["ablation-window-type", "--scale", "smoke", "--quiet", "--output", str(output)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "count-based" in printed and "time-based" in printed
+        assert output.exists()
+        assert "speedup" in output.read_text() or "ITA" in output.read_text()

@@ -1,0 +1,163 @@
+"""Tests for the analytical per-arrival cost models.
+
+These check the models' internal consistency and, crucially, that their
+*scaling laws* match the measured operation counters: ITA's predicted score
+count is independent of the window size and grows with the query count,
+while Naive's is dominated by the query count -- the paper's argument.
+"""
+
+import pytest
+
+from repro.core.engine import ITAEngine
+from repro.documents.window import CountBasedWindow
+from repro.workloads.cost_model import (
+    WorkloadParameters,
+    ita_scores_per_arrival,
+    naive_scores_per_arrival,
+    speedup_estimate,
+)
+from repro.workloads.generators import WorkloadConfig, build_workload
+from repro.documents.corpus import SyntheticCorpusConfig
+
+
+def params(**overrides):
+    base = dict(
+        num_queries=500,
+        query_length=10,
+        dictionary_size=20_000,
+        window_size=1_000,
+        mean_doc_terms=120.0,
+        k=10,
+        kmax=20,
+    )
+    base.update(overrides)
+    return WorkloadParameters(**base)
+
+
+class TestOverlapProbability:
+    def test_between_zero_and_one(self):
+        assert 0.0 <= params().overlap_probability() <= 1.0
+
+    def test_increases_with_query_length(self):
+        short = params(query_length=2).overlap_probability()
+        long = params(query_length=40).overlap_probability()
+        assert long > short
+
+    def test_increases_with_document_length(self):
+        sparse = params(mean_doc_terms=20).overlap_probability()
+        dense = params(mean_doc_terms=400).overlap_probability()
+        assert dense > sparse
+
+    def test_decreases_with_dictionary_size(self):
+        small = params(dictionary_size=1_000).overlap_probability()
+        large = params(dictionary_size=200_000).overlap_probability()
+        assert large < small
+
+    def test_degenerate_dictionary(self):
+        assert params(dictionary_size=0).overlap_probability() == 0.0
+
+
+class TestNaiveModel:
+    def test_dominant_term_is_query_count(self):
+        estimate = naive_scores_per_arrival(params(num_queries=1_000))
+        # At least one score per query per arrival.
+        assert estimate.scores_per_arrival >= 1_000
+
+    def test_scales_linearly_with_queries(self):
+        small = naive_scores_per_arrival(params(num_queries=100)).scores_per_arrival
+        large = naive_scores_per_arrival(params(num_queries=1_000)).scores_per_arrival
+        assert large > 9 * small  # ~linear in Q
+
+    def test_larger_kmax_reduces_rescans(self):
+        tight = naive_scores_per_arrival(params(kmax=11)).scores_per_arrival
+        loose = naive_scores_per_arrival(params(kmax=80)).scores_per_arrival
+        assert loose <= tight
+
+
+class TestITAModel:
+    def test_independent_of_window_size(self):
+        small_n = ita_scores_per_arrival(params(window_size=10)).scores_per_arrival
+        large_n = ita_scores_per_arrival(params(window_size=100_000)).scores_per_arrival
+        assert small_n == pytest.approx(large_n)
+
+    def test_grows_with_query_count(self):
+        few = ita_scores_per_arrival(params(num_queries=100)).scores_per_arrival
+        many = ita_scores_per_arrival(params(num_queries=1_000)).scores_per_arrival
+        assert many > few
+
+    def test_far_below_naive_for_many_queries(self):
+        p = params(num_queries=1_000, query_length=10)
+        assert ita_scores_per_arrival(p).scores_per_arrival < naive_scores_per_arrival(p).scores_per_arrival
+
+
+class TestSpeedupEstimate:
+    def test_score_ratio_is_bounded_and_stable_in_query_count(self):
+        # Both engines scale ~linearly in Q, so the *score-computation*
+        # ratio is roughly constant (approaching 1/(2*p_overlap)); it does
+        # not grow with Q.  (The wall-clock advantage that does grow with Q
+        # comes from ITA amortising its fixed per-posting overhead, which
+        # this score-only model deliberately omits.)
+        few = speedup_estimate(params(num_queries=100))
+        many = speedup_estimate(params(num_queries=2_000))
+        assert few > 1.0 and many > 1.0
+        assert many == pytest.approx(few, rel=0.2)
+
+    def test_advantage_is_larger_for_shorter_queries(self):
+        # Shorter queries -> lower overlap -> ITA visits fewer queries ->
+        # larger score-ratio, matching Fig 3(a)'s decreasing trend in n.
+        short = speedup_estimate(params(query_length=4))
+        long = speedup_estimate(params(query_length=40))
+        assert short > long
+
+    def test_predicts_order_of_magnitude_at_paper_scale(self):
+        # 1000 queries, n=10, realistic overlap -> ITA should be predicted
+        # at least several-fold cheaper in score computations.
+        assert speedup_estimate(params(num_queries=1_000)) > 3.0
+
+
+class TestModelMatchesMeasurement:
+    def test_naive_score_count_matches_query_count(self):
+        """The measured Naive scores/event should equal the query count (the
+        model's dominant term)."""
+        from repro.workloads.runner import make_engine
+
+        config = WorkloadConfig(
+            num_queries=60, query_length=8, k=5, window_size=200, measured_events=30,
+            corpus=SyntheticCorpusConfig(dictionary_size=3_000, mean_log_length=3.5, seed=3),
+            seed=3,
+        )
+        workload = build_workload(config)
+        engine = make_engine("naive-kmax", config)
+        for document in workload.prefill:
+            engine.process(document)
+        for query in workload.queries:
+            engine.register_query(query)
+        engine.counters.reset()
+        for document in workload.measured:
+            engine.process(document)
+        measured_per_event = engine.counters.scores_computed / config.measured_events
+        # Naive scores every query on every arrival, so the floor is Q.
+        assert measured_per_event >= config.num_queries
+
+    def test_ita_score_count_far_below_naive(self):
+        from repro.workloads.runner import make_engine
+
+        config = WorkloadConfig(
+            num_queries=200, query_length=8, k=5, window_size=500, measured_events=40,
+            corpus=SyntheticCorpusConfig(dictionary_size=5_000, mean_log_length=3.8, seed=4),
+            seed=4,
+        )
+        workload = build_workload(config)
+        counts = {}
+        for name in ("ita", "naive-kmax"):
+            engine = make_engine(name, config)
+            for document in workload.prefill:
+                engine.process(document)
+            for query in workload.queries:
+                engine.register_query(query)
+            engine.counters.reset()
+            for document in workload.measured:
+                engine.process(document)
+            counts[name] = engine.counters.scores_computed
+        # Matches the model's qualitative prediction: ITA computes far fewer.
+        assert counts["ita"] < counts["naive-kmax"]

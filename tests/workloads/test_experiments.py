@@ -1,0 +1,109 @@
+"""Tests for the experiment definitions."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.workloads.experiments import (
+    SCALES,
+    ablation_k,
+    ablation_kmax,
+    ablation_num_queries,
+    ablation_probe_order,
+    ablation_rollup,
+    ablation_scoring,
+    ablation_window_type,
+    all_experiments,
+    figure_3a,
+    figure_3b,
+)
+
+
+class TestScales:
+    def test_three_scales_defined(self):
+        assert set(SCALES) == {"smoke", "small", "paper"}
+
+    def test_paper_scale_matches_paper_parameters(self):
+        preset = SCALES["paper"]
+        assert preset["num_queries"] == 1_000
+        assert preset["dictionary_size"] == 181_978
+        assert preset["max_window"] == 100_000
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ExperimentError):
+            figure_3a("enormous")
+
+
+class TestFigure3a:
+    def test_sweeps_query_length_4_to_40(self):
+        definition = figure_3a("smoke")
+        assert definition.paper_reference == "Figure 3(a)"
+        assert [p.value for p in definition.points] == [4, 10, 20, 30, 40]
+        assert all(p.config.query_length == p.value for p in definition.points)
+
+    def test_window_fixed_at_1000_or_scale_cap(self):
+        definition = figure_3a("small")
+        assert all(p.config.window_size == 1_000 for p in definition.points)
+        smoke = figure_3a("smoke")
+        assert all(p.config.window_size == 500 for p in smoke.points)
+
+    def test_engines_include_ita_and_competitor(self):
+        definition = figure_3a("smoke")
+        assert "ita" in definition.engines
+        assert "naive-kmax" in definition.engines
+
+
+class TestFigure3b:
+    def test_sweeps_window_size(self):
+        definition = figure_3b("paper")
+        assert [p.value for p in definition.points] == [10, 100, 1_000, 10_000, 100_000]
+        assert all(p.config.query_length == 10 for p in definition.points)
+
+    def test_scale_caps_window_sweep(self):
+        smoke = figure_3b("smoke")
+        assert max(p.value for p in smoke.points) <= SCALES["smoke"]["max_window"]
+
+    def test_point_labels(self):
+        definition = figure_3b("smoke")
+        assert definition.point_labels()[0] == "N=10"
+
+
+class TestAblations:
+    def test_num_queries_sweep_scales_around_base(self):
+        definition = ablation_num_queries("smoke")
+        values = [p.value for p in definition.points]
+        assert values == sorted(values)
+        assert all(p.config.num_queries == p.value for p in definition.points)
+
+    def test_k_sweep(self):
+        definition = ablation_k("smoke")
+        assert [p.config.k for p in definition.points] == [1, 5, 10, 25, 50]
+
+    def test_kmax_sweep_sets_engine_options(self):
+        definition = ablation_kmax("smoke")
+        multipliers = [p.engine_options["kmax_multiplier"] for p in definition.points]
+        assert multipliers == [1.0, 2.0, 4.0, 8.0]
+
+    def test_window_type_ablation(self):
+        definition = ablation_window_type("smoke")
+        assert [p.config.time_based_window for p in definition.points] == [False, True]
+
+    def test_scoring_ablation(self):
+        definition = ablation_scoring("smoke")
+        assert [p.config.scoring for p in definition.points] == ["cosine", "okapi-bm25"] or [
+            p.config.scoring for p in definition.points
+        ] == ["cosine", "okapi"]
+
+    def test_rollup_ablation_compares_ita_variants(self):
+        definition = ablation_rollup("smoke")
+        assert definition.engines == ("ita", "ita-no-rollup")
+        assert [p.value for p in definition.points] == [4, 10, 20, 40]
+
+    def test_probe_order_ablation_compares_ita_variants(self):
+        definition = ablation_probe_order("smoke")
+        assert definition.engines == ("ita", "ita-round-robin")
+
+    def test_all_experiments_enumerates_everything(self):
+        definitions = all_experiments("smoke")
+        ids = [d.experiment_id for d in definitions]
+        assert ids[0] == "figure3a" and ids[1] == "figure3b"
+        assert len(ids) == len(set(ids)) == 9

@@ -1,0 +1,92 @@
+"""Tests for workload generation."""
+
+import pytest
+
+from repro.documents.corpus import SyntheticCorpus, SyntheticCorpusConfig
+from repro.exceptions import ConfigurationError
+from repro.weighting.schemes import CosineWeighting, OkapiBM25Weighting
+from repro.workloads.generators import (
+    QueryWorkloadGenerator,
+    WorkloadConfig,
+    build_workload,
+)
+
+
+def small_config(**overrides):
+    base = WorkloadConfig(
+        num_queries=10,
+        query_length=4,
+        k=3,
+        window_size=30,
+        measured_events=10,
+        corpus=SyntheticCorpusConfig(dictionary_size=500, mean_log_length=3.0, seed=1),
+        seed=1,
+    )
+    return base.with_overrides(**overrides) if overrides else base
+
+
+class TestWorkloadConfig:
+    def test_defaults_match_paper_parameters(self):
+        config = WorkloadConfig()
+        assert config.num_queries == 1_000
+        assert config.k == 10
+        assert config.window_size == 1_000
+        assert config.arrival_rate == 200.0
+        assert config.zipfian_query_terms is False  # "randomly from the dictionary"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            small_config(num_queries=0).validate()
+        with pytest.raises(ConfigurationError):
+            small_config(k=0).validate()
+        with pytest.raises(ConfigurationError):
+            small_config(window_size=0).validate()
+        with pytest.raises(ConfigurationError):
+            small_config(scoring="bm42").validate()
+
+    def test_with_overrides_does_not_mutate_original(self):
+        base = small_config()
+        changed = base.with_overrides(k=7)
+        assert base.k == 3 and changed.k == 7
+
+    def test_weighting_scheme_selection(self):
+        assert isinstance(small_config().weighting(), CosineWeighting)
+        assert isinstance(small_config(scoring="okapi").weighting(), OkapiBM25Weighting)
+
+
+class TestQueryWorkloadGenerator:
+    def test_generates_requested_queries(self):
+        config = small_config()
+        corpus = SyntheticCorpus(config.corpus)
+        queries = QueryWorkloadGenerator(corpus, config).generate()
+        assert len(queries) == 10
+        assert all(len(q) == 4 for q in queries)
+        assert all(q.k == 3 for q in queries)
+        assert [q.query_id for q in queries] == list(range(10))
+
+    def test_deterministic_for_fixed_seed(self):
+        config = small_config()
+        a = QueryWorkloadGenerator(SyntheticCorpus(config.corpus), config).generate()
+        b = QueryWorkloadGenerator(SyntheticCorpus(config.corpus), config).generate()
+        assert [sorted(q.terms()) for q in a] == [sorted(q.terms()) for q in b]
+
+
+class TestBuildWorkload:
+    def test_prefill_and_measured_sizes(self):
+        workload = build_workload(small_config())
+        assert len(workload.prefill) == 30
+        assert len(workload.measured) == 10
+        assert len(workload.all_documents) == 40
+
+    def test_arrival_times_strictly_increase(self):
+        workload = build_workload(small_config())
+        times = [d.arrival_time for d in workload.all_documents]
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_doc_ids_are_sequential(self):
+        workload = build_workload(small_config())
+        assert [d.doc_id for d in workload.all_documents] == list(range(40))
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            build_workload(small_config(measured_events=0))

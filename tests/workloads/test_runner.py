@@ -1,0 +1,124 @@
+"""Tests for the experiment runner (smoke-scale end-to-end runs)."""
+
+import pytest
+
+from repro.baselines.kmax import KMaxNaiveEngine
+from repro.baselines.naive import NaiveEngine
+from repro.core.engine import ITAEngine
+from repro.documents.corpus import SyntheticCorpusConfig
+from repro.documents.window import CountBasedWindow, TimeBasedWindow
+from repro.exceptions import ExperimentError
+from repro.workloads.experiments import ExperimentDefinition, SweepPoint
+from repro.workloads.generators import WorkloadConfig, build_workload
+from repro.workloads.runner import make_engine, run_experiment, run_point
+
+
+def tiny_config(**overrides):
+    base = WorkloadConfig(
+        num_queries=8,
+        query_length=3,
+        k=3,
+        window_size=25,
+        measured_events=12,
+        corpus=SyntheticCorpusConfig(dictionary_size=400, mean_log_length=3.0, seed=2),
+        seed=2,
+    )
+    return base.with_overrides(**overrides) if overrides else base
+
+
+def tiny_definition():
+    points = (
+        SweepPoint(label="a", value=1, config=tiny_config()),
+        SweepPoint(label="b", value=2, config=tiny_config(query_length=5)),
+    )
+    return ExperimentDefinition(
+        experiment_id="tiny",
+        title="tiny experiment",
+        paper_reference="test",
+        x_axis="x",
+        points=points,
+        engines=("ita", "naive-kmax"),
+    )
+
+
+class TestMakeEngine:
+    def test_engine_types(self):
+        config = tiny_config()
+        assert isinstance(make_engine("ita", config), ITAEngine)
+        assert isinstance(make_engine("naive", config), NaiveEngine)
+        assert isinstance(make_engine("naive-kmax", config), KMaxNaiveEngine)
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ExperimentError):
+            make_engine("magic", tiny_config())
+
+    def test_ita_ablation_variants(self):
+        from repro.core.descent import ProbeOrder
+
+        no_rollup = make_engine("ita-no-rollup", tiny_config())
+        assert isinstance(no_rollup, ITAEngine)
+        assert no_rollup.enable_rollup is False
+        round_robin = make_engine("ita-round-robin", tiny_config())
+        assert round_robin.probe_order is ProbeOrder.ROUND_ROBIN
+
+    def test_window_type_follows_config(self):
+        assert isinstance(make_engine("ita", tiny_config()).window, CountBasedWindow)
+        time_config = tiny_config(time_based_window=True)
+        assert isinstance(make_engine("ita", time_config).window, TimeBasedWindow)
+
+    def test_kmax_multiplier_option(self):
+        engine = make_engine("naive-kmax", tiny_config(), {"kmax_multiplier": 5.0})
+        assert engine.policy.multiplier == 5.0
+
+    def test_change_tracking_disabled_for_benchmarks(self):
+        assert make_engine("ita", tiny_config()).track_changes is False
+
+
+class TestRunPoint:
+    def test_measures_every_engine(self):
+        definition = tiny_definition()
+        result = run_point(definition.points[0], definition.engines)
+        assert set(result.measurements) == {"ita", "naive-kmax"}
+        for measurement in result.measurements.values():
+            assert measurement.events == 12
+            assert measurement.mean_ms >= 0.0
+            assert measurement.counters.arrivals == 12
+
+    def test_engines_agree_on_final_results(self):
+        """Both engines fed the same workload must report identical answers."""
+        point = tiny_definition().points[0]
+        workload = build_workload(point.config)
+        engines = {}
+        for name in ("ita", "naive-kmax"):
+            engine = make_engine(name, point.config)
+            for document in workload.prefill:
+                engine.process(document)
+            for query in workload.queries:
+                engine.register_query(query)
+            for document in workload.measured:
+                engine.process(document)
+            engines[name] = engine
+        for query in workload.queries:
+            ita_scores = [round(e.score, 9) for e in engines["ita"].current_result(query.query_id)]
+            kmax_scores = [round(e.score, 9) for e in engines["naive-kmax"].current_result(query.query_id)]
+            assert ita_scores == kmax_scores
+
+    def test_speedup_computed(self):
+        definition = tiny_definition()
+        result = run_point(definition.points[0], definition.engines)
+        assert result.speedup("ita", "naive-kmax") > 0.0
+
+    def test_progress_callback_invoked(self):
+        messages = []
+        definition = tiny_definition()
+        run_point(definition.points[0], definition.engines, progress=messages.append)
+        assert any("ita" in message for message in messages)
+
+
+class TestRunExperiment:
+    def test_runs_every_point(self):
+        definition = tiny_definition()
+        result = run_experiment(definition)
+        assert len(result.points) == 2
+        assert len(result.series("ita")) == 2
+        assert len(result.speedups()) == 2

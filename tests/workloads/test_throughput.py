@@ -1,0 +1,91 @@
+"""Tests for the throughput / stability analysis."""
+
+import pytest
+
+from repro.documents.corpus import SyntheticCorpusConfig
+from repro.workloads.generators import WorkloadConfig
+from repro.workloads.throughput import (
+    ThroughputResult,
+    analyse_throughput,
+    measure_service_time,
+    simulate_queue,
+)
+
+
+def tiny_config(**overrides):
+    base = WorkloadConfig(
+        num_queries=20,
+        query_length=4,
+        k=3,
+        window_size=50,
+        measured_events=20,
+        corpus=SyntheticCorpusConfig(dictionary_size=500, mean_log_length=3.0, seed=1),
+        seed=1,
+        arrival_rate=200.0,
+    )
+    return base.with_overrides(**overrides) if overrides else base
+
+
+class TestThroughputResult:
+    def test_derived_quantities(self):
+        result = ThroughputResult(engine="ita", mean_service_ms=2.0, events=100, target_rate=200.0)
+        assert result.max_sustainable_rate == pytest.approx(500.0)  # 1000 / 2
+        assert result.utilisation == pytest.approx(0.4)             # 200 * 2 / 1000
+        assert result.stable is True
+
+    def test_unstable_when_utilisation_exceeds_one(self):
+        result = ThroughputResult(engine="naive", mean_service_ms=10.0, events=100, target_rate=200.0)
+        assert result.utilisation == pytest.approx(2.0)
+        assert result.stable is False
+
+    def test_zero_service_time_is_infinite_rate(self):
+        result = ThroughputResult(engine="ita", mean_service_ms=0.0, events=0, target_rate=200.0)
+        assert result.max_sustainable_rate == float("inf")
+
+
+class TestMeasureServiceTime:
+    def test_returns_positive_service_time(self):
+        from repro.workloads.generators import build_workload
+        from repro.workloads.runner import make_engine
+
+        config = tiny_config()
+        workload = build_workload(config)
+        engine = make_engine("ita", config)
+        service = measure_service_time(engine, workload)
+        assert service >= 0.0
+
+
+class TestAnalyseThroughput:
+    def test_reports_every_engine(self):
+        results = analyse_throughput(tiny_config(), engines=("ita", "naive-kmax"))
+        assert set(results) == {"ita", "naive-kmax"}
+        for result in results.values():
+            assert result.events == 20
+            assert result.mean_service_ms >= 0.0
+
+    def test_custom_target_rate(self):
+        results = analyse_throughput(tiny_config(), engines=("ita",), target_rate=1000.0)
+        assert results["ita"].target_rate == 1000.0
+
+
+class TestSimulateQueue:
+    def test_stable_queue_has_bounded_backlog(self):
+        # service 1ms, arrivals 100/s -> utilisation 0.1, backlog stays small
+        stats = simulate_queue(service_time_ms=1.0, arrival_rate=100.0, num_arrivals=2000, seed=1)
+        assert stats["utilisation"] == pytest.approx(0.1)
+        assert stats["max_backlog"] < 20
+
+    def test_unstable_queue_backlog_grows(self):
+        # service 20ms, arrivals 100/s -> utilisation 2.0, backlog explodes
+        stats = simulate_queue(service_time_ms=20.0, arrival_rate=100.0, num_arrivals=2000, seed=1)
+        assert stats["utilisation"] == pytest.approx(2.0)
+        assert stats["final_backlog"] > 100
+
+    def test_higher_utilisation_means_larger_backlog(self):
+        low = simulate_queue(service_time_ms=2.0, arrival_rate=100.0, num_arrivals=2000, seed=2)
+        high = simulate_queue(service_time_ms=8.0, arrival_rate=100.0, num_arrivals=2000, seed=2)
+        assert high["mean_backlog"] > low["mean_backlog"]
+
+    def test_negative_service_time_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_queue(service_time_ms=-1.0, arrival_rate=100.0, num_arrivals=10)

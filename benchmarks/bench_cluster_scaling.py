@@ -1,0 +1,62 @@
+"""Cluster scale-out: per-shard service time versus shard count.
+
+A :class:`~repro.cluster.engine.ShardedEngine` replicates the stream to
+every shard but partitions the queries, so the work a *single shard*
+performs per arrival -- the cluster's latency once shards run on separate
+cores or machines -- shrinks as the shard count grows.  The benchmark
+measures the measured-phase wall clock per shard count and attaches the
+dispatcher's per-shard timings: ``per_shard_mean_ms`` (mean service time of
+a shard per event) should decrease from ``shards=1`` to ``shards=8``, while
+the in-process total (the benchmark's own time) stays roughly flat or grows
+slightly with the replicated indexing overhead.
+
+``test_per_shard_work_decreases`` additionally asserts the deterministic,
+hardware-independent version of the same claim on the operation counters:
+the busiest shard's score computations strictly shrink as shards are added.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_scale, prepared_engine, run_measured_phase
+from repro.workloads.experiments import cluster_scaling
+
+_DEFINITION = cluster_scaling(bench_scale())
+_POINTS = {point.label: point for point in _DEFINITION.points}
+
+
+@pytest.mark.parametrize("label", list(_POINTS))
+def test_cluster_scaling_processing_time(benchmark, per_event_extra_info, label):
+    point = _POINTS[label]
+    benchmark.group = "cluster-scaling"
+    engine = prepared_engine("sharded-ita", point)
+    engine.dispatcher.reset_timers()
+
+    def measured_phase():
+        return run_measured_phase(engine, point)
+
+    events = benchmark.pedantic(measured_phase, rounds=1, iterations=1, warmup_rounds=0)
+    per_event_extra_info(benchmark, events, engine)
+    per_shard_ms = engine.dispatcher.shard_total_ms()
+    benchmark.extra_info["num_shards"] = engine.num_shards
+    benchmark.extra_info["queries_per_shard"] = engine.shard_query_counts()
+    benchmark.extra_info["per_shard_mean_ms"] = (
+        max(per_shard_ms) / events if events else 0.0
+    )
+    benchmark.extra_info["max_shard_total_ms"] = engine.dispatcher.max_shard_total_ms()
+
+
+def test_per_shard_work_decreases():
+    """The busiest shard's per-arrival work shrinks as shards are added."""
+    busiest_scores = {}
+    for label, point in _POINTS.items():
+        engine = prepared_engine("sharded-ita", point)
+        run_measured_phase(engine, point)
+        busiest_scores[label] = max(
+            shard.counters.scores_computed for shard in engine.shards
+        )
+    counts = [point.value for point in _POINTS.values()]
+    ordered = [busiest_scores[f"shards={int(n)}"] for n in sorted(counts)]
+    assert all(a >= b for a, b in zip(ordered, ordered[1:])), (
+        f"busiest-shard score computations did not decrease: {ordered}"
+    )
+    assert ordered[-1] < ordered[0]

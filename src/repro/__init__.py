@@ -13,10 +13,18 @@ Public API overview
   :class:`~repro.baselines.kmax.KMaxNaiveEngine` -- the baselines of the
   paper's evaluation.
 * :class:`~repro.query.query.ContinuousQuery` -- a standing top-k query.
+* :mod:`repro.cluster` -- the query-sharded cluster:
+  :class:`~repro.cluster.engine.ShardedEngine` partitions the installed
+  queries across N inner engines (round-robin, hash or cost-model
+  placement), replicates the stream to all shards, and merges the
+  per-shard answers back into this same API -- with whole-cluster
+  snapshots (:func:`~repro.cluster.persistence.snapshot_cluster` /
+  :func:`~repro.cluster.persistence.restore_cluster`) and live query
+  migration/rebalancing.
 * :mod:`repro.documents` -- documents, corpora (including the synthetic
   WSJ stand-in), arrival processes and sliding windows.
 * :mod:`repro.workloads` -- the experiment harness reproducing the
-  paper's figures.
+  paper's figures, plus the ``cluster-scaling`` scale-out experiment.
 
 Quickstart
 ----------
@@ -45,6 +53,15 @@ from repro.baselines.kmax import (
 )
 from repro.baselines.naive import NaiveEngine
 from repro.baselines.oracle import OracleEngine
+from repro.cluster.engine import ShardedEngine
+from repro.cluster.merger import ResultMerger
+from repro.cluster.persistence import restore_cluster, snapshot_cluster
+from repro.cluster.placement import (
+    CostModelPlacement,
+    HashPlacement,
+    PlacementPolicy,
+    RoundRobinPlacement,
+)
 from repro.core.base import MonitoringEngine, ResultChange
 from repro.core.descent import ProbeOrder
 from repro.core.engine import ITAEngine
@@ -93,6 +110,15 @@ __all__ = [
     "restore_engine",
     "Alert",
     "AlertDispatcher",
+    # cluster subsystem
+    "ShardedEngine",
+    "ResultMerger",
+    "PlacementPolicy",
+    "RoundRobinPlacement",
+    "HashPlacement",
+    "CostModelPlacement",
+    "snapshot_cluster",
+    "restore_cluster",
     # queries and results
     "ContinuousQuery",
     "ResultEntry",

@@ -1,0 +1,100 @@
+"""Fan-out of stream events to the shards of a cluster.
+
+Every shard of a :class:`~repro.cluster.engine.ShardedEngine` owns a full
+copy of the sliding window (the *queries* are partitioned, the *documents*
+are replicated), so each arrival, expiration and clock advancement must
+reach every shard -- and in the same order, so all shard windows slide
+consistently.  The dispatcher centralises that fan-out and measures the
+service time each shard spends on it, which is the quantity a real
+deployment cares about: with shards on separate cores or machines the
+cluster's latency is the per-shard time, not the sum.
+
+The batch API (:meth:`EventDispatcher.dispatch_batch`) groups consecutive
+stream elements and feeds each shard the whole group in one inner loop,
+amortising the per-event dispatch overhead (attribute lookups, timer
+starts) and improving locality: a shard's index stays hot while it
+processes the entire batch.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.base import MonitoringEngine, ResultChange
+from repro.documents.document import StreamedDocument
+from repro.monitoring.metrics import Timer
+
+__all__ = ["EventDispatcher"]
+
+
+class EventDispatcher:
+    """Delivers stream events to every shard and times the work per shard."""
+
+    def __init__(self, shards: Sequence[MonitoringEngine]) -> None:
+        self.shards = list(shards)
+        #: one stopwatch per shard, accumulating that shard's service time
+        self.shard_timers: List[Timer] = [Timer() for _ in self.shards]
+
+    # ------------------------------------------------------------------ #
+    # fan-out
+    # ------------------------------------------------------------------ #
+    def dispatch(self, document: StreamedDocument) -> List[List[ResultChange]]:
+        """Deliver one arrival to every shard; per-shard result changes."""
+        per_shard: List[List[ResultChange]] = []
+        for shard, timer in zip(self.shards, self.shard_timers):
+            with timer:
+                per_shard.append(shard.process(document))
+        return per_shard
+
+    def dispatch_batch(
+        self, documents: Sequence[StreamedDocument]
+    ) -> List[List[List[ResultChange]]]:
+        """Deliver a batch of consecutive arrivals to every shard.
+
+        Each shard processes the whole batch in one tight loop (one timer
+        measurement per shard and batch), so per-event dispatch overhead is
+        amortised over the batch.  Equivalent to calling :meth:`dispatch`
+        once per document -- every shard sees the same documents in the
+        same order -- and the changes come back per shard *per event*
+        (``result[shard][event]``), so the caller can reconstruct the exact
+        event-major change stream of unbatched processing.
+        """
+        per_shard: List[List[List[ResultChange]]] = []
+        for shard, timer in zip(self.shards, self.shard_timers):
+            with timer:
+                per_shard.append([shard.process(document) for document in documents])
+        return per_shard
+
+    def advance_time(self, now: float) -> List[List[ResultChange]]:
+        """Advance every shard's clock (time-based windows)."""
+        per_shard: List[List[ResultChange]] = []
+        for shard, timer in zip(self.shards, self.shard_timers):
+            with timer:
+                per_shard.append(shard.advance_time(now))
+        return per_shard
+
+    # ------------------------------------------------------------------ #
+    # timing introspection
+    # ------------------------------------------------------------------ #
+    def shard_mean_ms(self) -> List[float]:
+        """Mean measured service time per shard, in milliseconds.
+
+        For :meth:`dispatch` one measurement is one event; for
+        :meth:`dispatch_batch` one measurement is one batch.
+        """
+        return [timer.mean_ms for timer in self.shard_timers]
+
+    def shard_total_ms(self) -> List[float]:
+        """Total measured service time per shard, in milliseconds."""
+        return [timer.total_ms for timer in self.shard_timers]
+
+    def max_shard_total_ms(self) -> float:
+        """The busiest shard's total service time -- the cluster's critical
+        path when shards run in parallel."""
+        totals = self.shard_total_ms()
+        return max(totals) if totals else 0.0
+
+    def reset_timers(self) -> None:
+        """Zero every shard stopwatch (e.g. after a warm-up phase)."""
+        for timer in self.shard_timers:
+            timer.reset()

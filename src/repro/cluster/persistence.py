@@ -1,0 +1,127 @@
+"""Snapshot and restore of a whole sharded cluster.
+
+A cluster checkpoint reuses the single-engine format of
+:mod:`repro.persistence` *per shard*: each shard is serialised with
+:func:`~repro.persistence.snapshot_engine`, and the cluster adds the
+placement map plus its own window configuration on top.  Restoring rebuilds
+a :class:`~repro.cluster.engine.ShardedEngine` with the same shard count,
+replays the (replicated) documents once through the cluster fan-out, and
+re-registers every query on the exact shard that hosted it -- so the
+restored cluster reports the same results *and* the same placement as the
+snapshotted one.
+
+Because a :class:`~repro.cluster.engine.ShardedEngine` also satisfies the
+plain engine snapshot contract (it exposes a registry and a mirror window),
+:func:`~repro.persistence.snapshot_engine` applied to a cluster produces an
+ordinary single-engine snapshot: that is the supported path for *collapsing*
+a cluster back into one engine, while this module preserves the sharding.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional
+
+from repro.cluster.engine import EngineFactory, ShardedEngine, WindowFactory
+from repro.exceptions import ConfigurationError
+from repro.persistence import (
+    _default_engine,
+    _document_from_record,
+    _query_from_record,
+    _window_from_dict,
+    _window_to_dict,
+    snapshot_engine,
+)
+
+__all__ = ["snapshot_cluster", "restore_cluster", "ClusterSnapshot"]
+
+CLUSTER_SNAPSHOT_VERSION = 1
+
+ClusterSnapshot = Dict[str, Any]
+
+
+def snapshot_cluster(cluster: ShardedEngine) -> ClusterSnapshot:
+    """Serialise ``cluster`` to a JSON-compatible dictionary.
+
+    The per-shard entries are full :func:`~repro.persistence.snapshot_engine`
+    snapshots (the replicated window appears once per shard; shard query
+    sets are disjoint), so each shard could even be restored standalone.
+    """
+    return {
+        "version": CLUSTER_SNAPSHOT_VERSION,
+        "kind": "cluster",
+        "num_shards": cluster.num_shards,
+        "window": _window_to_dict(cluster.window),
+        "placement": {str(query_id): shard for query_id, shard in cluster.assignment().items()},
+        "shards": [snapshot_engine(shard) for shard in cluster.shards],
+    }
+
+
+def restore_cluster(
+    snapshot: ClusterSnapshot,
+    engine_factory: Optional[EngineFactory] = None,
+    placement: str = "cost",
+) -> ShardedEngine:
+    """Rebuild a :class:`ShardedEngine` from a :func:`snapshot_cluster` result.
+
+    Parameters
+    ----------
+    snapshot:
+        A dictionary produced by :func:`snapshot_cluster`.
+    engine_factory:
+        Builds each shard engine around its restored window; defaults to
+        ITA shards with the snapshotted engine configuration (clusters are
+        homogeneous, so shard 0's recorded config applies to all).
+    placement:
+        Policy installed for queries registered *after* the restore; the
+        snapshotted queries always return to their recorded shards.
+    """
+    version = snapshot.get("version")
+    if version != CLUSTER_SNAPSHOT_VERSION:
+        raise ConfigurationError(f"unsupported cluster snapshot version {version!r}")
+    if snapshot.get("kind") != "cluster":
+        raise ConfigurationError(
+            "not a cluster snapshot; use repro.persistence.restore_engine instead"
+        )
+
+    window_config = snapshot["window"]
+    window_factory: WindowFactory = lambda: _window_from_dict(window_config)  # noqa: E731
+    if engine_factory is None and snapshot["shards"]:
+        shard_config = snapshot["shards"][0].get("config", {})
+        engine_factory = lambda window: _default_engine(window, shard_config)  # noqa: E731
+    cluster = ShardedEngine(
+        num_shards=int(snapshot["num_shards"]),
+        window_factory=window_factory,
+        engine_factory=engine_factory,
+        placement=placement,
+    )
+
+    shard_snapshots = snapshot["shards"]
+    if len(shard_snapshots) != cluster.num_shards:
+        raise ConfigurationError(
+            f"snapshot holds {len(shard_snapshots)} shard entries "
+            f"for a {cluster.num_shards}-shard cluster"
+        )
+
+    # The window is replicated, so shard 0's documents are the cluster's;
+    # replay them once through the normal fan-out so every shard (and the
+    # mirror window) rebuilds the same state.
+    documents = shard_snapshots[0]["documents"] if shard_snapshots else []
+    for record in sorted(documents, key=lambda r: r["arrival_time"]):
+        cluster.process(_document_from_record(record))
+
+    for shard_index, shard_snapshot in enumerate(shard_snapshots):
+        for record in shard_snapshot["queries"]:
+            cluster.register_query(_query_from_record(record), shard=shard_index)
+
+    # The shard query lists are authoritative; the top-level placement map
+    # is cross-checked so a hand-edited or corrupted snapshot fails loudly
+    # instead of restoring with a silently different placement.
+    recorded = snapshot.get("placement")
+    if recorded is not None:
+        actual = {str(query_id): shard for query_id, shard in cluster.assignment().items()}
+        if recorded != actual:
+            raise ConfigurationError(
+                "cluster snapshot placement map disagrees with the shard query lists"
+            )
+
+    return cluster

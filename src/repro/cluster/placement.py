@@ -1,0 +1,214 @@
+"""Query placement policies for the sharded cluster.
+
+A :class:`~repro.cluster.engine.ShardedEngine` replicates the document
+stream to every shard but *partitions* the installed queries, so the
+per-arrival query-processing work is divided across shards.  How well it
+divides depends on where each query lands: a placement policy maps an
+incoming query to a shard index.
+
+Three policies are provided:
+
+* :class:`RoundRobinPlacement` -- cycle through the shards; even query
+  *counts*, oblivious to per-query cost.
+* :class:`HashPlacement` -- a deterministic hash of the query identifier;
+  stateless, so the same query always lands on the same shard even across
+  cluster restarts, at the price of some imbalance.
+* :class:`CostModelPlacement` -- greedy least-loaded placement driven by
+  the analytical per-arrival cost model of
+  :mod:`repro.workloads.cost_model`: each query's expected score
+  computations per arrival are estimated from its length and ``k``, and the
+  query is sent to the shard with the smallest accumulated estimate.  Long
+  (expensive) queries therefore spread evenly instead of piling onto one
+  shard.
+
+Policies are stateful (the round-robin cursor, the per-shard load
+accounting), so each cluster owns its own policy instance.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.exceptions import ConfigurationError
+from repro.query.query import ContinuousQuery
+from repro.workloads.cost_model import WorkloadParameters, ita_scores_per_arrival
+
+__all__ = [
+    "PlacementPolicy",
+    "RoundRobinPlacement",
+    "HashPlacement",
+    "CostModelPlacement",
+    "make_placement",
+]
+
+
+class PlacementPolicy:
+    """Maps continuous queries to shard indices.
+
+    Subclasses implement :meth:`choose`; the base class handles the
+    bookkeeping shared by all policies (per-shard query counts) and the
+    hooks the cluster calls when a query is placed explicitly (restore,
+    migration) or removed.
+    """
+
+    #: short name used by ``make_placement`` and the experiment options
+    name: str = "abstract"
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards <= 0:
+            raise ConfigurationError("a cluster needs at least one shard")
+        self.num_shards = num_shards
+        self._counts: List[int] = [0] * num_shards
+
+    # ------------------------------------------------------------------ #
+    def place(self, query: ContinuousQuery) -> int:
+        """Pick a shard for ``query`` and record the placement."""
+        shard = self.choose(query)
+        if not 0 <= shard < self.num_shards:
+            raise ConfigurationError(
+                f"placement policy {self.name!r} chose shard {shard} "
+                f"outside 0..{self.num_shards - 1}"
+            )
+        self.record(query, shard)
+        return shard
+
+    def choose(self, query: ContinuousQuery) -> int:
+        """Pick a shard for ``query`` without recording it."""
+        raise NotImplementedError
+
+    def record(self, query: ContinuousQuery, shard: int) -> None:
+        """Account for ``query`` living on ``shard`` (explicit placements too)."""
+        self._counts[shard] += 1
+
+    def forget(self, query: ContinuousQuery, shard: int) -> None:
+        """Release the accounting of ``query`` on ``shard``."""
+        self._counts[shard] -= 1
+
+    # ------------------------------------------------------------------ #
+    def query_counts(self) -> List[int]:
+        """Number of queries currently accounted to each shard."""
+        return list(self._counts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(shards={self.num_shards}, counts={self._counts})"
+
+
+class RoundRobinPlacement(PlacementPolicy):
+    """Cycle through the shards in order."""
+
+    name = "round-robin"
+
+    def __init__(self, num_shards: int) -> None:
+        super().__init__(num_shards)
+        self._cursor = 0
+
+    def choose(self, query: ContinuousQuery) -> int:
+        shard = self._cursor
+        self._cursor = (self._cursor + 1) % self.num_shards
+        return shard
+
+
+class HashPlacement(PlacementPolicy):
+    """Deterministic placement by a multiplicative hash of the query id.
+
+    Unlike Python's builtin ``hash`` (identity on small ints, which would
+    send consecutive query ids to consecutive shards exactly like
+    round-robin but without the balance guarantee under deletions), the
+    Knuth multiplicative hash scatters dense id ranges uniformly and is
+    stable across processes and restarts.
+    """
+
+    name = "hash"
+
+    _KNUTH = 2654435761  # 2^32 / golden ratio
+
+    def choose(self, query: ContinuousQuery) -> int:
+        return ((query.query_id * self._KNUTH) & 0xFFFFFFFF) % self.num_shards
+
+
+class CostModelPlacement(PlacementPolicy):
+    """Greedy least-loaded placement under the analytical cost model.
+
+    The expected per-arrival work of a query is estimated with
+    :func:`repro.workloads.cost_model.ita_scores_per_arrival` for a
+    single-query workload of the query's own length and ``k``; the query is
+    then placed on the shard whose accumulated estimate is smallest (ties
+    broken towards the lowest shard index, so placement is deterministic).
+
+    Parameters
+    ----------
+    dictionary_size, mean_doc_terms, window_size:
+        The workload dimensions of the cost model.  They only need to be
+        in the right ballpark: placement depends on the *relative* cost of
+        queries, which is dominated by the query length and ``k``.
+    """
+
+    name = "cost"
+
+    def __init__(
+        self,
+        num_shards: int,
+        dictionary_size: int = 20_000,
+        mean_doc_terms: float = 60.0,
+        window_size: int = 1_000,
+    ) -> None:
+        super().__init__(num_shards)
+        self.dictionary_size = dictionary_size
+        self.mean_doc_terms = mean_doc_terms
+        self.window_size = window_size
+        self._loads: List[float] = [0.0] * num_shards
+
+    # ------------------------------------------------------------------ #
+    def estimated_cost(self, query: ContinuousQuery) -> float:
+        """Expected score computations per arrival caused by ``query``."""
+        params = WorkloadParameters(
+            num_queries=1,
+            query_length=len(query),
+            dictionary_size=self.dictionary_size,
+            window_size=self.window_size,
+            mean_doc_terms=self.mean_doc_terms,
+            k=query.k,
+        )
+        estimate = ita_scores_per_arrival(params).scores_per_arrival
+        # The model is k-independent (it counts candidate scorings); add a
+        # small k-proportional term for the refill work a larger result
+        # incurs on expirations, so k=50 queries weigh more than k=1 ones.
+        return estimate * (1.0 + 0.1 * query.k)
+
+    def choose(self, query: ContinuousQuery) -> int:
+        best = 0
+        for shard in range(1, self.num_shards):
+            if self._loads[shard] < self._loads[best]:
+                best = shard
+        return best
+
+    def record(self, query: ContinuousQuery, shard: int) -> None:
+        super().record(query, shard)
+        self._loads[shard] += self.estimated_cost(query)
+
+    def forget(self, query: ContinuousQuery, shard: int) -> None:
+        super().forget(query, shard)
+        self._loads[shard] -= self.estimated_cost(query)
+
+    def shard_loads(self) -> List[float]:
+        """The accumulated cost estimate of each shard."""
+        return list(self._loads)
+
+
+#: placement name -> class, for ``make_placement`` and the CLI options
+_POLICIES: Dict[str, type] = {
+    RoundRobinPlacement.name: RoundRobinPlacement,
+    HashPlacement.name: HashPlacement,
+    CostModelPlacement.name: CostModelPlacement,
+}
+
+
+def make_placement(name: str, num_shards: int) -> PlacementPolicy:
+    """Build a placement policy by name ("round-robin", "hash", "cost")."""
+    try:
+        policy_class = _POLICIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown placement policy {name!r}; choose one of {sorted(_POLICIES)}"
+        ) from None
+    return policy_class(num_shards)

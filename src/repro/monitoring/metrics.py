@@ -1,17 +1,28 @@
-"""Timing utilities.
+"""Timing and aggregation utilities.
 
 All measurements use :func:`time.perf_counter` and are reported in
-milliseconds, the unit of the paper's Figure 3.
+milliseconds, the unit of the paper's Figure 3.  The aggregation helpers
+(:func:`aggregate_counters`, :class:`AggregatedCounters`) combine the
+operation counters of several engines -- the shards of a
+:class:`~repro.cluster.engine.ShardedEngine` -- into one cluster-wide view.
 """
 
 from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence
+from dataclasses import dataclass, field, fields
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
-__all__ = ["Timer", "TimingSummary", "PercentileSummary"]
+from repro.monitoring.instrumentation import OperationCounters
+
+__all__ = [
+    "Timer",
+    "TimingSummary",
+    "PercentileSummary",
+    "aggregate_counters",
+    "AggregatedCounters",
+]
 
 
 class Timer:
@@ -137,3 +148,58 @@ class TimingSummary:
     def merge(self, other: "TimingSummary") -> None:
         for label in other.labels():
             self.extend(label, other.samples(label))
+
+
+# --------------------------------------------------------------------------- #
+# counter aggregation (cluster support)
+# --------------------------------------------------------------------------- #
+def aggregate_counters(blocks: Iterable[OperationCounters]) -> OperationCounters:
+    """Per-field sum of several counter blocks into a fresh block.
+
+    Note that cluster-wide sums count the *total* work across all shards:
+    the replicated per-shard indexing (postings inserted/deleted, arrivals,
+    expirations) appears once per shard, whereas query-side work (scores,
+    refills) is partitioned and sums to roughly the single-engine amount.
+    """
+    total = OperationCounters()
+    for block in blocks:
+        total = total.merged_with(block)
+    return total
+
+
+class AggregatedCounters:
+    """A live, counter-compatible view over several engines' counter blocks.
+
+    A :class:`~repro.cluster.engine.ShardedEngine` exposes this as its
+    ``counters`` attribute so that code written against a single engine --
+    the experiment runner resets and copies ``engine.counters``, the
+    benchmarks read ``engine.counters.scores_computed`` -- works unchanged
+    on a cluster.  Reads sum over the underlying blocks at access time;
+    :meth:`reset` zeroes every underlying block.
+    """
+
+    _FIELD_NAMES = frozenset(f.name for f in fields(OperationCounters))
+
+    def __init__(self, blocks_provider: Callable[[], List[OperationCounters]]) -> None:
+        # A provider rather than a fixed list: the underlying engines own
+        # their blocks and may be rebuilt (e.g. on restore).
+        self._blocks_provider = blocks_provider
+
+    def __getattr__(self, name: str) -> int:
+        if name in AggregatedCounters._FIELD_NAMES:
+            return sum(getattr(block, name) for block in self._blocks_provider())
+        raise AttributeError(name)
+
+    def as_dict(self) -> Dict[str, int]:
+        return aggregate_counters(self._blocks_provider()).as_dict()
+
+    def copy(self) -> OperationCounters:
+        """A plain, detached :class:`OperationCounters` snapshot of the sums."""
+        return aggregate_counters(self._blocks_provider())
+
+    def reset(self) -> None:
+        for block in self._blocks_provider():
+            block.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.as_dict()})"

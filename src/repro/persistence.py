@@ -23,6 +23,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional, Type
 
 from repro.core.base import MonitoringEngine
+from repro.core.descent import ProbeOrder
 from repro.core.engine import ITAEngine
 from repro.documents.document import CompositionList, Document, StreamedDocument
 from repro.documents.window import CountBasedWindow, SlidingWindow, TimeBasedWindow
@@ -51,6 +52,61 @@ def _window_from_dict(data: Dict[str, Any]) -> SlidingWindow:
     raise ConfigurationError(f"unknown window type {kind!r}")
 
 
+def _engine_config(engine: MonitoringEngine) -> Dict[str, Any]:
+    """The engine construction knobs worth preserving across a round-trip.
+
+    Only knobs every restore target understands-or-ignores are recorded:
+    the probe order and roll-up switch of ITA, and the change-tracking
+    flag shared by all engines.  Absent keys simply fall back to the
+    defaults, which keeps old snapshots restorable.
+    """
+    config: Dict[str, Any] = {}
+    probe_order = getattr(engine, "probe_order", None)
+    if isinstance(probe_order, ProbeOrder):
+        config["probe_order"] = probe_order.value
+    for attr in ("enable_rollup", "track_changes"):
+        value = getattr(engine, attr, None)
+        if isinstance(value, bool):
+            config[attr] = value
+    return config
+
+
+def _default_engine(window: SlidingWindow, config: Dict[str, Any]) -> ITAEngine:
+    """The restore target when no factory is given: ITA with the
+    snapshotted configuration."""
+    kwargs: Dict[str, Any] = {}
+    if "probe_order" in config:
+        kwargs["probe_order"] = ProbeOrder(config["probe_order"])
+    if "enable_rollup" in config:
+        kwargs["enable_rollup"] = bool(config["enable_rollup"])
+    if "track_changes" in config:
+        kwargs["track_changes"] = bool(config["track_changes"])
+    return ITAEngine(window, **kwargs)
+
+
+def _document_from_record(record: Dict[str, Any]) -> StreamedDocument:
+    """Decode one snapshot document record back into a streamed document."""
+    weights = {int(term): float(weight) for term, weight in record["weights"].items()}
+    document = Document(
+        doc_id=int(record["doc_id"]),
+        composition=CompositionList(weights),
+        text=record.get("text"),
+        metadata=record.get("metadata", {}),
+    )
+    return StreamedDocument(document=document, arrival_time=float(record["arrival_time"]))
+
+
+def _query_from_record(record: Dict[str, Any]) -> ContinuousQuery:
+    """Decode one snapshot query record back into a continuous query."""
+    weights = {int(term): float(weight) for term, weight in record["weights"].items()}
+    return ContinuousQuery(
+        query_id=int(record["query_id"]),
+        weights=weights,
+        k=int(record["k"]),
+        text=record.get("text"),
+    )
+
+
 def _valid_documents(engine: MonitoringEngine) -> List[StreamedDocument]:
     """Return the engine's valid documents, oldest first.
 
@@ -66,7 +122,8 @@ def _valid_documents(engine: MonitoringEngine) -> List[StreamedDocument]:
 def snapshot_engine(engine: MonitoringEngine) -> Dict[str, Any]:
     """Serialise ``engine`` to a JSON-compatible dictionary.
 
-    The snapshot captures the window configuration, the valid documents
+    The snapshot captures the window configuration, the engine construction
+    knobs (probe order, roll-up, change tracking), the valid documents
     (id, arrival time, composition list, text, metadata), and the installed
     queries (id, k, term weights, text).
     """
@@ -102,6 +159,7 @@ def snapshot_engine(engine: MonitoringEngine) -> Dict[str, Any]:
         "version": SNAPSHOT_VERSION,
         "engine": engine.name,
         "window": _window_to_dict(engine.window),
+        "config": _engine_config(engine),
         "documents": documents,
         "queries": queries,
     }
@@ -122,9 +180,10 @@ def restore_engine(
         A dictionary produced by :func:`snapshot_engine`.
     engine_factory:
         Callable taking the restored window and returning a fresh engine.
-        Defaults to building an :class:`~repro.core.engine.ITAEngine`; pass
-        a different factory to restore the same logical state into a
-        baseline engine.
+        Defaults to building an :class:`~repro.core.engine.ITAEngine` with
+        the snapshotted configuration (probe order, roll-up, change
+        tracking); pass a different factory to restore the same logical
+        state into a baseline engine.
 
     The documents are replayed through the engine in arrival order *before*
     the queries are registered, so each query's initial result is computed
@@ -134,29 +193,21 @@ def restore_engine(
     version = snapshot.get("version")
     if version != SNAPSHOT_VERSION:
         raise ConfigurationError(f"unsupported snapshot version {version!r}")
+    if snapshot.get("kind") == "cluster":
+        raise ConfigurationError(
+            "this is a cluster snapshot; use repro.cluster.restore_cluster "
+            "(or snapshot the cluster with snapshot_engine to collapse it)"
+        )
 
     window = _window_from_dict(snapshot["window"])
-    factory = engine_factory or (lambda w: ITAEngine(w))
+    config = snapshot.get("config", {})
+    factory = engine_factory or (lambda w: _default_engine(w, config))
     engine = factory(window)
 
     for record in sorted(snapshot["documents"], key=lambda r: r["arrival_time"]):
-        weights = {int(term): float(weight) for term, weight in record["weights"].items()}
-        document = Document(
-            doc_id=int(record["doc_id"]),
-            composition=CompositionList(weights),
-            text=record.get("text"),
-            metadata=record.get("metadata", {}),
-        )
-        engine.process(StreamedDocument(document=document, arrival_time=float(record["arrival_time"])))
+        engine.process(_document_from_record(record))
 
     for record in snapshot["queries"]:
-        weights = {int(term): float(weight) for term, weight in record["weights"].items()}
-        query = ContinuousQuery(
-            query_id=int(record["query_id"]),
-            weights=weights,
-            k=int(record["k"]),
-            text=record.get("text"),
-        )
-        engine.register_query(query)
+        engine.register_query(_query_from_record(record))
 
     return engine

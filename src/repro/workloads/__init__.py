@@ -24,6 +24,7 @@ from repro.workloads.experiments import (
     ablation_scoring,
     ablation_window_type,
     all_experiments,
+    cluster_scaling,
     figure_3a,
     figure_3b,
 )

@@ -32,6 +32,7 @@ from repro.workloads.experiments import (
     ablation_scoring,
     ablation_window_type,
     all_experiments,
+    cluster_scaling,
     figure_3a,
     figure_3b,
 )
@@ -52,6 +53,7 @@ _EXPERIMENTS: Dict[str, Callable[[str], ExperimentDefinition]] = {
     "ablation-scoring": ablation_scoring,
     "ablation-rollup": ablation_rollup,
     "ablation-probe-order": ablation_probe_order,
+    "cluster-scaling": cluster_scaling,
 }
 
 

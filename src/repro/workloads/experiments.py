@@ -43,6 +43,7 @@ __all__ = [
     "ablation_scoring",
     "ablation_rollup",
     "ablation_probe_order",
+    "cluster_scaling",
     "all_experiments",
     "SCALES",
 ]
@@ -351,6 +352,50 @@ def ablation_probe_order(scale: str = "small") -> ExperimentDefinition:
     )
 
 
+def cluster_scaling(scale: str = "small") -> ExperimentDefinition:
+    """Scale-out: the sharded cluster versus the shard count (beyond the paper).
+
+    The workload is fixed; only the number of shards of a
+    :class:`~repro.cluster.engine.ShardedEngine` varies (1, 2, 4, 8), with
+    cost-model-driven query placement.  The single-process measurement adds
+    the shards' work up, so the headline ``mean_ms`` stays roughly flat --
+    the quantity that scales is the *per-shard* service time (the cluster's
+    latency when shards run on separate cores/machines), reported by
+    ``benchmarks/bench_cluster_scaling.py`` via the dispatcher's per-shard
+    timers.
+    """
+    base = _base_config(scale)
+    window = min(1_000, int(SCALES[scale]["max_window"]))
+    # Sharding targets the many-query regime (the per-shard win is the
+    # partitioned query work; the replicated indexing is constant), so the
+    # sweep installs several times the scale's default query count.
+    num_queries = base.num_queries * (10 if scale == "smoke" else 4)
+    config = base.with_overrides(window_size=window, num_queries=num_queries)
+    points = []
+    for num_shards in (1, 2, 4, 8):
+        points.append(
+            SweepPoint(
+                label=f"shards={num_shards}",
+                value=num_shards,
+                config=config,
+                engine_options={"num_shards": num_shards, "placement": "cost"},
+            )
+        )
+    return ExperimentDefinition(
+        experiment_id="cluster-scaling",
+        title="Query-sharded cluster scale-out",
+        paper_reference="Beyond the paper (ROADMAP scale-out)",
+        x_axis="shard count",
+        points=tuple(points),
+        engines=("sharded-ita",),
+        description=(
+            "A ShardedEngine partitions the installed queries across N inner "
+            "ITA engines with cost-model placement; per-shard service time "
+            "shrinks with N while the merged results stay identical."
+        ),
+    )
+
+
 def all_experiments(scale: str = "small") -> List[ExperimentDefinition]:
     """Every experiment of the reproduction, paper figures first."""
     return [
@@ -363,4 +408,5 @@ def all_experiments(scale: str = "small") -> List[ExperimentDefinition]:
         ablation_scoring(scale),
         ablation_rollup(scale),
         ablation_probe_order(scale),
+        cluster_scaling(scale),
     ]

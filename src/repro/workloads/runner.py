@@ -108,10 +108,8 @@ def _make_window(config: WorkloadConfig) -> SlidingWindow:
     return CountBasedWindow(config.window_size)
 
 
-def make_engine(name: str, config: WorkloadConfig, options: Optional[Dict[str, object]] = None) -> MonitoringEngine:
-    """Build an engine by name ("ita", "naive", "naive-kmax")."""
-    options = options or {}
-    window = _make_window(config)
+def _make_single_engine(name: str, window: SlidingWindow, options: Dict[str, object]) -> MonitoringEngine:
+    """Build a non-sharded engine by name around an existing window."""
     if name == "ita":
         return ITAEngine(window, track_changes=False)
     if name == "ita-no-rollup":
@@ -124,6 +122,53 @@ def make_engine(name: str, config: WorkloadConfig, options: Optional[Dict[str, o
         multiplier = float(options.get("kmax_multiplier", 2.0))
         return KMaxNaiveEngine(window, policy=FixedKMaxPolicy(multiplier), track_changes=False)
     raise ExperimentError(f"unknown engine {name!r}")
+
+
+def _make_sharded_engine(name: str, config: WorkloadConfig, options: Dict[str, object]) -> MonitoringEngine:
+    """Build a sharded cluster around any single engine.
+
+    Names are ``"sharded-<inner>"`` (e.g. ``"sharded-ita"``) with the shard
+    count taken from the ``num_shards`` option (default 2), or
+    ``"sharded-<inner>-<N>"`` with the count inlined (``"sharded-ita-4"``).
+    """
+    # Imported here: the cluster's cost-model placement imports
+    # repro.workloads, so a module-level import would be circular.
+    from repro.cluster.engine import ShardedEngine
+    from repro.cluster.placement import CostModelPlacement
+
+    parts = name.split("-")[1:]
+    if parts and parts[-1].isdigit():
+        num_shards = int(parts[-1])
+        inner = "-".join(parts[:-1])
+    else:
+        num_shards = int(options.get("num_shards", 2))
+        inner = "-".join(parts)
+    if not inner:
+        inner = "ita"
+    placement = str(options.get("placement", "cost"))
+    if placement == "cost":
+        # Parameterise the cost model with the workload's actual dimensions
+        # so the per-query estimates (hence the balance) are calibrated.
+        placement = CostModelPlacement(
+            num_shards,
+            dictionary_size=config.corpus.dictionary_size,
+            window_size=config.window_size,
+        )
+    return ShardedEngine(
+        num_shards=num_shards,
+        window_factory=lambda: _make_window(config),
+        engine_factory=lambda window: _make_single_engine(inner, window, options),
+        placement=placement,
+        track_changes=False,
+    )
+
+
+def make_engine(name: str, config: WorkloadConfig, options: Optional[Dict[str, object]] = None) -> MonitoringEngine:
+    """Build an engine by name ("ita", "naive", "naive-kmax", "sharded-ita", ...)."""
+    options = options or {}
+    if name == "sharded" or name.startswith("sharded-"):
+        return _make_sharded_engine(name, config, options)
+    return _make_single_engine(name, _make_window(config), options)
 
 
 # --------------------------------------------------------------------------- #

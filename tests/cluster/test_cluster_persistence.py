@@ -1,0 +1,154 @@
+"""Tests for whole-cluster snapshot and restore."""
+
+import json
+
+import pytest
+
+from repro.cluster.engine import ShardedEngine
+from repro.cluster.persistence import restore_cluster, snapshot_cluster
+from repro.core.descent import ProbeOrder
+from repro.core.engine import ITAEngine
+from repro.documents.window import CountBasedWindow, TimeBasedWindow
+from repro.exceptions import ConfigurationError
+from repro.persistence import restore_engine, snapshot_engine
+from tests.conftest import StreamCase, make_document, make_query
+
+
+def populated_cluster(num_shards=3, window_size=9, seed=19):
+    case = StreamCase(seed=seed, num_documents=70)
+    cluster = ShardedEngine(
+        num_shards=num_shards,
+        window_factory=lambda: CountBasedWindow(window_size),
+        placement="cost",
+    )
+    for query in case.queries:
+        cluster.register_query(query)
+    for document in case.documents:
+        cluster.process(document)
+    return cluster
+
+
+class TestClusterSnapshotFormat:
+    def test_snapshot_is_json_serialisable(self):
+        snapshot = snapshot_cluster(populated_cluster())
+        decoded = json.loads(json.dumps(snapshot))
+        assert decoded["kind"] == "cluster"
+        assert decoded["num_shards"] == 3
+
+    def test_snapshot_reuses_the_engine_format_per_shard(self):
+        cluster = populated_cluster(num_shards=2)
+        snapshot = snapshot_cluster(cluster)
+        assert len(snapshot["shards"]) == 2
+        for shard_snapshot, shard in zip(snapshot["shards"], cluster.shards):
+            assert shard_snapshot == snapshot_engine(shard)
+
+    def test_snapshot_records_placement(self):
+        cluster = populated_cluster()
+        snapshot = snapshot_cluster(cluster)
+        assert snapshot["placement"] == {
+            str(query_id): shard for query_id, shard in cluster.assignment().items()
+        }
+
+
+class TestClusterRestore:
+    def test_roundtrip_preserves_results_and_placement(self):
+        cluster = populated_cluster()
+        restored = restore_cluster(snapshot_cluster(cluster))
+        assert restored.num_shards == cluster.num_shards
+        assert restored.assignment() == cluster.assignment()
+        assert restored.current_results() == cluster.current_results()
+        restored.check_invariants()
+
+    def test_restored_cluster_continues_streaming(self):
+        cluster = populated_cluster(window_size=8)
+        restored = restore_cluster(snapshot_cluster(cluster))
+        for doc_id in range(500, 530):
+            document = make_document(doc_id, {1: 0.4, 2: 0.6}, arrival_time=float(doc_id))
+            cluster.process(document)
+            restored.process(document)
+        assert restored.current_results() == cluster.current_results()
+
+    def test_time_based_cluster_roundtrip(self):
+        cluster = ShardedEngine(
+            num_shards=2,
+            window_factory=lambda: TimeBasedWindow(span=12.0),
+            placement="hash",
+        )
+        cluster.register_query(make_query(0, {1: 1.0}, k=2))
+        cluster.register_query(make_query(1, {2: 1.0}, k=1))
+        for doc_id in range(10):
+            cluster.process(make_document(doc_id, {1: 0.5, 2: 0.3}, arrival_time=float(doc_id)))
+        restored = restore_cluster(snapshot_cluster(cluster))
+        assert isinstance(restored.window, TimeBasedWindow)
+        assert restored.window.span == 12.0
+        for shard in restored.shards:
+            assert isinstance(shard.window, TimeBasedWindow)
+        assert restored.current_results() == cluster.current_results()
+
+    def test_shard_engine_config_survives_roundtrip(self):
+        cluster = ShardedEngine(
+            num_shards=2,
+            window_factory=lambda: CountBasedWindow(6),
+            engine_factory=lambda window: ITAEngine(
+                window, enable_rollup=False, probe_order=ProbeOrder.ROUND_ROBIN
+            ),
+            placement="round-robin",
+        )
+        cluster.register_query(make_query(0, {1: 1.0}, k=1))
+        snapshot = snapshot_cluster(cluster)
+        assert snapshot["shards"][0]["config"]["probe_order"] == "round_robin"
+        # Without an explicit factory the restore honours the recorded
+        # per-shard engine configuration.
+        restored = restore_cluster(snapshot)
+        assert all(s.probe_order is ProbeOrder.ROUND_ROBIN for s in restored.shards)
+        assert all(s.enable_rollup is False for s in restored.shards)
+
+    def test_unsupported_version_rejected(self):
+        snapshot = snapshot_cluster(populated_cluster())
+        snapshot["version"] = 99
+        with pytest.raises(ConfigurationError):
+            restore_cluster(snapshot)
+
+    def test_engine_snapshot_rejected_by_cluster_restore(self):
+        engine_snapshot = snapshot_engine(populated_cluster())
+        with pytest.raises(ConfigurationError):
+            restore_cluster(engine_snapshot)
+
+    def test_cluster_snapshot_rejected_by_engine_restore(self):
+        cluster_snapshot = snapshot_cluster(populated_cluster())
+        with pytest.raises(ConfigurationError):
+            restore_engine(cluster_snapshot)
+
+    def test_tampered_placement_map_rejected(self):
+        snapshot = snapshot_cluster(populated_cluster(num_shards=2))
+        query_id = next(iter(snapshot["placement"]))
+        snapshot["placement"][query_id] = 1 - snapshot["placement"][query_id]
+        with pytest.raises(ConfigurationError):
+            restore_cluster(snapshot)
+
+    def test_shard_count_mismatch_rejected(self):
+        snapshot = snapshot_cluster(populated_cluster(num_shards=2))
+        snapshot["num_shards"] = 3
+        with pytest.raises(ConfigurationError):
+            restore_cluster(snapshot)
+
+    def test_empty_cluster_roundtrip(self):
+        cluster = ShardedEngine(
+            num_shards=2, window_factory=lambda: CountBasedWindow(5)
+        )
+        cluster.register_query(make_query(0, {1: 1.0}, k=2))
+        restored = restore_cluster(snapshot_cluster(cluster))
+        assert restored.current_result(0) == []
+        assert restored.shard_of(0) == cluster.shard_of(0)
+
+
+class TestClusterCollapse:
+    """A cluster satisfies the plain engine snapshot contract, so
+    ``snapshot_engine`` collapses it into a single engine."""
+
+    def test_cluster_collapses_into_a_single_engine(self):
+        cluster = populated_cluster()
+        single = restore_engine(snapshot_engine(cluster))
+        assert isinstance(single, ITAEngine)
+        assert sorted(single.query_ids()) == sorted(cluster.query_ids())
+        assert single.current_results() == cluster.current_results()

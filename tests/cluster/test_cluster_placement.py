@@ -1,0 +1,111 @@
+"""Tests for the query placement policies."""
+
+import pytest
+
+from repro.cluster.placement import (
+    CostModelPlacement,
+    HashPlacement,
+    PlacementPolicy,
+    RoundRobinPlacement,
+    make_placement,
+)
+from repro.exceptions import ConfigurationError
+from tests.conftest import make_query
+
+
+class TestRoundRobinPlacement:
+    def test_cycles_through_shards(self):
+        policy = RoundRobinPlacement(3)
+        shards = [policy.place(make_query(qid, {1: 1.0})) for qid in range(7)]
+        assert shards == [0, 1, 2, 0, 1, 2, 0]
+        assert policy.query_counts() == [3, 2, 2]
+
+    def test_forget_releases_count(self):
+        policy = RoundRobinPlacement(2)
+        query = make_query(0, {1: 1.0})
+        shard = policy.place(query)
+        policy.forget(query, shard)
+        assert policy.query_counts() == [0, 0]
+
+
+class TestHashPlacement:
+    def test_deterministic_across_instances(self):
+        queries = [make_query(qid, {1: 1.0}) for qid in range(50)]
+        first = [HashPlacement(4).choose(q) for q in queries]
+        second = [HashPlacement(4).choose(q) for q in queries]
+        assert first == second
+
+    def test_scatters_dense_id_ranges(self):
+        policy = HashPlacement(4)
+        shards = [policy.place(make_query(qid, {1: 1.0})) for qid in range(100)]
+        counts = policy.query_counts()
+        assert set(shards) == {0, 1, 2, 3}
+        # Dense ids must not all land on one shard (the builtin-int-hash
+        # failure mode); allow generous imbalance.
+        assert max(counts) <= 60
+
+
+class TestCostModelPlacement:
+    def test_longer_queries_cost_more(self):
+        policy = CostModelPlacement(2)
+        short = make_query(0, {1: 1.0}, k=1)
+        long = make_query(1, {t: 1.0 for t in range(30)}, k=1)
+        assert policy.estimated_cost(long) > policy.estimated_cost(short)
+
+    def test_larger_k_costs_more(self):
+        policy = CostModelPlacement(2)
+        small_k = make_query(0, {1: 1.0, 2: 1.0}, k=1)
+        big_k = make_query(1, {1: 1.0, 2: 1.0}, k=50)
+        assert policy.estimated_cost(big_k) > policy.estimated_cost(small_k)
+
+    def test_expensive_queries_spread_across_shards(self):
+        policy = CostModelPlacement(2)
+        heavy = [make_query(qid, {t: 1.0 for t in range(40)}, k=10) for qid in range(4)]
+        shards = [policy.place(q) for q in heavy]
+        assert shards == [0, 1, 0, 1]
+        loads = policy.shard_loads()
+        assert loads[0] == pytest.approx(loads[1])
+
+    def test_greedy_balances_mixed_workload(self):
+        policy = CostModelPlacement(3)
+        queries = [
+            make_query(qid, {t: 1.0 for t in range(2 + (qid % 5) * 8)}, k=5)
+            for qid in range(30)
+        ]
+        for query in queries:
+            policy.place(query)
+        loads = policy.shard_loads()
+        assert max(loads) < 1.5 * min(loads)
+
+    def test_forget_releases_load(self):
+        policy = CostModelPlacement(2)
+        query = make_query(0, {1: 1.0, 2: 1.0}, k=3)
+        shard = policy.place(query)
+        policy.forget(query, shard)
+        assert policy.shard_loads() == [0.0, 0.0]
+        assert policy.query_counts() == [0, 0]
+
+
+class TestPolicyContract:
+    def test_make_placement_by_name(self):
+        assert isinstance(make_placement("round-robin", 2), RoundRobinPlacement)
+        assert isinstance(make_placement("hash", 2), HashPlacement)
+        assert isinstance(make_placement("cost", 2), CostModelPlacement)
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_placement("best-effort", 2)
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RoundRobinPlacement(0)
+
+    def test_out_of_range_choice_rejected(self):
+        class Broken(PlacementPolicy):
+            name = "broken"
+
+            def choose(self, query):
+                return self.num_shards
+
+        with pytest.raises(ConfigurationError):
+            Broken(2).place(make_query(0, {1: 1.0}))

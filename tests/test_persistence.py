@@ -5,6 +5,7 @@ import json
 import pytest
 
 from repro.baselines.naive import NaiveEngine
+from repro.core.descent import ProbeOrder
 from repro.core.engine import ITAEngine
 from repro.documents.window import CountBasedWindow, TimeBasedWindow
 from repro.exceptions import ConfigurationError
@@ -104,3 +105,63 @@ class TestRestore:
         engine.register_query(make_query(0, {1: 1.0}, k=2))
         restored = restore_engine(snapshot_engine(engine))
         assert restored.current_result(0) == []
+
+
+class TestConfigRoundTrip:
+    """The engine construction knobs must survive a snapshot round-trip."""
+
+    def test_ita_defaults_preserved(self):
+        restored = restore_engine(snapshot_engine(populated_ita()))
+        assert isinstance(restored, ITAEngine)
+        assert restored.probe_order is ProbeOrder.WEIGHTED
+        assert restored.enable_rollup is True
+        assert restored.track_changes is True
+
+    def test_non_default_ita_config_preserved(self):
+        engine = ITAEngine(
+            CountBasedWindow(8),
+            track_changes=False,
+            enable_rollup=False,
+            probe_order=ProbeOrder.ROUND_ROBIN,
+        )
+        engine.register_query(make_query(0, {1: 0.5, 2: 0.5}, k=2))
+        for doc_id in range(12):
+            engine.process(make_document(doc_id, {1: 0.4, 2: 0.3}, arrival_time=float(doc_id)))
+
+        snapshot = snapshot_engine(engine)
+        assert snapshot["config"] == {
+            "probe_order": "round_robin",
+            "enable_rollup": False,
+            "track_changes": False,
+        }
+        restored = restore_engine(snapshot)
+        assert restored.probe_order is ProbeOrder.ROUND_ROBIN
+        assert restored.enable_rollup is False
+        assert restored.track_changes is False
+        for query_id in engine.query_ids():
+            assert_same_topk(
+                engine.current_result(query_id), restored.current_result(query_id)
+            )
+
+    def test_window_type_preserved(self):
+        engine = ITAEngine(TimeBasedWindow(span=7.5))
+        engine.register_query(make_query(0, {1: 1.0}, k=1))
+        engine.process(make_document(0, {1: 0.5}, arrival_time=0.0))
+        restored = restore_engine(snapshot_engine(engine))
+        assert isinstance(restored.window, TimeBasedWindow)
+        assert restored.window.span == 7.5
+
+    def test_explicit_factory_overrides_snapshotted_config(self):
+        engine = ITAEngine(CountBasedWindow(5), probe_order=ProbeOrder.ROUND_ROBIN)
+        engine.register_query(make_query(0, {1: 1.0}, k=1))
+        restored = restore_engine(
+            snapshot_engine(engine), engine_factory=lambda w: ITAEngine(w)
+        )
+        assert restored.probe_order is ProbeOrder.WEIGHTED
+
+    def test_config_free_snapshot_restores_with_defaults(self):
+        snapshot = snapshot_engine(populated_ita())
+        del snapshot["config"]
+        restored = restore_engine(snapshot)
+        assert restored.probe_order is ProbeOrder.WEIGHTED
+        assert restored.enable_rollup is True

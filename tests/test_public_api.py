@@ -14,10 +14,75 @@ class TestPublicAPI:
             assert hasattr(repro, name), f"missing public name {name}"
 
     def test_engines_share_the_monitoring_interface(self):
-        from repro import ITAEngine, KMaxNaiveEngine, MonitoringEngine, NaiveEngine, OracleEngine
+        from repro import (
+            ITAEngine,
+            KMaxNaiveEngine,
+            MonitoringEngine,
+            NaiveEngine,
+            OracleEngine,
+            ShardedEngine,
+        )
 
-        for engine_class in (ITAEngine, NaiveEngine, KMaxNaiveEngine, OracleEngine):
+        for engine_class in (ITAEngine, NaiveEngine, KMaxNaiveEngine, OracleEngine, ShardedEngine):
             assert issubclass(engine_class, MonitoringEngine)
+
+    def test_cluster_subsystem_exported(self):
+        from repro import (
+            CostModelPlacement,
+            HashPlacement,
+            PlacementPolicy,
+            ResultMerger,
+            RoundRobinPlacement,
+            ShardedEngine,
+            restore_cluster,
+            snapshot_cluster,
+        )
+
+        for policy_class in (RoundRobinPlacement, HashPlacement, CostModelPlacement):
+            assert issubclass(policy_class, PlacementPolicy)
+        assert callable(snapshot_cluster) and callable(restore_cluster)
+        assert hasattr(ResultMerger, "merge_changes")
+        assert ShardedEngine.name == "sharded"
+
+    def test_sharded_quickstart_flow(self):
+        """The README sharded-cluster quickstart must keep working."""
+        from repro import (
+            Analyzer,
+            ContinuousQuery,
+            CountBasedWindow,
+            DocumentStream,
+            FixedRateArrivalProcess,
+            InMemoryCorpus,
+            ITAEngine,
+            ShardedEngine,
+            Vocabulary,
+            restore_cluster,
+            snapshot_cluster,
+        )
+
+        analyzer, vocabulary = Analyzer(), Vocabulary()
+        corpus = InMemoryCorpus(
+            ["breaking news about markets", "weather update for tomorrow"],
+            analyzer=analyzer,
+            vocabulary=vocabulary,
+        )
+        cluster = ShardedEngine(
+            num_shards=2,
+            window_factory=lambda: CountBasedWindow(100),
+            placement="cost",
+        )
+        single = ITAEngine(CountBasedWindow(100))
+        query = ContinuousQuery.from_text(
+            0, "market news", k=1, analyzer=analyzer, vocabulary=vocabulary
+        )
+        cluster.register_query(query)
+        single.register_query(query)
+        stream = list(DocumentStream(corpus, FixedRateArrivalProcess(rate=1.0)))
+        cluster.process_many(stream)
+        single.process_many(stream)
+        assert cluster.current_result(0) == single.current_result(0)
+        restored = restore_cluster(snapshot_cluster(cluster))
+        assert restored.current_result(0) == cluster.current_result(0)
 
     def test_quickstart_flow(self):
         """The README / module-docstring quickstart must keep working."""

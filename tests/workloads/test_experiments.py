@@ -13,6 +13,7 @@ from repro.workloads.experiments import (
     ablation_scoring,
     ablation_window_type,
     all_experiments,
+    cluster_scaling,
     figure_3a,
     figure_3b,
 )
@@ -106,4 +107,13 @@ class TestAblations:
         definitions = all_experiments("smoke")
         ids = [d.experiment_id for d in definitions]
         assert ids[0] == "figure3a" and ids[1] == "figure3b"
-        assert len(ids) == len(set(ids)) == 9
+        assert len(ids) == len(set(ids)) == 10
+        assert "cluster-scaling" in ids
+
+    def test_cluster_scaling_sweeps_shard_counts(self):
+        definition = cluster_scaling("smoke")
+        assert definition.engines == ("sharded-ita",)
+        assert [p.value for p in definition.points] == [1, 2, 4, 8]
+        assert all(
+            p.engine_options["num_shards"] == p.value for p in definition.points
+        )

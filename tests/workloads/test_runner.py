@@ -73,6 +73,33 @@ class TestMakeEngine:
     def test_change_tracking_disabled_for_benchmarks(self):
         assert make_engine("ita", tiny_config()).track_changes is False
 
+    def test_sharded_engine_names(self):
+        from repro.cluster.engine import ShardedEngine
+        from repro.cluster.placement import CostModelPlacement, RoundRobinPlacement
+
+        default = make_engine("sharded-ita", tiny_config())
+        assert isinstance(default, ShardedEngine)
+        assert default.num_shards == 2
+        assert isinstance(default.placement, CostModelPlacement)
+
+        inlined = make_engine("sharded-ita-4", tiny_config(), {"placement": "round-robin"})
+        assert inlined.num_shards == 4
+        assert isinstance(inlined.placement, RoundRobinPlacement)
+
+        by_option = make_engine("sharded-ita", tiny_config(), {"num_shards": 3})
+        assert by_option.num_shards == 3
+
+        baseline_shards = make_engine("sharded-naive-2", tiny_config())
+        assert all(isinstance(s, NaiveEngine) for s in baseline_shards.shards)
+
+    def test_sharded_typos_rejected(self):
+        with pytest.raises(ExperimentError):
+            make_engine("sharded_ita", tiny_config())
+        with pytest.raises(ExperimentError):
+            make_engine("shardedfoo", tiny_config())
+        with pytest.raises(ExperimentError):
+            make_engine("sharded-magic-2", tiny_config())
+
 
 class TestRunPoint:
     def test_measures_every_engine(self):

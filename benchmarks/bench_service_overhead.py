@@ -1,0 +1,147 @@
+"""Façade overhead: MonitoringService.ingest vs. direct engine.process.
+
+The service façade routes every stream element through the alert
+dispatcher and its own bookkeeping (clock, id sequence, handle buffers).
+That layer must stay thin: applications should not pay a measurable tax
+for using the recommended API.  This module measures both paths on the
+same pre-built stream -- engines configured identically (change tracking
+on, as the façade requires) -- and asserts the per-arrival overhead stays
+small.
+
+``pytest benchmarks/bench_service_overhead.py --benchmark-only`` gives the
+pytest-benchmark timings; the plain ``test_facade_overhead_is_small``
+check asserts the bound without needing pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List
+
+import pytest
+
+from repro.core.base import MonitoringEngine
+from repro.documents.document import StreamedDocument
+from repro.query.query import ContinuousQuery
+from repro.service import EngineSpec, MonitoringService, WindowSpec
+from repro.workloads.generators import GeneratedWorkload, WorkloadConfig, build_workload
+
+
+#: moderate size: large enough that per-event engine work dominates noise,
+#: small enough for the smoke-scale benchmark budget
+_CONFIG = WorkloadConfig(
+    num_queries=60,
+    query_length=6,
+    k=5,
+    window_size=300,
+    measured_events=150,
+    seed=11,
+)
+
+_SPEC = EngineSpec(kind="ita", window=WindowSpec.count(_CONFIG.window_size))
+
+_WORKLOAD: GeneratedWorkload = build_workload(_CONFIG)
+
+
+def _fresh_engine() -> MonitoringEngine:
+    """A direct engine, pre-filled and with the queries registered."""
+    engine = _SPEC.build()
+    for document in _WORKLOAD.prefill:
+        engine.process(document)
+    for query in _WORKLOAD.queries:
+        engine.register_query(query)
+    return engine
+
+
+def _fresh_service() -> MonitoringService:
+    """A façade over an identically-specced engine, identically prepared."""
+    service = MonitoringService(_SPEC)
+    service.ingest(_WORKLOAD.prefill)
+    for query in _WORKLOAD.queries:
+        service.subscribe(
+            ContinuousQuery(query_id=query.query_id, weights=query.weights, k=query.k),
+            max_pending=8,
+        )
+    return service
+
+
+def _best_time_per_event(
+    prepare: Callable[[], Callable[[List[StreamedDocument]], object]],
+    repeats: int = 5,
+) -> float:
+    """Best-of-N mean per-event time; a fresh target per repetition.
+
+    Each repetition prepares a fresh engine/service (the sliding window
+    rejects replayed timestamps and the index rejects duplicate document
+    ids, so the measured slice can be processed once per instance).
+    """
+    measured = _WORKLOAD.measured
+    best = float("inf")
+    for _ in range(repeats):
+        run = prepare()
+        started = time.perf_counter()
+        run(measured)
+        best = min(best, time.perf_counter() - started)
+    return best / len(measured)
+
+
+def test_facade_overhead_is_small():
+    """service.ingest must stay within a few percent of engine.process.
+
+    The assertion bound is deliberately looser than the expected overhead
+    (single-digit percent) because wall-clock runners are noisy; best-of-5
+    timings on both paths squeeze most scheduler noise out, and a
+    regression that makes the façade 25% slower than the engine is still
+    caught.
+    """
+
+    def prepare_direct():
+        engine = _fresh_engine()
+
+        def run(documents):
+            for document in documents:
+                engine.process(document)
+
+        return run
+
+    def prepare_service():
+        service = _fresh_service()
+        return service.ingest
+
+    # Warm both code paths before timing.
+    prepare_direct()(_WORKLOAD.measured)
+    prepare_service()(_WORKLOAD.measured)
+
+    direct = _best_time_per_event(prepare_direct)
+    facade = _best_time_per_event(prepare_service)
+
+    overhead = facade / direct if direct > 0 else 1.0
+    assert overhead < 1.25, (
+        f"façade ingest is {overhead:.2f}x the direct engine "
+        f"({facade * 1000:.4f} ms vs {direct * 1000:.4f} ms per arrival)"
+    )
+
+
+@pytest.mark.benchmark(group="service-overhead")
+def test_bench_direct_engine(benchmark):
+    engine = _fresh_engine()
+
+    def run():
+        for document in _WORKLOAD.measured:
+            engine.process(document)
+        return len(_WORKLOAD.measured)
+
+    events = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["events_per_round"] = events
+
+
+@pytest.mark.benchmark(group="service-overhead")
+def test_bench_service_ingest(benchmark):
+    service = _fresh_service()
+
+    def run():
+        service.ingest(_WORKLOAD.measured)
+        return len(_WORKLOAD.measured)
+
+    events = benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0)
+    benchmark.extra_info["events_per_round"] = events

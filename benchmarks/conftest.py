@@ -30,7 +30,7 @@ if str(_SRC) not in sys.path:
 from repro.core.base import MonitoringEngine                     # noqa: E402
 from repro.workloads.experiments import SweepPoint               # noqa: E402
 from repro.workloads.generators import GeneratedWorkload, build_workload  # noqa: E402
-from repro.workloads.runner import make_engine                   # noqa: E402
+from repro.workloads.runner import build_engine                  # noqa: E402
 
 
 def bench_scale() -> str:
@@ -67,7 +67,7 @@ def workload_for(point: SweepPoint) -> GeneratedWorkload:
 def prepared_engine(engine_name: str, point: SweepPoint) -> MonitoringEngine:
     """An engine with the window pre-filled and the queries registered."""
     workload = workload_for(point)
-    engine = make_engine(engine_name, point.config, point.engine_options)
+    engine = build_engine(engine_name, point.config, point.engine_options)
     for document in workload.prefill:
         engine.process(document)
     for query in workload.queries:

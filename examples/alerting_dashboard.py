@@ -5,13 +5,13 @@ This example combines two of the library's higher-level pieces:
 * the :class:`~repro.documents.corpus.TopicalSyntheticCorpus`, whose
   documents cluster into topics with characteristic sub-vocabularies
   (closer to real newswire than a uniform Zipfian bag of words), and
-* the :class:`~repro.AlertDispatcher`, which turns the engine's
-  result-change events into push notifications for registered subscribers
-  -- the "tell me when my watchlist changes" interaction the paper's
-  monitoring applications need.
+* the :class:`~repro.MonitoringService` façade, which turns the engine's
+  result-change events into push notifications -- the "tell me when my
+  watchlist changes" interaction the paper's monitoring applications need.
 
-Each standing query targets one topic's vocabulary; a per-query subscriber
-prints an alert whenever that query's top-k changes, and a global
+Each standing query targets one topic's vocabulary; its subscription's
+``on_change`` callback prints an alert whenever that query's top-k
+changes, and a global :meth:`~repro.MonitoringService.on_change`
 subscriber keeps a running count of alerts per query.
 
 Run with::
@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from collections import Counter
 
-from repro import AlertDispatcher, ContinuousQuery, CountBasedWindow, ITAEngine
+from repro import ContinuousQuery, EngineSpec, MonitoringService, WindowSpec
 from repro.documents.corpus import TopicalCorpusConfig, TopicalSyntheticCorpus
 from repro.documents.stream import DocumentStream, PoissonArrivalProcess
 
@@ -39,8 +39,7 @@ def main() -> None:
     )
     corpus = TopicalSyntheticCorpus(config)
 
-    engine = ITAEngine(CountBasedWindow(size=200))
-    dispatcher = AlertDispatcher(engine)
+    service = MonitoringService(EngineSpec(kind="ita", window=WindowSpec.count(200)))
 
     # One standing query per monitored topic, built from that topic's own
     # vocabulary so it reliably matches documents of the topic.
@@ -62,30 +61,30 @@ def main() -> None:
             term_ids=corpus.sample_topic_query_terms(topic, count=6),
             k=5,
         )
-        engine.register_query(query)
-        # A per-query subscriber that prints only that topic's changes...
-        dispatcher.subscribe(make_logger(topic), query_id=query_id)
+        # A per-query subscription that prints only that topic's changes...
+        service.subscribe(query, on_change=make_logger(topic))
 
     # ...and one global subscriber that tallies alert volume per query.
-    dispatcher.subscribe(lambda alert: alert_counts.update([alert.query_id]))
+    service.on_change(lambda alert: alert_counts.update([alert.query_id]))
 
     print(f"Alerting dashboard over {len(monitored_topics)} topical watchlists")
     print("=" * 70)
 
     stream = DocumentStream(corpus, PoissonArrivalProcess(rate=200.0, seed=11), limit=400)
     printed = 0
-    for streamed in stream:
-        changes = dispatcher.process(streamed)
-        if changes and printed < 25:
-            print(f"doc #{streamed.doc_id} (topic {streamed.document.metadata['topic']}):")
-            printed += 1
+    with service:
+        for streamed in stream:
+            changes = service.ingest(streamed)
+            if changes and printed < 25:
+                print(f"doc #{streamed.doc_id} (topic {streamed.document.metadata['topic']}):")
+                printed += 1
 
     print("\n" + "=" * 70)
     print("Alert volume per watchlist over the run:")
     for query_id, topic in enumerate(monitored_topics):
         print(f"  topic {topic}: {alert_counts[query_id]} result changes")
-    print(f"\nTotal alert callbacks delivered: {dispatcher.delivered}")
-    print(f"ITA similarity-score computations: {engine.counters.scores_computed}")
+    print(f"\nTotal alert callbacks delivered: {service.dispatcher.delivered}")
+    print(f"ITA similarity-score computations: {service.counters.scores_computed}")
 
 
 if __name__ == "__main__":

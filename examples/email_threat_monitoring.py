@@ -10,6 +10,12 @@ expiry of stale matches.
 It also contrasts ITA against the oracle to show the two always agree, and
 against Naive to show how many fewer score computations ITA performs.
 
+This example deliberately uses the *low-level* API (hand-wired analyzer,
+vocabulary, engines) because it drives three engines over one shared
+dictionary; everyday applications should start from the
+:class:`~repro.MonitoringService` façade instead (see
+``examples/service_quickstart.py``).
+
 Run with::
 
     python examples/email_threat_monitoring.py

@@ -3,8 +3,9 @@
 This reproduces the paper's motivating scenario of an investment manager
 and an entrepreneur who each register standing queries over a newsflash
 stream (Reuters/Bloomberg-style) to surface the most relevant recent
-reports.  Several analysts with different interest profiles are monitored
-simultaneously, and the script prints an alert whenever a query's top-k
+reports.  Several analysts with different interest profiles subscribe to
+one shared :class:`~repro.MonitoringService`; each subscription's
+``on_change`` callback prints an alert whenever that analyst's top-k
 result changes -- the event a real monitoring UI would react to.
 
 Run with::
@@ -17,16 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
-from repro import (
-    Analyzer,
-    ContinuousQuery,
-    CountBasedWindow,
-    DocumentStream,
-    FixedRateArrivalProcess,
-    InMemoryCorpus,
-    ITAEngine,
-    Vocabulary,
-)
+from repro import Alert, EngineSpec, MonitoringService, QueryHandle, WindowSpec
 
 
 NEWSFLASHES: List[str] = [
@@ -63,51 +55,44 @@ ANALYSTS = [
 ]
 
 
-def main() -> None:
-    analyzer = Analyzer()
-    vocabulary = Vocabulary()
-    corpus = InMemoryCorpus(NEWSFLASHES, analyzer=analyzer, vocabulary=vocabulary)
+def make_alert_printer(analyst: Analyst):
+    def on_change(alert: Alert) -> None:
+        entered = ", ".join(f"#{e.doc_id}" for e in alert.change.entered) or "-"
+        left = ", ".join(f"#{e.doc_id}" for e in alert.change.left) or "-"
+        print(f"    ALERT [{analyst.name}] watchlist updated "
+              f"(in: {entered}; out: {left})")
+    return on_change
 
+
+def main() -> None:
     # A sliding window of the 8 most recent newsflashes.
-    engine = ITAEngine(CountBasedWindow(size=8))
-    analysts_by_id: Dict[int, Analyst] = {}
-    for query_id, analyst in enumerate(ANALYSTS):
-        query = ContinuousQuery.from_text(
-            query_id=query_id,
-            text=analyst.interests,
-            k=analyst.k,
-            analyzer=analyzer,
-            vocabulary=vocabulary,
+    service = MonitoringService(EngineSpec(kind="ita", window=WindowSpec.count(8)))
+
+    handles: Dict[str, QueryHandle] = {}
+    for analyst in ANALYSTS:
+        handles[analyst.name] = service.subscribe(
+            analyst.interests, k=analyst.k, on_change=make_alert_printer(analyst)
         )
-        engine.register_query(query)
-        analysts_by_id[query_id] = analyst
 
     print("Newsflash monitoring desk -- window of the 8 most recent reports")
     print("=" * 70)
 
-    stream = DocumentStream(corpus, FixedRateArrivalProcess(rate=1.0))
-    for streamed in stream:
-        changes = engine.process(streamed)
-        print(f"\n[{streamed.arrival_time:5.1f}s] FLASH #{streamed.doc_id}: "
-              f"{NEWSFLASHES[streamed.doc_id]}")
-        for change in changes:
-            analyst = analysts_by_id[change.query_id]
-            entered = ", ".join(f"#{e.doc_id}" for e in change.entered) or "-"
-            left = ", ".join(f"#{e.doc_id}" for e in change.left) or "-"
-            print(f"    ALERT [{analyst.name}] watchlist updated "
-                  f"(in: {entered}; out: {left})")
+    with service:
+        for doc_id, flash in enumerate(NEWSFLASHES):
+            print(f"\n[{service.clock + 1.0:5.1f}s] FLASH #{doc_id}: {flash}")
+            service.ingest(flash)
 
-    print("\n" + "=" * 70)
-    print("Final watchlists:")
-    for query_id, analyst in analysts_by_id.items():
-        print(f"\n  {analyst.name} (top {analyst.k}, interests: {analyst.interests!r})")
-        for rank, entry in enumerate(engine.current_result(query_id), start=1):
-            print(f"    {rank}. [{entry.score:.3f}] {NEWSFLASHES[entry.doc_id]}")
+        print("\n" + "=" * 70)
+        print("Final watchlists:")
+        for analyst in ANALYSTS:
+            print(f"\n  {analyst.name} (top {analyst.k}, interests: {analyst.interests!r})")
+            for rank, entry in enumerate(handles[analyst.name].result(), start=1):
+                print(f"    {rank}. [{entry.score:.3f}] {NEWSFLASHES[entry.doc_id]}")
 
-    print("\nWork performed (ITA operation counters):")
-    counters = engine.counters.as_dict()
-    for key in ("arrivals", "expirations", "scores_computed", "rollup_steps", "refills"):
-        print(f"    {key:18s} {counters[key]}")
+        print("\nWork performed (ITA operation counters):")
+        counters = service.counters.as_dict()
+        for key in ("arrivals", "expirations", "scores_computed", "rollup_steps", "refills"):
+            print(f"    {key:18s} {counters[key]}")
 
 
 if __name__ == "__main__":

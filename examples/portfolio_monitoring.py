@@ -7,7 +7,10 @@ and reports the per-arrival processing time and the score-computation
 savings of ITA against the k_max-enhanced Naive competitor.
 
 It is effectively a miniature, self-contained version of the Figure 3
-benchmarks, runnable directly without pytest.
+benchmarks, runnable directly without pytest.  Like the benchmarks it
+uses the *low-level* engine API directly (no change tracking, manual
+pre-fill); see ``examples/service_quickstart.py`` for the recommended
+high-level façade.
 
 Run with::
 

@@ -4,24 +4,18 @@ Run with::
 
     python examples/quickstart.py
 
-This is the smallest end-to-end use of the library: build the shared text
-analyzer and dictionary, install one continuous query, then stream a few
-documents through an :class:`~repro.ITAEngine` and print how the top-k
-result evolves.
+This is the smallest end-to-end use of the library, written against the
+recommended high-level API: a :class:`~repro.MonitoringService` owns the
+text pipeline and the engine, ``subscribe()`` installs the standing query,
+and ``ingest()`` streams raw headlines through the sliding window while
+the returned :class:`~repro.QueryHandle` reports how the top-k result
+evolves.  (The hand-wired engine-level equivalent lives in
+``examples/email_threat_monitoring.py`` and ``portfolio_monitoring.py``.)
 """
 
 from __future__ import annotations
 
-from repro import (
-    Analyzer,
-    ContinuousQuery,
-    CountBasedWindow,
-    DocumentStream,
-    FixedRateArrivalProcess,
-    InMemoryCorpus,
-    ITAEngine,
-    Vocabulary,
-)
+from repro import EngineSpec, MonitoringService, WindowSpec
 
 
 HEADLINES = [
@@ -35,40 +29,28 @@ HEADLINES = [
 
 
 def main() -> None:
-    # A query and the documents must share one analyzer + dictionary so that
-    # "markets" in a headline and "market" in the query map to one term.
-    analyzer = Analyzer()
-    vocabulary = Vocabulary()
+    # Monitor the 3 most recent headlines most similar to a market query,
+    # inside a count-based window of the 4 most recent documents.
+    spec = EngineSpec(kind="ita", window=WindowSpec.count(4))
 
-    corpus = InMemoryCorpus(HEADLINES, analyzer=analyzer, vocabulary=vocabulary)
+    with MonitoringService(spec) as service:
+        handle = service.subscribe("stock market rates", k=3)
 
-    # Monitor the 3 most recent headlines most similar to a market query.
-    engine = ITAEngine(CountBasedWindow(size=4))
-    query = ContinuousQuery.from_text(
-        query_id=0,
-        text="stock market rates",
-        k=3,
-        analyzer=analyzer,
-        vocabulary=vocabulary,
-    )
-    engine.register_query(query)
+        print("Streaming headlines through a count-based window of size 4\n")
+        for doc_id, headline in enumerate(HEADLINES):
+            changes = service.ingest(headline)
+            print(f"t={service.clock:4.1f}  arrived #{doc_id}: {headline}")
+            if changes:
+                ranked = ", ".join(
+                    f"#{entry.doc_id}({entry.score:.2f})" for entry in handle.result()
+                )
+                print(f"          -> result changed: [{ranked}]")
+            else:
+                print("          -> result unchanged")
 
-    stream = DocumentStream(corpus, FixedRateArrivalProcess(rate=1.0))
-    print("Streaming headlines through a count-based window of size 4\n")
-    for streamed in stream:
-        changes = engine.process(streamed)
-        print(f"t={streamed.arrival_time:4.1f}  arrived #{streamed.doc_id}: "
-              f"{HEADLINES[streamed.doc_id]}")
-        if changes:
-            result = engine.current_result(0)
-            ranked = ", ".join(f"#{entry.doc_id}({entry.score:.2f})" for entry in result)
-            print(f"          -> result changed: [{ranked}]")
-        else:
-            print("          -> result unchanged")
-
-    print("\nFinal top-3 for query 'stock market rates':")
-    for rank, entry in enumerate(engine.current_result(0), start=1):
-        print(f"  {rank}. #{entry.doc_id}  score={entry.score:.3f}  {HEADLINES[entry.doc_id]}")
+        print("\nFinal top-3 for query 'stock market rates':")
+        for rank, entry in enumerate(handle.result(), start=1):
+            print(f"  {rank}. #{entry.doc_id}  score={entry.score:.3f}  {HEADLINES[entry.doc_id]}")
 
 
 if __name__ == "__main__":

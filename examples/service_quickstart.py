@@ -1,0 +1,96 @@
+"""Service quickstart: the typed façade end to end.
+
+Run with::
+
+    python examples/service_quickstart.py
+
+This walks through the full :class:`~repro.MonitoringService` surface on a
+small stream:
+
+1. describe the engine with a typed :class:`~repro.EngineSpec` (swap one
+   field to go from a single ITA engine to a sharded cluster),
+2. ``subscribe()`` standing queries -- with a push callback and with a
+   :class:`~repro.QueryHandle` that is polled/drained instead,
+3. ``ingest()`` raw text (the service owns the analyzer/vocabulary, so
+   documents and queries agree on term ids),
+4. checkpoint with ``snapshot()`` and rebuild with ``restore()`` --
+   including the vocabulary, so queries subscribed after the restore keep
+   matching,
+5. ``unsubscribe()`` and observe the uniform
+   :class:`~repro.exceptions.UnknownQueryError`.
+"""
+
+from __future__ import annotations
+
+from repro import EngineSpec, MonitoringService, WindowSpec
+from repro.exceptions import UnknownQueryError
+
+
+HEADLINES = [
+    "Stocks rally as the central bank holds interest rates steady",
+    "Severe storm warning issued for the northern coast tonight",
+    "Markets tumble on fresh inflation data and rate-hike fears",
+    "Flood defences hold as the storm passes the coastal towns",
+    "Tech earnings beat expectations, lifting the broader market",
+    "Central bank hints at rate cuts if inflation keeps cooling",
+]
+
+
+def main() -> None:
+    # 1. One typed spec describes any engine.  kind="sharded" with
+    #    num_shards=4 would run the same workload on a cluster.
+    spec = EngineSpec(kind="ita", window=WindowSpec.count(4))
+    print(f"engine spec: {spec.to_dict()}\n")
+
+    with MonitoringService(spec) as service:
+        # 2. A push subscription: the callback fires on every result change.
+        markets = service.subscribe(
+            "stock market rates",
+            k=2,
+            on_change=lambda alert: print(
+                f"  [push] markets watchlist changed on doc "
+                f"#{alert.document.doc_id if alert.document else 'expiry'}"
+            ),
+        )
+        # ...and a polled subscription, drained via handle.changes().
+        storms = service.subscribe("storm coast warning", k=2)
+
+        # 3. Ingest raw text; the service stamps arrival times and ids.
+        for headline in HEADLINES:
+            print(f"ingest: {headline}")
+            service.ingest(headline)
+        print()
+
+        drained = list(storms.changes())
+        print(f"storm watchlist saw {len(drained)} buffered changes; current:")
+        for entry in storms.result():
+            print(f"  #{entry.doc_id} [{entry.score:.3f}] {HEADLINES[entry.doc_id]}")
+        print()
+
+        # 4. Checkpoint the whole service (engine state + vocabulary).
+        snapshot = service.snapshot()
+
+    restored = MonitoringService.restore(snapshot)
+    print("restored service reports the same results:")
+    for query_id, result in sorted(restored.results().items()):
+        docs = ", ".join(f"#{e.doc_id}({e.score:.2f})" for e in result)
+        print(f"  query {query_id}: {docs}")
+
+    # The restored vocabulary keeps term ids stable, so new subscriptions
+    # still match the restored window.
+    late = restored.subscribe("inflation rate cut", k=1)
+    print(f"\nlate subscription over the restored window: "
+          f"{[e.doc_id for e in late.result()]}")
+
+    # 5. Unsubscribing terminates the query; further lookups raise the
+    #    library's uniform UnknownQueryError.
+    late_id = late.query_id
+    late.unsubscribe()
+    try:
+        restored.result(late_id)
+    except UnknownQueryError as error:
+        print(f"after unsubscribe: {error}")
+
+
+if __name__ == "__main__":
+    main()

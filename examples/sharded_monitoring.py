@@ -5,7 +5,9 @@ Run with::
     python examples/sharded_monitoring.py
 
 A :class:`~repro.ShardedEngine` hosts the continuous queries of many users
-on several inner ITA engines.  Queries are spread with the cost-model
+on several inner ITA engines.  The cluster is described -- like every
+other engine -- by a typed :class:`~repro.EngineSpec` and built through
+the engine-kind registry.  Queries are spread with the cost-model
 placement (long queries are expensive, so they land on different shards),
 every headline is fanned out to all shards, and the merged answers are
 exactly what one big engine would report.  The demo also migrates a query
@@ -17,12 +19,12 @@ from __future__ import annotations
 from repro import (
     Analyzer,
     ContinuousQuery,
-    CountBasedWindow,
     DocumentStream,
+    EngineSpec,
     FixedRateArrivalProcess,
     InMemoryCorpus,
-    ShardedEngine,
     Vocabulary,
+    WindowSpec,
     restore_cluster,
     snapshot_cluster,
 )
@@ -56,11 +58,14 @@ def main() -> None:
     vocabulary = Vocabulary()
     corpus = InMemoryCorpus(HEADLINES, analyzer=analyzer, vocabulary=vocabulary)
 
-    cluster = ShardedEngine(
+    spec = EngineSpec(
+        kind="sharded",
         num_shards=3,
-        window_factory=lambda: CountBasedWindow(size=5),
+        window=WindowSpec.count(5),
         placement="cost",
     )
+    cluster = spec.build()
+    print(f"built a {cluster.num_shards}-shard cluster from spec: {spec.to_dict()}\n")
     for query_id, (text, k) in enumerate(QUERIES):
         query = ContinuousQuery.from_text(
             query_id, text, k=k, analyzer=analyzer, vocabulary=vocabulary

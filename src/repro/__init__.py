@@ -5,8 +5,43 @@ The library implements a main-memory text filtering server that maintains,
 for a large set of standing (continuous) text search queries, the top-k
 most similar documents within a sliding window over a document stream.
 
+Quickstart
+----------
+The recommended entry point is the typed service façade: a
+:class:`~repro.service.service.MonitoringService` owns the text pipeline,
+the engine and the alert dispatching, so registering a standing query and
+streaming documents is three calls:
+
+>>> from repro import MonitoringService
+>>> with MonitoringService() as service:
+...     handle = service.subscribe("market news", k=1)
+...     _ = service.ingest(["breaking news about markets",
+...                         "weather update for tomorrow"])
+...     [entry.doc_id for entry in handle.result()]
+[0]
+
+Every engine -- the paper's ITA, the evaluation baselines, the sharded
+cluster -- is described by one typed, validated, serialisable
+:class:`~repro.service.spec.EngineSpec`, so the same call-site scales from
+a single engine to a cluster by changing the spec:
+
+>>> from repro import EngineSpec, WindowSpec
+>>> spec = EngineSpec(kind="sharded", num_shards=4,
+...                   window=WindowSpec.count(1000))
+>>> service = MonitoringService(spec)
+
 Public API overview
 -------------------
+* :mod:`repro.service` -- the high-level façade:
+  :class:`~repro.service.service.MonitoringService` (``subscribe`` /
+  ``ingest`` / ``snapshot`` / ``restore``),
+  :class:`~repro.service.service.QueryHandle`, and
+  :class:`~repro.service.spec.EngineSpec` with the engine-kind registry.
+
+The modules below are the documented *low-level* API for callers that
+wire the parts themselves (the experiment harness does, and the examples
+``email_threat_monitoring.py`` / ``portfolio_monitoring.py`` show it):
+
 * :class:`~repro.core.engine.ITAEngine` -- the paper's contribution: the
   Incremental Threshold Algorithm.
 * :class:`~repro.baselines.naive.NaiveEngine` and
@@ -21,28 +56,12 @@ Public API overview
   snapshots (:func:`~repro.cluster.persistence.snapshot_cluster` /
   :func:`~repro.cluster.persistence.restore_cluster`) and live query
   migration/rebalancing.
+* :mod:`repro.alerting` -- the change-subscription layer the façade
+  dispatches through.
 * :mod:`repro.documents` -- documents, corpora (including the synthetic
   WSJ stand-in), arrival processes and sliding windows.
 * :mod:`repro.workloads` -- the experiment harness reproducing the
   paper's figures, plus the ``cluster-scaling`` scale-out experiment.
-
-Quickstart
-----------
->>> from repro import (ITAEngine, ContinuousQuery, CountBasedWindow,
-...                    Analyzer, Vocabulary, InMemoryCorpus, DocumentStream,
-...                    FixedRateArrivalProcess)
->>> analyzer, vocabulary = Analyzer(), Vocabulary()
->>> corpus = InMemoryCorpus(
-...     ["breaking news about markets", "weather update for tomorrow"],
-...     analyzer=analyzer, vocabulary=vocabulary)
->>> engine = ITAEngine(CountBasedWindow(100))
->>> query = ContinuousQuery.from_text(0, "market news", k=1,
-...                                   analyzer=analyzer, vocabulary=vocabulary)
->>> engine.register_query(query)
->>> stream = DocumentStream(corpus, FixedRateArrivalProcess(rate=1.0))
->>> _ = engine.process_many(stream)
->>> [entry.doc_id for entry in engine.current_result(0)]
-[0]
 """
 
 from repro.baselines.kmax import (
@@ -86,6 +105,14 @@ from repro.documents.window import CountBasedWindow, TimeBasedWindow
 from repro.exceptions import ReproError
 from repro.query.query import ContinuousQuery
 from repro.query.result import ResultEntry, ResultList
+from repro.service.service import MonitoringService, QueryHandle
+from repro.service.spec import (
+    EngineSpec,
+    PlacementCalibration,
+    WindowSpec,
+    engine_kinds,
+    register_engine_kind,
+)
 from repro.text.analyzer import Analyzer, AnalyzerConfig
 from repro.text.vocabulary import Vocabulary
 from repro.weighting.schemes import CosineWeighting, OkapiBM25Weighting
@@ -94,6 +121,14 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # service façade
+    "MonitoringService",
+    "QueryHandle",
+    "EngineSpec",
+    "WindowSpec",
+    "PlacementCalibration",
+    "register_engine_kind",
+    "engine_kinds",
     # engines
     "MonitoringEngine",
     "ITAEngine",

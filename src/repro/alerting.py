@@ -13,6 +13,12 @@ of threading the change lists through their own code.
 it, and invokes the registered subscribers for the queries that changed.
 Subscribers may be global (notified of every query's change) or scoped to a
 single query id.
+
+This is the *low-level* subscription layer.  Most applications should use
+the :class:`~repro.service.service.MonitoringService` façade instead,
+which owns an :class:`AlertDispatcher` internally and exposes the same
+capability through ``subscribe(text, k, on_change=...)`` and
+:class:`~repro.service.service.QueryHandle` objects.
 """
 
 from __future__ import annotations
@@ -107,6 +113,17 @@ class AlertDispatcher:
     def delivered(self) -> int:
         """Total number of alert callbacks invoked so far."""
         return self._delivered
+
+    @property
+    def has_subscribers(self) -> bool:
+        """Whether any callback (global or query-scoped) is registered.
+
+        Callers batching stream events can skip the per-event alert
+        pairing entirely while this is ``False``.
+        """
+        return bool(self._global_subscribers) or any(
+            callbacks for callbacks in self._query_subscribers.values()
+        )
 
     # ------------------------------------------------------------------ #
     # event forwarding

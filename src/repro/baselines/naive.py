@@ -189,4 +189,7 @@ class NaiveEngine(MonitoringEngine):
 
     def result_list(self, query_id: int) -> ResultList:
         """The full materialised result (exposed for tests)."""
-        return self._results[query_id]
+        try:
+            return self._results[query_id]
+        except KeyError:
+            raise UnknownQueryError(f"query id {query_id} is not registered") from None

@@ -27,9 +27,14 @@ class OracleEngine(MonitoringEngine):
 
     name = "oracle"
 
-    def __init__(self, window: Optional[SlidingWindow] = None) -> None:
+    def __init__(
+        self,
+        window: Optional[SlidingWindow] = None,
+        track_changes: bool = True,
+    ) -> None:
         super().__init__(window if window is not None else CountBasedWindow(1000))
         self.registry = QueryRegistry()
+        self.track_changes = track_changes
 
     # ------------------------------------------------------------------ #
     def register_query(self, query: ContinuousQuery) -> None:
@@ -44,20 +49,26 @@ class OracleEngine(MonitoringEngine):
     # ------------------------------------------------------------------ #
     def process(self, document: StreamedDocument) -> List[ResultChange]:
         self.counters.arrivals += 1
-        before = {query.query_id: self.current_result(query.query_id) for query in self.registry}
+        before = self._results_before()
         expired = self.window.insert(document)
         self.counters.expirations += len(expired)
-        changes: List[ResultChange] = []
-        for query_id, previous in before.items():
-            change = self._diff_results(query_id, previous, self.current_result(query_id))
-            if change.changed:
-                changes.append(change)
-        return changes
+        return self._collect_changes(before)
 
     def advance_time(self, now: float) -> List[ResultChange]:
-        before = {query.query_id: self.current_result(query.query_id) for query in self.registry}
+        before = self._results_before()
         expired = self.window.advance_time(now)
         self.counters.expirations += len(expired)
+        return self._collect_changes(before)
+
+    # ------------------------------------------------------------------ #
+    def _results_before(self) -> Dict[int, TopKResult]:
+        if not self.track_changes:
+            return {}
+        return {query.query_id: self.current_result(query.query_id) for query in self.registry}
+
+    def _collect_changes(self, before: Dict[int, TopKResult]) -> List[ResultChange]:
+        if not self.track_changes:
+            return []
         changes: List[ResultChange] = []
         for query_id, previous in before.items():
             change = self._diff_results(query_id, previous, self.current_result(query_id))

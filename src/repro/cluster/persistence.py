@@ -19,9 +19,10 @@ a cluster back into one engine, while this module preserves the sharding.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Optional
+from typing import Any, Callable, Dict, Optional, Union
 
 from repro.cluster.engine import EngineFactory, ShardedEngine, WindowFactory
+from repro.cluster.placement import PlacementPolicy
 from repro.exceptions import ConfigurationError
 from repro.persistence import (
     _default_engine,
@@ -59,7 +60,7 @@ def snapshot_cluster(cluster: ShardedEngine) -> ClusterSnapshot:
 def restore_cluster(
     snapshot: ClusterSnapshot,
     engine_factory: Optional[EngineFactory] = None,
-    placement: str = "cost",
+    placement: Union[str, PlacementPolicy] = "cost",
 ) -> ShardedEngine:
     """Rebuild a :class:`ShardedEngine` from a :func:`snapshot_cluster` result.
 
@@ -72,8 +73,9 @@ def restore_cluster(
         ITA shards with the snapshotted engine configuration (clusters are
         homogeneous, so shard 0's recorded config applies to all).
     placement:
-        Policy installed for queries registered *after* the restore; the
-        snapshotted queries always return to their recorded shards.
+        Policy installed for queries registered *after* the restore -- a
+        policy name or a (fresh) policy instance; the snapshotted queries
+        always return to their recorded shards.
     """
     version = snapshot.get("version")
     if version != CLUSTER_SNAPSHOT_VERSION:
@@ -85,14 +87,20 @@ def restore_cluster(
 
     window_config = snapshot["window"]
     window_factory: WindowFactory = lambda: _window_from_dict(window_config)  # noqa: E731
+    shard_config: Dict[str, Any] = (
+        snapshot["shards"][0].get("config", {}) if snapshot["shards"] else {}
+    )
     if engine_factory is None and snapshot["shards"]:
-        shard_config = snapshot["shards"][0].get("config", {})
         engine_factory = lambda window: _default_engine(window, shard_config)  # noqa: E731
     cluster = ShardedEngine(
         num_shards=int(snapshot["num_shards"]),
         window_factory=window_factory,
         engine_factory=engine_factory,
         placement=placement,
+        # The cluster-level flag must match the shards' recorded config,
+        # or a cluster snapshotted with change tracking off would falsely
+        # advertise tracking after the restore (and vice versa).
+        track_changes=bool(shard_config.get("track_changes", True)),
     )
 
     shard_snapshots = snapshot["shards"]

@@ -16,12 +16,13 @@ forcing an existing one d_del to expire".
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, Iterator, List, Mapping, Optional, Tuple
 
 from repro.documents.document import StreamedDocument
 from repro.exceptions import ConfigurationError, WindowError
 
-__all__ = ["SlidingWindow", "CountBasedWindow", "TimeBasedWindow"]
+__all__ = ["SlidingWindow", "CountBasedWindow", "TimeBasedWindow", "WindowSpec"]
 
 
 class SlidingWindow:
@@ -149,3 +150,76 @@ class TimeBasedWindow(SlidingWindow):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(span={self.span}, valid={len(self)})"
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """A typed, serialisable description of a sliding window.
+
+    ``kind`` selects between the paper's two window disciplines:
+    ``"count"`` (the most recent ``size`` documents) and ``"time"``
+    (documents of the last ``span`` seconds).  The dictionary encoding is
+    the single window codec of the library: engine specs
+    (:mod:`repro.service.spec`) and persistence snapshots
+    (:mod:`repro.persistence`) both use it, so specs and snapshots speak
+    the same window language.
+    """
+
+    kind: str = "count"
+    #: window capacity in documents (count-based windows)
+    size: int = 1_000
+    #: window span in seconds (time-based windows)
+    span: float = 60.0
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def count(cls, size: int) -> "WindowSpec":
+        """A count-based window of ``size`` documents."""
+        return cls(kind="count", size=size)
+
+    @classmethod
+    def time(cls, span: float) -> "WindowSpec":
+        """A time-based window spanning ``span`` seconds."""
+        return cls(kind="time", span=span)
+
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        if self.kind not in ("count", "time"):
+            raise ConfigurationError(f"unknown window kind {self.kind!r}")
+        if self.kind == "count" and self.size <= 0:
+            raise ConfigurationError("count-based windows need a positive size")
+        if self.kind == "time" and self.span <= 0:
+            raise ConfigurationError("time-based windows need a positive span")
+
+    def build(self) -> SlidingWindow:
+        """Construct the described window."""
+        self.validate()
+        if self.kind == "count":
+            return CountBasedWindow(self.size)
+        return TimeBasedWindow(self.span)
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        if self.kind == "count":
+            return {"type": "count", "size": self.size}
+        return {"type": "time", "span": self.span}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WindowSpec":
+        kind = data.get("type", data.get("kind"))
+        if kind == "count":
+            return cls.count(int(data["size"]))
+        if kind == "time":
+            return cls.time(float(data["span"]))
+        raise ConfigurationError(f"unknown window kind {kind!r}")
+
+    @classmethod
+    def of(cls, window: SlidingWindow) -> "WindowSpec":
+        """The spec describing an existing window object."""
+        if isinstance(window, CountBasedWindow):
+            return cls.count(window.size)
+        if isinstance(window, TimeBasedWindow):
+            return cls.time(window.span)
+        raise ConfigurationError(
+            f"cannot describe window of type {type(window).__name__}"
+        )

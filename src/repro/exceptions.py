@@ -74,3 +74,18 @@ class EngineError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment definition or run is invalid."""
+
+
+class UnknownEngineError(ConfigurationError, ExperimentError):
+    """An engine kind is not present in the engine-spec registry.
+
+    Derives from both :class:`ConfigurationError` (it is a configuration
+    problem) and :class:`ExperimentError` (the experiment harness
+    historically raised that for unknown engine names), so both old and
+    new callers catch it naturally.
+    """
+
+
+class ServiceError(ReproError):
+    """The :class:`~repro.service.MonitoringService` façade was misused
+    (e.g. ingesting after the service was closed)."""

@@ -26,7 +26,7 @@ from repro.core.base import MonitoringEngine
 from repro.core.descent import ProbeOrder
 from repro.core.engine import ITAEngine
 from repro.documents.document import CompositionList, Document, StreamedDocument
-from repro.documents.window import CountBasedWindow, SlidingWindow, TimeBasedWindow
+from repro.documents.window import SlidingWindow, WindowSpec
 from repro.exceptions import ConfigurationError, ReproError
 from repro.query.query import ContinuousQuery
 
@@ -36,20 +36,13 @@ SNAPSHOT_VERSION = 1
 
 
 def _window_to_dict(window: SlidingWindow) -> Dict[str, Any]:
-    if isinstance(window, CountBasedWindow):
-        return {"type": "count", "size": window.size}
-    if isinstance(window, TimeBasedWindow):
-        return {"type": "time", "span": window.span}
-    raise ConfigurationError(f"cannot serialise window of type {type(window).__name__}")
+    # The window encoding is owned by WindowSpec; snapshots and engine
+    # specs deliberately share the one codec.
+    return WindowSpec.of(window).to_dict()
 
 
 def _window_from_dict(data: Dict[str, Any]) -> SlidingWindow:
-    kind = data.get("type")
-    if kind == "count":
-        return CountBasedWindow(int(data["size"]))
-    if kind == "time":
-        return TimeBasedWindow(float(data["span"]))
-    raise ConfigurationError(f"unknown window type {kind!r}")
+    return WindowSpec.from_dict(data).build()
 
 
 def _engine_config(engine: MonitoringEngine) -> Dict[str, Any]:

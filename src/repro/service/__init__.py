@@ -1,0 +1,42 @@
+"""The high-level service façade -- the recommended way to use the library.
+
+Two pieces:
+
+* :class:`~repro.service.spec.EngineSpec` (with :class:`~repro.service.spec.WindowSpec`
+  and the engine-kind registry) -- one typed, validated, serialisable way
+  to describe and construct *any* engine: ITA, the baselines, or the
+  sharded cluster.
+* :class:`~repro.service.service.MonitoringService` -- the façade owning
+  the analyzer/vocabulary/engine/dispatcher wiring: ``subscribe()`` a
+  standing query and get a :class:`~repro.service.service.QueryHandle`,
+  ``ingest()`` raw text or document streams, ``snapshot()``/``restore()``
+  the whole service.
+
+The modules below this package (:mod:`repro.core`, :mod:`repro.cluster`,
+:mod:`repro.alerting`, :mod:`repro.persistence`, ...) remain the
+documented low-level API for callers that need to wire the parts
+themselves.
+"""
+
+from repro.service.spec import (
+    EngineKind,
+    EngineSpec,
+    PlacementCalibration,
+    WindowSpec,
+    engine_kinds,
+    register_engine_kind,
+    spec_from_name,
+)
+from repro.service.service import MonitoringService, QueryHandle
+
+__all__ = [
+    "EngineSpec",
+    "WindowSpec",
+    "PlacementCalibration",
+    "EngineKind",
+    "register_engine_kind",
+    "engine_kinds",
+    "spec_from_name",
+    "MonitoringService",
+    "QueryHandle",
+]

@@ -1,0 +1,631 @@
+"""The :class:`MonitoringService` façade and :class:`QueryHandle`.
+
+The paper's system is a *server* applications talk to: register a standing
+query, stream documents at it, get told when the query's top-k changes.
+The low-level library exposes that as separate parts -- analyzer,
+vocabulary, window, engine, alert dispatcher, persistence -- that callers
+hand-wire.  :class:`MonitoringService` owns that wiring:
+
+>>> from repro.service import MonitoringService
+>>> with MonitoringService() as service:
+...     handle = service.subscribe("market news", k=2)
+...     _ = service.ingest("breaking news about markets")
+...     [entry.doc_id for entry in handle.result()]
+[0]
+
+* ``subscribe()`` accepts a raw query string (or a prebuilt
+  :class:`~repro.query.query.ContinuousQuery`), auto-allocates the query
+  id, and returns a :class:`QueryHandle` with ``result()``, ``changes()``
+  and ``unsubscribe()``.
+* ``ingest()`` accepts raw text, :class:`~repro.documents.document.Document`
+  objects, :class:`~repro.documents.document.StreamedDocument` objects, or
+  any iterable of those (including a
+  :class:`~repro.documents.stream.DocumentStream`), and feeds the sliding
+  window.
+* ``snapshot()``/``restore()`` checkpoint the whole service -- routing to
+  the single-engine or cluster persistence automatically and additionally
+  preserving the vocabulary, so queries subscribed *after* a restore still
+  agree with the indexed documents on term ids.
+
+The engine behind the façade is described by an
+:class:`~repro.service.spec.EngineSpec` (or a prebuilt engine for advanced
+wiring), so one :class:`MonitoringService` call-site scales from a single
+ITA engine to a sharded cluster by changing the spec only.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import (
+    Any,
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Union,
+)
+
+from repro.alerting import Alert, AlertDispatcher, AlertSubscriber
+from repro.core.base import MonitoringEngine, ResultChange, TopKResult
+from repro.documents.document import CompositionList, Document, StreamedDocument
+from repro.exceptions import ConfigurationError, ServiceError, UnknownQueryError
+from repro.persistence import restore_engine, snapshot_engine
+from repro.query.query import ContinuousQuery
+from repro.service.spec import EngineSpec, spec_from_name
+from repro.text.analyzer import Analyzer
+from repro.text.vocabulary import Vocabulary
+from repro.weighting.schemes import CosineWeighting, WeightingScheme
+
+__all__ = ["MonitoringService", "QueryHandle"]
+
+SERVICE_SNAPSHOT_VERSION = 1
+
+#: anything ``ingest`` accepts as a single stream element
+Ingestible = Union[str, Document, StreamedDocument]
+
+#: change-buffer bound applied to callback subscriptions that do not set
+#: ``max_pending`` themselves -- callback consumers typically never drain,
+#: and must not grow memory forever on a long-running service
+DEFAULT_CALLBACK_MAX_PENDING = 1_024
+
+
+class QueryHandle:
+    """A live subscription to one continuous query.
+
+    Handles are created by :meth:`MonitoringService.subscribe` (or
+    re-attached to an already-installed query with
+    :meth:`MonitoringService.handle`).  They buffer the query's result
+    changes so callers that do not want callbacks can drain them with
+    :meth:`changes` at their own pace.
+    """
+
+    def __init__(
+        self,
+        service: "MonitoringService",
+        query: ContinuousQuery,
+        on_change: Optional[Callable[[Alert], None]] = None,
+        max_pending: Optional[int] = None,
+    ) -> None:
+        self._service = service
+        self._query = query
+        self._on_change = on_change
+        if max_pending is None and on_change is not None:
+            max_pending = DEFAULT_CALLBACK_MAX_PENDING
+        #: once full, the *oldest* undrained change is dropped; unbounded
+        #: only for pure-poll handles (no callback), whose consumers drain
+        #: via :meth:`changes`
+        self._pending: Deque[Alert] = deque(maxlen=max_pending)
+        self._active = True
+
+    # ------------------------------------------------------------------ #
+    @property
+    def query_id(self) -> int:
+        return self._query.query_id
+
+    @property
+    def query(self) -> ContinuousQuery:
+        return self._query
+
+    @property
+    def active(self) -> bool:
+        """Whether the subscription is still installed."""
+        return self._active
+
+    # ------------------------------------------------------------------ #
+    def result(self) -> TopKResult:
+        """The query's current top-k result (best document first)."""
+        if not self._active:
+            raise UnknownQueryError(
+                f"query id {self.query_id} is no longer subscribed"
+            )
+        return self._service.result(self.query_id)
+
+    def changes(self) -> Iterator[Alert]:
+        """Drain and yield the buffered result changes, oldest first.
+
+        The iterator is non-blocking: it stops when the buffer is empty
+        and can be called again after further ``ingest()`` calls.
+        """
+        while self._pending:
+            yield self._pending.popleft()
+
+    @property
+    def pending_changes(self) -> int:
+        """Number of buffered, not-yet-drained changes."""
+        return len(self._pending)
+
+    def unsubscribe(self) -> None:
+        """Terminate the query and detach the handle (idempotent)."""
+        if self._active:
+            self._service._unsubscribe(self)
+
+    # ------------------------------------------------------------------ #
+    def _deliver(self, alert: Alert) -> None:
+        self._pending.append(alert)
+        if self._on_change is not None:
+            self._on_change(alert)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "active" if self._active else "unsubscribed"
+        return f"{type(self).__name__}(query_id={self.query_id}, {state})"
+
+
+class MonitoringService:
+    """High-level façade over a monitoring engine.
+
+    Parameters
+    ----------
+    engine:
+        What to run behind the façade: an
+        :class:`~repro.service.spec.EngineSpec` (recommended), a legacy
+        engine name ("ita", "sharded-ita-4", ...), a prebuilt
+        :class:`~repro.core.base.MonitoringEngine` (advanced wiring), or
+        ``None`` for the default ITA engine over a count-based window of
+        1,000 documents.  The engine must track result changes
+        (``track_changes=True``) -- change notification is the point of
+        the façade.
+    analyzer, vocabulary, weighting:
+        The text pipeline shared by ingested documents and subscribed
+        queries.  Defaults: a fresh :class:`~repro.text.analyzer.Analyzer`,
+        a fresh :class:`~repro.text.vocabulary.Vocabulary`, and cosine
+        weighting (the paper's Formula (1)).
+    start_time, interarrival:
+        The service's virtual clock: documents ingested without an
+        explicit timestamp are stamped ``interarrival`` seconds apart
+        starting ``interarrival`` after ``start_time``.
+
+    The service is a context manager; leaving the ``with`` block closes
+    it, after which ``ingest``/``subscribe`` raise
+    :class:`~repro.exceptions.ServiceError` (results -- including through
+    existing handles -- remain readable).
+    """
+
+    def __init__(
+        self,
+        engine: Union[EngineSpec, MonitoringEngine, str, None] = None,
+        analyzer: Optional[Analyzer] = None,
+        vocabulary: Optional[Vocabulary] = None,
+        weighting: Optional[WeightingScheme] = None,
+        start_time: float = 0.0,
+        interarrival: float = 1.0,
+    ) -> None:
+        if interarrival <= 0:
+            raise ConfigurationError("interarrival must be positive")
+        self.spec: Optional[EngineSpec] = None
+        if engine is None:
+            engine = EngineSpec()
+        if isinstance(engine, str):
+            engine = spec_from_name(engine)
+        if isinstance(engine, EngineSpec):
+            self.spec = engine
+            engine = engine.build()
+        if not getattr(engine, "track_changes", False):
+            raise ConfigurationError(
+                "MonitoringService needs an engine with track_changes=True; "
+                "build it from an EngineSpec (the default) or pass one "
+                "constructed with change tracking enabled"
+            )
+        self.engine: MonitoringEngine = engine
+        self.dispatcher = AlertDispatcher(engine)
+        self.analyzer = analyzer if analyzer is not None else Analyzer()
+        self.vocabulary = vocabulary if vocabulary is not None else Vocabulary()
+        self.weighting = weighting if weighting is not None else CosineWeighting()
+        self._interarrival = float(interarrival)
+        self._clock = float(start_time)
+        self._next_doc_id = 0
+        # Wrapping an engine that already holds state (e.g. one restored
+        # from a snapshot): continue its clock and id sequence.
+        newest = engine.window.newest
+        if newest is not None:
+            self._clock = max(self._clock, newest.arrival_time)
+        for streamed in engine.window:
+            self._next_doc_id = max(self._next_doc_id, streamed.doc_id + 1)
+        self._handles: Dict[int, QueryHandle] = {}
+        self._handle_unsubscribers: Dict[int, Callable[[], None]] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "MonitoringService":
+        self._check_open()
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, traceback: Any) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Close the service: stop alert delivery and refuse new work.
+
+        Idempotent.  The engine, its results, and the existing handles
+        (``handle.result()``, draining ``handle.changes()``) stay
+        readable; only the mutating entry points (``ingest``,
+        ``subscribe``, ``advance_time``) are disabled, and no further
+        alerts are dispatched.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for unsubscribe in self._handle_unsubscribers.values():
+            unsubscribe()
+        self._handle_unsubscribers.clear()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceError("the monitoring service is closed")
+
+    # ------------------------------------------------------------------ #
+    # subscriptions
+    # ------------------------------------------------------------------ #
+    def subscribe(
+        self,
+        query: Union[str, ContinuousQuery],
+        k: int = 10,
+        on_change: Optional[Callable[[Alert], None]] = None,
+        query_id: Optional[int] = None,
+        max_pending: Optional[int] = None,
+    ) -> QueryHandle:
+        """Install a standing query and return its :class:`QueryHandle`.
+
+        ``query`` is either a raw search string (analysed with the
+        service's shared text pipeline, so it agrees with the ingested
+        documents on term ids) or a prebuilt
+        :class:`~repro.query.query.ContinuousQuery` (whose own ``k`` and
+        id win).  The query id is auto-allocated unless given.
+        ``on_change`` is invoked with an :class:`~repro.alerting.Alert`
+        every time the query's reported top-k changes; ``max_pending``
+        bounds the handle's change buffer (oldest dropped first).  With a
+        callback and no explicit bound the buffer defaults to
+        ``DEFAULT_CALLBACK_MAX_PENDING`` (callback consumers rarely drain
+        ``changes()`` and must not grow memory forever); pure-poll handles
+        stay unbounded unless bounded explicitly.
+        """
+        self._check_open()
+        if isinstance(query, ContinuousQuery):
+            continuous = query
+        else:
+            if query_id is None:
+                query_id = self.engine.registry.allocate_id()
+            continuous = ContinuousQuery.from_text(
+                query_id,
+                query,
+                k=k,
+                analyzer=self.analyzer,
+                vocabulary=self.vocabulary,
+                weighting=self.weighting,
+            )
+        self.engine.register_query(continuous)
+        return self._attach(continuous, on_change, max_pending)
+
+    def handle(
+        self,
+        query_id: int,
+        on_change: Optional[Callable[[Alert], None]] = None,
+        max_pending: Optional[int] = None,
+    ) -> QueryHandle:
+        """A handle for a query already installed at the engine.
+
+        Used after :meth:`restore` (subscription callbacks are not part of
+        a snapshot) or when wrapping a prebuilt engine that has queries
+        registered through the low-level API.  If a handle already exists
+        for ``query_id`` it is returned as-is; passing a *new*
+        ``on_change``/``max_pending`` alongside it is rejected rather than
+        silently dropped -- register extra observers with
+        :meth:`on_change` or the existing handle instead.
+        """
+        self._check_open()
+        existing = self._handles.get(query_id)
+        if existing is not None:
+            if on_change is not None or max_pending is not None:
+                raise ConfigurationError(
+                    f"query {query_id} already has a handle; its callback and "
+                    "buffer bound cannot be replaced (use service.on_change() "
+                    "for additional observers)"
+                )
+            return existing
+        query = self.engine.registry.get(query_id)
+        return self._attach(query, on_change, max_pending)
+
+    def _attach(
+        self,
+        query: ContinuousQuery,
+        on_change: Optional[Callable[[Alert], None]],
+        max_pending: Optional[int] = None,
+    ) -> QueryHandle:
+        handle = QueryHandle(self, query, on_change, max_pending=max_pending)
+        self._handles[query.query_id] = handle
+        self._handle_unsubscribers[query.query_id] = self.dispatcher.subscribe(
+            handle._deliver, query_id=query.query_id
+        )
+        return handle
+
+    def _unsubscribe(self, handle: QueryHandle) -> None:
+        handle._active = False
+        unsubscribe = self._handle_unsubscribers.pop(handle.query_id, None)
+        if unsubscribe is not None:
+            unsubscribe()
+        self._handles.pop(handle.query_id, None)
+        if handle.query_id in self.engine.registry:
+            self.engine.unregister_query(handle.query_id)
+
+    def unsubscribe(self, query_id: int) -> None:
+        """Terminate ``query_id`` whether or not a handle exists for it."""
+        handle = self._handles.get(query_id)
+        if handle is not None:
+            handle.unsubscribe()
+            return
+        self.engine.unregister_query(query_id)
+
+    def on_change(self, callback: AlertSubscriber) -> Callable[[], None]:
+        """Register a global subscriber for every query's result changes.
+
+        Returns a function that unsubscribes the callback.
+        """
+        self._check_open()
+        return self.dispatcher.subscribe(callback)
+
+    def query_ids(self) -> List[int]:
+        """The ids of every installed query."""
+        return self.engine.query_ids()
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+    # ------------------------------------------------------------------ #
+    def ingest(
+        self,
+        source: Union[Ingestible, Iterable[Ingestible]],
+        at: Optional[float] = None,
+    ) -> List[ResultChange]:
+        """Feed documents into the sliding window; return the result changes.
+
+        ``source`` may be a single raw text string, a
+        :class:`~repro.documents.document.Document`, a
+        :class:`~repro.documents.document.StreamedDocument`, or any
+        iterable of those (a list of headlines, a
+        :class:`~repro.documents.stream.DocumentStream`...).  Raw texts
+        and bare documents are stamped by the service clock (``at``
+        overrides the timestamp of a single element and fast-forwards the
+        clock); streamed documents keep their own arrival times.
+
+        While nothing is subscribed, iterables take the engine's batch
+        path (:meth:`~repro.core.base.MonitoringEngine.process_many` --
+        on a sharded cluster that is the amortised per-shard batch
+        fan-out).  As soon as a subscriber exists, events are processed
+        one at a time so every alert can carry its triggering document.
+        """
+        self._check_open()
+        single = isinstance(source, (str, Document, StreamedDocument))
+        if not single and not self.dispatcher.has_subscribers:
+            return self.engine.process_many(self._as_stream(source, at))
+        changes: List[ResultChange] = []
+        for streamed in self._as_stream(source, at):
+            changes.extend(self.dispatcher.process(streamed))
+        return changes
+
+    def advance_time(self, now: float) -> List[ResultChange]:
+        """Advance the clock without an arrival (time-based windows).
+
+        Expiry-driven changes are dispatched to subscribers with
+        ``alert.document`` set to ``None``.
+        """
+        self._check_open()
+        self._clock = max(self._clock, float(now))
+        return self.dispatcher.advance_time(now)
+
+    def _as_stream(
+        self,
+        source: Union[Ingestible, Iterable[Ingestible]],
+        at: Optional[float],
+    ) -> Iterator[StreamedDocument]:
+        if isinstance(source, (str, Document, StreamedDocument)):
+            yield self._as_streamed_document(source, at)
+            return
+        if at is not None:
+            raise ConfigurationError(
+                "an explicit timestamp only applies to a single document; "
+                "stream elements carry their own arrival times"
+            )
+        for element in source:
+            if not isinstance(element, (str, Document, StreamedDocument)):
+                raise ConfigurationError(
+                    f"cannot ingest element of type {type(element).__name__}"
+                )
+            yield self._as_streamed_document(element, None)
+
+    def _as_streamed_document(
+        self, element: Ingestible, at: Optional[float]
+    ) -> StreamedDocument:
+        if isinstance(element, StreamedDocument):
+            if at is not None:
+                raise ConfigurationError(
+                    "streamed documents carry their own arrival times; "
+                    "an explicit timestamp cannot override them"
+                )
+            self._clock = max(self._clock, element.arrival_time)
+            self._next_doc_id = max(self._next_doc_id, element.doc_id + 1)
+            return element
+        if isinstance(element, str):
+            document = self._analyse(element)
+        else:
+            document = element
+            self._next_doc_id = max(self._next_doc_id, document.doc_id + 1)
+        return StreamedDocument(document=document, arrival_time=self._next_time(at))
+
+    def _analyse(self, text: str) -> Document:
+        """Turn raw text into a document, exactly like the corpora do."""
+        counts = self.analyzer.term_frequencies(text)
+        term_frequencies = {
+            self.vocabulary.add(term): count for term, count in counts.items()
+        }
+        doc_id = self._next_doc_id
+        self._next_doc_id += 1
+        return Document(
+            doc_id=doc_id,
+            composition=CompositionList(self.weighting.document_weights(term_frequencies)),
+            text=text,
+        )
+
+    def _next_time(self, at: Optional[float]) -> float:
+        if at is not None:
+            if at < self._clock:
+                raise ConfigurationError(
+                    f"timestamp {at} is before the service clock {self._clock}"
+                )
+            self._clock = float(at)
+        else:
+            self._clock += self._interarrival
+        return self._clock
+
+    # ------------------------------------------------------------------ #
+    # results
+    # ------------------------------------------------------------------ #
+    def result(self, query_id: int) -> TopKResult:
+        """The current top-k result of ``query_id`` (best document first)."""
+        return self.engine.current_result(query_id)
+
+    def results(self) -> Dict[int, TopKResult]:
+        """The current results of every installed query."""
+        return self.engine.current_results()
+
+    @property
+    def counters(self):
+        """The engine's operation counters (cluster-aggregated if sharded)."""
+        return self.engine.counters
+
+    @property
+    def window(self):
+        """The engine's sliding window (the cluster mirror if sharded)."""
+        return self.engine.window
+
+    @property
+    def clock(self) -> float:
+        """The service's current virtual time."""
+        return self._clock
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def snapshot(self) -> Dict[str, Any]:
+        """Serialise the whole service to a JSON-compatible dictionary.
+
+        Routes to the cluster checkpoint for sharded engines and the
+        single-engine snapshot otherwise, and wraps the result in a
+        service envelope carrying the vocabulary (term strings in id
+        order), the virtual clock, the document-id sequence and the engine
+        spec.  The envelope holds the service's *data*; configuration that
+        is code (a custom analyzer config or weighting scheme) is not
+        serialised -- pass the same ``analyzer``/``weighting`` to
+        :meth:`restore` that this service was built with, or late
+        subscriptions will analyse text differently than the snapshotted
+        documents.
+        """
+        # Imported lazily: the cluster's cost-model placement imports
+        # repro.workloads, whose runner imports this package.
+        from repro.cluster.engine import ShardedEngine
+        from repro.cluster.persistence import snapshot_cluster
+
+        if isinstance(self.engine, ShardedEngine):
+            engine_snapshot = snapshot_cluster(self.engine)
+        else:
+            engine_snapshot = snapshot_engine(self.engine)
+        return {
+            "kind": "service",
+            "version": SERVICE_SNAPSHOT_VERSION,
+            "vocabulary": list(self.vocabulary),
+            "clock": self._clock,
+            "next_doc_id": self._next_doc_id,
+            "spec": self.spec.to_dict() if self.spec is not None else None,
+            "engine": engine_snapshot,
+        }
+
+    @classmethod
+    def restore(
+        cls,
+        snapshot: Dict[str, Any],
+        analyzer: Optional[Analyzer] = None,
+        vocabulary: Optional[Vocabulary] = None,
+        weighting: Optional[WeightingScheme] = None,
+        interarrival: float = 1.0,
+    ) -> "MonitoringService":
+        """Rebuild a service from a snapshot.
+
+        Accepts a full service snapshot (from :meth:`snapshot`) or a bare
+        engine/cluster snapshot (from :func:`repro.persistence.snapshot_engine`
+        or :func:`repro.cluster.persistence.snapshot_cluster`) and routes
+        to the matching restore path automatically.  Subscription
+        callbacks are not part of a snapshot; re-attach them with
+        :meth:`handle`.
+
+        A service snapshot carries its own vocabulary (passing one is
+        rejected).  When restoring a *bare* engine snapshot, pass the
+        vocabulary the documents were analysed with -- a fresh one would
+        re-assign term ids from zero, so text subscribed after the restore
+        would silently match the wrong documents.
+        """
+        from repro.cluster.persistence import restore_cluster
+
+        spec: Optional[EngineSpec] = None
+        clock: Optional[float] = None
+        next_doc_id: Optional[int] = None
+        engine_snapshot = snapshot
+        if snapshot.get("kind") == "service":
+            version = snapshot.get("version")
+            if version != SERVICE_SNAPSHOT_VERSION:
+                raise ConfigurationError(
+                    f"unsupported service snapshot version {version!r}"
+                )
+            if vocabulary is not None:
+                raise ConfigurationError(
+                    "service snapshots carry their own vocabulary; "
+                    "do not pass one to restore()"
+                )
+            vocabulary = Vocabulary(snapshot.get("vocabulary", ()))
+            clock = float(snapshot["clock"])
+            next_doc_id = int(snapshot["next_doc_id"])
+            if snapshot.get("spec") is not None:
+                spec = EngineSpec.from_dict(snapshot["spec"])
+            engine_snapshot = snapshot["engine"]
+
+        if engine_snapshot.get("kind") == "cluster":
+            engine_factory = None
+            placement: Any = "cost"
+            if spec is not None and spec.kind == "sharded":
+                engine_factory = spec.shard_spec().engine_factory()
+                placement = spec.placement_policy(int(engine_snapshot["num_shards"]))
+            engine: MonitoringEngine = restore_cluster(
+                engine_snapshot, engine_factory=engine_factory, placement=placement
+            )
+        else:
+            engine_factory = None
+            if spec is not None and spec.kind != "sharded":
+                engine_factory = spec.engine_factory()
+            engine = restore_engine(engine_snapshot, engine_factory=engine_factory)
+
+        service = cls(
+            engine,
+            analyzer=analyzer,
+            vocabulary=vocabulary,
+            weighting=weighting,
+            interarrival=interarrival,
+        )
+        service.spec = spec
+        if clock is not None:
+            service._clock = max(service._clock, clock)
+        if next_doc_id is not None:
+            service._next_doc_id = max(service._next_doc_id, next_doc_id)
+        return service
+
+    # ------------------------------------------------------------------ #
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return (
+            f"{type(self).__name__}({self.engine.name!r}, "
+            f"{len(self.engine.query_ids())} queries, {state})"
+        )

@@ -16,18 +16,19 @@ hardware-independent cost proxy.
 from __future__ import annotations
 
 import time
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-from repro.baselines.kmax import FixedKMaxPolicy, KMaxNaiveEngine
-from repro.baselines.naive import NaiveEngine
 from repro.core.base import MonitoringEngine
-from repro.core.descent import ProbeOrder
-from repro.core.engine import ITAEngine
-from repro.documents.window import CountBasedWindow, SlidingWindow, TimeBasedWindow
-from repro.exceptions import ExperimentError
 from repro.monitoring.instrumentation import OperationCounters
 from repro.monitoring.metrics import PercentileSummary
+from repro.service.spec import (
+    EngineSpec,
+    PlacementCalibration,
+    WindowSpec,
+    spec_from_name,
+)
 from repro.workloads.experiments import ExperimentDefinition, SweepPoint
 from repro.workloads.generators import GeneratedWorkload, WorkloadConfig, build_workload
 
@@ -35,6 +36,8 @@ __all__ = [
     "EngineMeasurement",
     "PointResult",
     "ExperimentResult",
+    "spec_for",
+    "build_engine",
     "make_engine",
     "run_point",
     "run_experiment",
@@ -99,76 +102,63 @@ class ExperimentResult:
 # --------------------------------------------------------------------------- #
 # engine construction
 # --------------------------------------------------------------------------- #
-def _make_window(config: WorkloadConfig) -> SlidingWindow:
-    if config.time_based_window:
-        # Span chosen so the expected number of valid documents equals the
-        # configured window size at the configured arrival rate.
-        span_seconds = config.window_size / config.arrival_rate
-        return TimeBasedWindow(span_seconds)
-    return CountBasedWindow(config.window_size)
+def spec_for(
+    name: str,
+    config: WorkloadConfig,
+    options: Optional[Dict[str, object]] = None,
+) -> EngineSpec:
+    """The :class:`~repro.service.spec.EngineSpec` of one harness engine.
 
-
-def _make_single_engine(name: str, window: SlidingWindow, options: Dict[str, object]) -> MonitoringEngine:
-    """Build a non-sharded engine by name around an existing window."""
-    if name == "ita":
-        return ITAEngine(window, track_changes=False)
-    if name == "ita-no-rollup":
-        return ITAEngine(window, track_changes=False, enable_rollup=False)
-    if name == "ita-round-robin":
-        return ITAEngine(window, track_changes=False, probe_order=ProbeOrder.ROUND_ROBIN)
-    if name == "naive":
-        return NaiveEngine(window, track_changes=False)
-    if name == "naive-kmax":
-        multiplier = float(options.get("kmax_multiplier", 2.0))
-        return KMaxNaiveEngine(window, policy=FixedKMaxPolicy(multiplier), track_changes=False)
-    raise ExperimentError(f"unknown engine {name!r}")
-
-
-def _make_sharded_engine(name: str, config: WorkloadConfig, options: Dict[str, object]) -> MonitoringEngine:
-    """Build a sharded cluster around any single engine.
-
-    Names are ``"sharded-<inner>"`` (e.g. ``"sharded-ita"``) with the shard
-    count taken from the ``num_shards`` option (default 2), or
-    ``"sharded-<inner>-<N>"`` with the count inlined (``"sharded-ita-4"``).
+    Maps the experiment vocabulary (engine name + workload config + the
+    historical options dict) onto the typed spec: the window follows the
+    config (for time-based windows the span is chosen so the expected
+    number of valid documents matches the configured window size at the
+    configured arrival rate), change tracking is off (benchmarks only need
+    final results), and the cost-model placement of sharded engines is
+    calibrated with the workload's actual dimensions.
     """
-    # Imported here: the cluster's cost-model placement imports
-    # repro.workloads, so a module-level import would be circular.
-    from repro.cluster.engine import ShardedEngine
-    from repro.cluster.placement import CostModelPlacement
-
-    parts = name.split("-")[1:]
-    if parts and parts[-1].isdigit():
-        num_shards = int(parts[-1])
-        inner = "-".join(parts[:-1])
+    if config.time_based_window:
+        window = WindowSpec.time(config.window_size / config.arrival_rate)
     else:
-        num_shards = int(options.get("num_shards", 2))
-        inner = "-".join(parts)
-    if not inner:
-        inner = "ita"
-    placement = str(options.get("placement", "cost"))
-    if placement == "cost":
-        # Parameterise the cost model with the workload's actual dimensions
-        # so the per-query estimates (hence the balance) are calibrated.
-        placement = CostModelPlacement(
-            num_shards,
-            dictionary_size=config.corpus.dictionary_size,
-            window_size=config.window_size,
-        )
-    return ShardedEngine(
-        num_shards=num_shards,
-        window_factory=lambda: _make_window(config),
-        engine_factory=lambda window: _make_single_engine(inner, window, options),
-        placement=placement,
+        window = WindowSpec.count(config.window_size)
+    calibration = PlacementCalibration(
+        dictionary_size=config.corpus.dictionary_size,
+        window_size=config.window_size,
+    )
+    return spec_from_name(
+        name,
+        window=window,
         track_changes=False,
+        options=options,
+        calibration=calibration,
     )
 
 
+def build_engine(
+    name: str,
+    config: WorkloadConfig,
+    options: Optional[Dict[str, object]] = None,
+) -> MonitoringEngine:
+    """Build a harness engine by name through the engine-spec registry."""
+    return spec_for(name, config, options).build()
+
+
 def make_engine(name: str, config: WorkloadConfig, options: Optional[Dict[str, object]] = None) -> MonitoringEngine:
-    """Build an engine by name ("ita", "naive", "naive-kmax", "sharded-ita", ...)."""
-    options = options or {}
-    if name == "sharded" or name.startswith("sharded-"):
-        return _make_sharded_engine(name, config, options)
-    return _make_single_engine(name, _make_window(config), options)
+    """Deprecated: build an engine by name ("ita", "naive-kmax", "sharded-ita", ...).
+
+    Kept as a thin alias for old callers; construct an
+    :class:`~repro.service.spec.EngineSpec` (directly, or via
+    :func:`spec_for` / :func:`repro.service.spec.spec_from_name`) and call
+    its ``build()`` instead.
+    """
+    warnings.warn(
+        "make_engine() is deprecated; build an EngineSpec "
+        "(repro.service.EngineSpec / repro.workloads.runner.spec_for) "
+        "and call its build() instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return build_engine(name, config, options)
 
 
 # --------------------------------------------------------------------------- #
@@ -187,7 +177,7 @@ def run_point(
     for engine_name in engines:
         if progress is not None:
             progress(f"    engine {engine_name}: preparing")
-        engine = make_engine(engine_name, point.config, point.engine_options)
+        engine = build_engine(engine_name, point.config, point.engine_options)
         # Pre-fill the window first so the measured phase runs in steady
         # state (every arrival also expires a document for count-based
         # windows), then register the queries: their initial top-k results

@@ -29,7 +29,7 @@ from repro.core.base import MonitoringEngine
 from repro.documents.document import StreamedDocument
 from repro.documents.stream import PoissonArrivalProcess
 from repro.workloads.generators import GeneratedWorkload, WorkloadConfig, build_workload
-from repro.workloads.runner import make_engine
+from repro.workloads.runner import build_engine
 
 __all__ = ["ThroughputResult", "measure_service_time", "analyse_throughput", "simulate_queue"]
 
@@ -90,7 +90,7 @@ def analyse_throughput(
     target = target_rate if target_rate is not None else config.arrival_rate
     results: Dict[str, ThroughputResult] = {}
     for name in engines:
-        engine = make_engine(name, config)
+        engine = build_engine(name, config)
         mean_service_ms = measure_service_time(engine, workload)
         results[name] = ThroughputResult(
             engine=name,

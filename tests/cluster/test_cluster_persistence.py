@@ -103,6 +103,23 @@ class TestClusterRestore:
         assert all(s.probe_order is ProbeOrder.ROUND_ROBIN for s in restored.shards)
         assert all(s.enable_rollup is False for s in restored.shards)
 
+    def test_track_changes_survives_roundtrip(self):
+        """The restored cluster must not falsely advertise change tracking."""
+        quiet = ShardedEngine(
+            num_shards=2,
+            window_factory=lambda: CountBasedWindow(6),
+            track_changes=False,
+        )
+        quiet.register_query(make_query(0, {1: 1.0}, k=1))
+        quiet.process(make_document(0, {1: 0.5}, arrival_time=1.0))
+        restored = restore_cluster(snapshot_cluster(quiet))
+        assert restored.track_changes is False
+        assert all(shard.track_changes is False for shard in restored.shards)
+        assert restored.process(make_document(9, {1: 0.9}, arrival_time=9.0)) == []
+        # ...and a tracking cluster stays a tracking cluster
+        loud = restore_cluster(snapshot_cluster(populated_cluster()))
+        assert loud.track_changes is True
+
     def test_unsupported_version_rejected(self):
         snapshot = snapshot_cluster(populated_cluster())
         snapshot["version"] = 99

@@ -84,6 +84,36 @@ class TestPublicAPI:
         restored = restore_cluster(snapshot_cluster(cluster))
         assert restored.current_result(0) == cluster.current_result(0)
 
+    def test_service_facade_exported(self):
+        from repro import (
+            EngineSpec,
+            MonitoringService,
+            PlacementCalibration,
+            QueryHandle,
+            WindowSpec,
+            engine_kinds,
+            register_engine_kind,
+        )
+
+        assert callable(register_engine_kind)
+        assert {"ita", "naive", "naive-kmax", "oracle", "sharded"} <= set(engine_kinds())
+        assert hasattr(MonitoringService, "subscribe")
+        assert hasattr(QueryHandle, "unsubscribe")
+        assert EngineSpec().kind == "ita"
+        assert WindowSpec.count(10).size == 10
+        assert PlacementCalibration().dictionary_size > 0
+
+    def test_service_quickstart_flow(self):
+        """The README / module-docstring façade quickstart must keep working."""
+        from repro import MonitoringService
+
+        with MonitoringService() as service:
+            handle = service.subscribe("market news", k=1)
+            service.ingest(
+                ["breaking news about markets", "weather update for tomorrow"]
+            )
+            assert [entry.doc_id for entry in handle.result()] == [0]
+
     def test_quickstart_flow(self):
         """The README / module-docstring quickstart must keep working."""
         from repro import (

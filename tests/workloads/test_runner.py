@@ -1,5 +1,7 @@
 """Tests for the experiment runner (smoke-scale end-to-end runs)."""
 
+import warnings
+
 import pytest
 
 from repro.baselines.kmax import KMaxNaiveEngine
@@ -10,7 +12,13 @@ from repro.documents.window import CountBasedWindow, TimeBasedWindow
 from repro.exceptions import ExperimentError
 from repro.workloads.experiments import ExperimentDefinition, SweepPoint
 from repro.workloads.generators import WorkloadConfig, build_workload
-from repro.workloads.runner import make_engine, run_experiment, run_point
+from repro.workloads.runner import (
+    build_engine,
+    make_engine,
+    run_experiment,
+    run_point,
+    spec_for,
+)
 
 
 def tiny_config(**overrides):
@@ -41,64 +49,106 @@ def tiny_definition():
     )
 
 
-class TestMakeEngine:
+class TestEngineConstruction:
+    """Engine-name semantics of the spec-registry construction path."""
+
     def test_engine_types(self):
         config = tiny_config()
-        assert isinstance(make_engine("ita", config), ITAEngine)
-        assert isinstance(make_engine("naive", config), NaiveEngine)
-        assert isinstance(make_engine("naive-kmax", config), KMaxNaiveEngine)
+        assert isinstance(build_engine("ita", config), ITAEngine)
+        assert isinstance(build_engine("naive", config), NaiveEngine)
+        assert isinstance(build_engine("naive-kmax", config), KMaxNaiveEngine)
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(ExperimentError):
-            make_engine("magic", tiny_config())
+            build_engine("magic", tiny_config())
 
     def test_ita_ablation_variants(self):
         from repro.core.descent import ProbeOrder
 
-        no_rollup = make_engine("ita-no-rollup", tiny_config())
+        no_rollup = build_engine("ita-no-rollup", tiny_config())
         assert isinstance(no_rollup, ITAEngine)
         assert no_rollup.enable_rollup is False
-        round_robin = make_engine("ita-round-robin", tiny_config())
+        round_robin = build_engine("ita-round-robin", tiny_config())
         assert round_robin.probe_order is ProbeOrder.ROUND_ROBIN
 
     def test_window_type_follows_config(self):
-        assert isinstance(make_engine("ita", tiny_config()).window, CountBasedWindow)
+        assert isinstance(build_engine("ita", tiny_config()).window, CountBasedWindow)
         time_config = tiny_config(time_based_window=True)
-        assert isinstance(make_engine("ita", time_config).window, TimeBasedWindow)
+        assert isinstance(build_engine("ita", time_config).window, TimeBasedWindow)
 
     def test_kmax_multiplier_option(self):
-        engine = make_engine("naive-kmax", tiny_config(), {"kmax_multiplier": 5.0})
+        engine = build_engine("naive-kmax", tiny_config(), {"kmax_multiplier": 5.0})
         assert engine.policy.multiplier == 5.0
 
     def test_change_tracking_disabled_for_benchmarks(self):
-        assert make_engine("ita", tiny_config()).track_changes is False
+        assert build_engine("ita", tiny_config()).track_changes is False
 
     def test_sharded_engine_names(self):
         from repro.cluster.engine import ShardedEngine
         from repro.cluster.placement import CostModelPlacement, RoundRobinPlacement
 
-        default = make_engine("sharded-ita", tiny_config())
+        default = build_engine("sharded-ita", tiny_config())
         assert isinstance(default, ShardedEngine)
         assert default.num_shards == 2
         assert isinstance(default.placement, CostModelPlacement)
 
-        inlined = make_engine("sharded-ita-4", tiny_config(), {"placement": "round-robin"})
+        inlined = build_engine("sharded-ita-4", tiny_config(), {"placement": "round-robin"})
         assert inlined.num_shards == 4
         assert isinstance(inlined.placement, RoundRobinPlacement)
 
-        by_option = make_engine("sharded-ita", tiny_config(), {"num_shards": 3})
+        by_option = build_engine("sharded-ita", tiny_config(), {"num_shards": 3})
         assert by_option.num_shards == 3
 
-        baseline_shards = make_engine("sharded-naive-2", tiny_config())
+        baseline_shards = build_engine("sharded-naive-2", tiny_config())
         assert all(isinstance(s, NaiveEngine) for s in baseline_shards.shards)
 
     def test_sharded_typos_rejected(self):
         with pytest.raises(ExperimentError):
-            make_engine("sharded_ita", tiny_config())
+            build_engine("sharded_ita", tiny_config())
         with pytest.raises(ExperimentError):
-            make_engine("shardedfoo", tiny_config())
+            build_engine("shardedfoo", tiny_config())
         with pytest.raises(ExperimentError):
-            make_engine("sharded-magic-2", tiny_config())
+            build_engine("sharded-magic-2", tiny_config())
+
+
+class TestSpecDelegation:
+    """make_engine is a deprecated alias over the EngineSpec registry."""
+
+    def test_make_engine_emits_deprecation_warning(self):
+        with pytest.warns(DeprecationWarning, match="EngineSpec"):
+            make_engine("ita", tiny_config())
+
+    def test_every_legacy_name_warns_and_still_builds(self):
+        for name in ("ita", "ita-no-rollup", "ita-round-robin", "naive",
+                     "naive-kmax", "sharded-ita-2"):
+            with pytest.warns(DeprecationWarning):
+                engine = make_engine(name, tiny_config())
+            assert engine.window is not None
+
+    def test_build_engine_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            build_engine("ita", tiny_config())
+
+    def test_spec_for_reflects_config(self):
+        config = tiny_config()
+        spec = spec_for("sharded-ita-3", config)
+        assert spec.kind == "sharded"
+        assert spec.num_shards == 3
+        assert spec.track_changes is False
+        assert spec.window.kind == "count" and spec.window.size == config.window_size
+        assert spec.calibration.dictionary_size == config.corpus.dictionary_size
+        time_spec = spec_for("ita", tiny_config(time_based_window=True))
+        assert time_spec.window.kind == "time"
+
+    def test_make_engine_and_spec_build_agree(self):
+        config = tiny_config()
+        with pytest.warns(DeprecationWarning):
+            legacy = make_engine("naive-kmax", config, {"kmax_multiplier": 3.0})
+        modern = spec_for("naive-kmax", config, {"kmax_multiplier": 3.0}).build()
+        assert type(legacy) is type(modern)
+        assert legacy.policy.multiplier == modern.policy.multiplier
+        assert legacy.window.size == modern.window.size
 
 
 class TestRunPoint:
@@ -117,7 +167,7 @@ class TestRunPoint:
         workload = build_workload(point.config)
         engines = {}
         for name in ("ita", "naive-kmax"):
-            engine = make_engine(name, point.config)
+            engine = build_engine(name, point.config)
             for document in workload.prefill:
                 engine.process(document)
             for query in workload.queries:

@@ -46,11 +46,11 @@ class TestThroughputResult:
 class TestMeasureServiceTime:
     def test_returns_positive_service_time(self):
         from repro.workloads.generators import build_workload
-        from repro.workloads.runner import make_engine
+        from repro.workloads.runner import build_engine
 
         config = tiny_config()
         workload = build_workload(config)
-        engine = make_engine("ita", config)
+        engine = build_engine("ita", config)
         service = measure_service_time(engine, workload)
         assert service >= 0.0
 

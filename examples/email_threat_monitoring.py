@@ -7,14 +7,13 @@ biological weapons, ...).  This example builds that scenario over a
 traffic -- and demonstrates both arrival-driven alerts and time-driven
 expiry of stale matches.
 
-It also contrasts ITA against the oracle to show the two always agree, and
-against Naive to show how many fewer score computations ITA performs.
-
-This example deliberately uses the *low-level* API (hand-wired analyzer,
-vocabulary, engines) because it drives three engines over one shared
-dictionary; everyday applications should start from the
-:class:`~repro.MonitoringService` façade instead (see
-``examples/service_quickstart.py``).
+It drives three :class:`~repro.MonitoringService` façades -- ITA, Naive and
+the recompute-from-scratch oracle -- over one shared text pipeline
+(analyzer + vocabulary), each described by an
+:class:`~repro.EngineSpec`: the engine kind is the only thing that differs
+between the three services.  ITA and the oracle must agree at every step;
+Naive shows how many more similarity scores the scan-everything strategy
+computes.
 
 Run with::
 
@@ -25,18 +24,7 @@ from __future__ import annotations
 
 from typing import List
 
-from repro import (
-    Analyzer,
-    ContinuousQuery,
-    ITAEngine,
-    NaiveEngine,
-    OracleEngine,
-    TimeBasedWindow,
-    Vocabulary,
-)
-from repro.documents.corpus import InMemoryCorpus
-from repro.documents.stream import DocumentStream, ReplayArrivalProcess
-
+from repro import Analyzer, EngineSpec, MonitoringService, Vocabulary, WindowSpec
 
 # (arrival_time_seconds, subject/body text)
 EMAILS: List[tuple] = [
@@ -57,47 +45,46 @@ THREAT_PROFILES = [
     ("bioweapons-profile", "anthrax biological nerve agent spores", 2),
 ]
 
+# A 3-minute (180s) time-based window of recent e-mail traffic.
+WINDOW = WindowSpec.time(180.0)
 
-def build_engine(engine_class, analyzer, vocabulary, span):
-    engine = engine_class(TimeBasedWindow(span=span))
-    for query_id, (_name, terms, k) in enumerate(THREAT_PROFILES):
-        engine.register_query(
-            ContinuousQuery.from_text(query_id, terms, k=k, analyzer=analyzer, vocabulary=vocabulary)
-        )
-    return engine
+
+def build_service(kind: str, analyzer: Analyzer, vocabulary: Vocabulary) -> MonitoringService:
+    """One façade per engine kind; the spec is the only difference."""
+    service = MonitoringService(
+        EngineSpec(kind=kind, window=WINDOW),
+        analyzer=analyzer,
+        vocabulary=vocabulary,
+    )
+    for _name, terms, k in THREAT_PROFILES:
+        service.subscribe(terms, k=k)
+    return service
 
 
 def main() -> None:
+    # One shared text pipeline, so all three services agree on term ids.
     analyzer = Analyzer()
     vocabulary = Vocabulary()
 
-    texts = [text for _time, text in EMAILS]
-    times = [time for time, _text in EMAILS]
-    corpus = InMemoryCorpus(texts, analyzer=analyzer, vocabulary=vocabulary)
-
-    # A 3-minute (180s) time-based window of recent e-mail traffic.
-    span = 180.0
-    ita = build_engine(ITAEngine, analyzer, vocabulary, span)
-    naive = build_engine(NaiveEngine, analyzer, vocabulary, span)
-    oracle = build_engine(OracleEngine, analyzer, vocabulary, span)
-
-    stream = DocumentStream(corpus, ReplayArrivalProcess(times))
+    ita = build_service("ita", analyzer, vocabulary)
+    naive = build_service("naive", analyzer, vocabulary)
+    oracle = build_service("oracle", analyzer, vocabulary)
 
     print("E-mail threat monitoring over a 3-minute time-based window")
     print("=" * 70)
-    for streamed in stream:
-        ita.process(streamed)
-        naive.process(streamed)
-        oracle.process(streamed)
-        print(f"\n[{streamed.arrival_time:6.1f}s] #{streamed.doc_id}: {texts[streamed.doc_id]}")
+    for position, (arrival_time, text) in enumerate(EMAILS):
+        ita.ingest(text, at=arrival_time)
+        naive.ingest(text, at=arrival_time)
+        oracle.ingest(text, at=arrival_time)
+        print(f"\n[{arrival_time:6.1f}s] #{position}: {text}")
         for query_id, (name, _terms, _k) in enumerate(THREAT_PROFILES):
-            flagged = ita.current_result(query_id)
+            flagged = ita.result(query_id)
             if flagged:
                 ids = ", ".join(f"#{e.doc_id}({e.score:.2f})" for e in flagged)
                 print(f"    [{name}] flags: {ids}")
             # ITA and the ground-truth oracle must always agree.
             ita_scores = [round(e.score, 9) for e in flagged]
-            oracle_scores = [round(e.score, 9) for e in oracle.current_result(query_id)]
+            oracle_scores = [round(e.score, 9) for e in oracle.result(query_id)]
             assert ita_scores == oracle_scores, "ITA disagreed with the oracle!"
 
     print("\n" + "=" * 70)

@@ -51,18 +51,20 @@ class EventDispatcher:
     ) -> List[List[List[ResultChange]]]:
         """Deliver a batch of consecutive arrivals to every shard.
 
-        Each shard processes the whole batch in one tight loop (one timer
-        measurement per shard and batch), so per-event dispatch overhead is
-        amortised over the batch.  Equivalent to calling :meth:`dispatch`
-        once per document -- every shard sees the same documents in the
-        same order -- and the changes come back per shard *per event*
-        (``result[shard][event]``), so the caller can reconstruct the exact
-        event-major change stream of unbatched processing.
+        Each shard runs its own batched fast path over the whole batch
+        (:meth:`~repro.core.base.MonitoringEngine.process_batch_events`,
+        one timer measurement per shard and batch), so per-event dispatch
+        overhead is amortised over the batch.  Equivalent to calling
+        :meth:`dispatch` once per document -- every shard sees the same
+        documents in the same order -- and the changes come back per shard
+        *per event* (``result[shard][event]``), so the caller can
+        reconstruct the exact event-major change stream of unbatched
+        processing.
         """
         per_shard: List[List[List[ResultChange]]] = []
         for shard, timer in zip(self.shards, self.shard_timers):
             with timer:
-                per_shard.append([shard.process(document) for document in documents])
+                per_shard.append(shard.process_batch_events(documents))
         return per_shard
 
     def advance_time(self, now: float) -> List[List[ResultChange]]:

@@ -19,7 +19,7 @@ are additive.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.cluster.dispatcher import EventDispatcher
 from repro.cluster.merger import ResultMerger
@@ -180,28 +180,29 @@ class ShardedEngine(MonitoringEngine):
         per_shard = self.dispatcher.dispatch(document)
         return self.merger.merge_changes(per_shard)
 
-    def process_many(self, documents: Iterable[StreamedDocument]) -> List[ResultChange]:
+    def process_batch_events(
+        self, documents: Sequence[StreamedDocument]
+    ) -> List[List[ResultChange]]:
         """Feed a batch of stream elements through the batch fan-out.
 
-        Consecutive elements are grouped so each shard runs one tight loop
-        over the whole batch (see
+        Consecutive elements are grouped so each shard runs its own
+        batched fast path over the whole batch (see
         :meth:`~repro.cluster.dispatcher.EventDispatcher.dispatch_batch`),
-        amortising the per-event dispatch overhead.
+        amortising the per-event dispatch overhead.  The merged change
+        stream is re-interleaved event-major, so the result is identical
+        to unbatched per-event processing (``process_batch`` and
+        ``process_many`` flatten it).
         """
         batch = list(documents)
         for document in batch:
             self.window.insert(document)
         per_shard = self.dispatcher.dispatch_batch(batch)
-        # Re-interleave the per-shard streams event-major, so the merged
-        # change stream is identical to unbatched per-event processing.
-        changes: List[ResultChange] = []
-        for event_index in range(len(batch)):
-            changes.extend(
-                self.merger.merge_changes(
-                    shard_events[event_index] for shard_events in per_shard
-                )
+        return [
+            self.merger.merge_changes(
+                shard_events[event_index] for shard_events in per_shard
             )
-        return changes
+            for event_index in range(len(batch))
+        ]
 
     def advance_time(self, now: float) -> List[ResultChange]:
         """Advance every shard's clock consistently (time-based windows)."""

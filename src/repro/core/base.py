@@ -80,12 +80,43 @@ class MonitoringEngine:
         """
         raise NotImplementedError
 
-    def process_many(self, documents: Iterable[StreamedDocument]) -> List[ResultChange]:
-        """Feed a sequence of stream elements; return all result changes."""
+    def process_batch_events(
+        self, documents: Sequence[StreamedDocument]
+    ) -> List[List[ResultChange]]:
+        """Process a batch of stream elements; changes grouped per event.
+
+        Semantically identical to calling :meth:`process` once per element
+        in order -- same final state, same per-event result changes, same
+        tie-breaks -- but engines may override it with a *batched* fast
+        path that amortises per-event overhead over the whole batch (see
+        :meth:`repro.core.engine.ITAEngine.process_batch_events`).  The
+        per-event grouping (``result[i]`` belongs to ``documents[i]``) is
+        what the cluster dispatcher needs to re-interleave shard streams.
+        """
+        return [self.process(document) for document in documents]
+
+    def process_batch(self, documents: Iterable[StreamedDocument]) -> List[ResultChange]:
+        """Process a batch of stream elements; return the flattened changes.
+
+        The batched fast path of the engine: equivalent to concatenating
+        the :meth:`process` output of every element, at a fraction of the
+        per-event overhead.  This is what
+        :meth:`repro.service.MonitoringService.ingest` and the benchmark
+        harness's batched mode call.
+        """
+        batch = documents if isinstance(documents, (list, tuple)) else list(documents)
         changes: List[ResultChange] = []
-        for document in documents:
-            changes.extend(self.process(document))
+        for event_changes in self.process_batch_events(batch):
+            changes.extend(event_changes)
         return changes
+
+    def process_many(self, documents: Iterable[StreamedDocument]) -> List[ResultChange]:
+        """Feed a sequence of stream elements; return all result changes.
+
+        Alias of :meth:`process_batch`, kept for callers predating the
+        batched hot path.
+        """
+        return self.process_batch(documents)
 
     def advance_time(self, now: float) -> List[ResultChange]:
         """Advance the clock without an arrival (time-based windows only)."""

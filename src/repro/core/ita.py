@@ -225,11 +225,9 @@ class ITAQueryState:
         trees, so keeping it would leave a stale entry behind (INV-REACH).
         """
         to_evict: List[int] = []
-        for entry in self.results:
-            if entry.score >= self.tau:
-                # score >= tau implies at least one per-term weight at or
-                # above its threshold; cannot be uncovered.
-                continue
+        # Only entries with score < tau can be uncovered: score >= tau
+        # implies at least one per-term weight at or above its threshold.
+        for entry in self.results.entries_below(self.tau):
             document = self.index.documents.get(entry.doc_id)
             composition = document.composition
             covered = False

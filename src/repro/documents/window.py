@@ -174,16 +174,36 @@ class WindowSpec:
     # ------------------------------------------------------------------ #
     @classmethod
     def count(cls, size: int) -> "WindowSpec":
-        """A count-based window of ``size`` documents."""
+        """A count-based window of ``size`` documents.
+
+        Returns
+        -------
+        WindowSpec
+            A spec with ``kind="count"``; ``span`` keeps its default.
+        """
         return cls(kind="count", size=size)
 
     @classmethod
     def time(cls, span: float) -> "WindowSpec":
-        """A time-based window spanning ``span`` seconds."""
+        """A time-based window spanning ``span`` seconds.
+
+        Returns
+        -------
+        WindowSpec
+            A spec with ``kind="time"``; ``size`` keeps its default.
+        """
         return cls(kind="time", span=span)
 
     # ------------------------------------------------------------------ #
     def validate(self) -> None:
+        """Check the spec's fields.
+
+        Raises
+        ------
+        ConfigurationError
+            If ``kind`` is unknown, or the size/span relevant to the kind
+            is not positive.
+        """
         if self.kind not in ("count", "time"):
             raise ConfigurationError(f"unknown window kind {self.kind!r}")
         if self.kind == "count" and self.size <= 0:
@@ -192,7 +212,18 @@ class WindowSpec:
             raise ConfigurationError("time-based windows need a positive span")
 
     def build(self) -> SlidingWindow:
-        """Construct the described window."""
+        """Construct the described window.
+
+        Returns
+        -------
+        SlidingWindow
+            A fresh :class:`CountBasedWindow` or :class:`TimeBasedWindow`.
+
+        Raises
+        ------
+        ConfigurationError
+            As raised by :meth:`validate`.
+        """
         self.validate()
         if self.kind == "count":
             return CountBasedWindow(self.size)
@@ -200,12 +231,38 @@ class WindowSpec:
 
     # ------------------------------------------------------------------ #
     def to_dict(self) -> Dict[str, Any]:
+        """The window's dictionary encoding.
+
+        Returns
+        -------
+        dict
+            ``{"type": "count", "size": ...}`` or
+            ``{"type": "time", "span": ...}`` -- the single window codec
+            shared by engine specs and persistence snapshots.
+        """
         if self.kind == "count":
             return {"type": "count", "size": self.size}
         return {"type": "time", "span": self.span}
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "WindowSpec":
+        """Rebuild a spec from :meth:`to_dict` output.
+
+        Accepts both the ``"type"`` key of the codec and a legacy
+        ``"kind"`` key.
+
+        Returns
+        -------
+        WindowSpec
+            The decoded spec.
+
+        Raises
+        ------
+        ConfigurationError
+            If the encoded kind is unknown.
+        KeyError
+            If the size/span field of the encoded kind is missing.
+        """
         kind = data.get("type", data.get("kind"))
         if kind == "count":
             return cls.count(int(data["size"]))
@@ -215,7 +272,19 @@ class WindowSpec:
 
     @classmethod
     def of(cls, window: SlidingWindow) -> "WindowSpec":
-        """The spec describing an existing window object."""
+        """The spec describing an existing window object.
+
+        Returns
+        -------
+        WindowSpec
+            The spec whose :meth:`build` would produce an equivalent
+            (empty) window.
+
+        Raises
+        ------
+        ConfigurationError
+            If ``window`` is neither count- nor time-based.
+        """
         if isinstance(window, CountBasedWindow):
             return cls.count(window.size)
         if isinstance(window, TimeBasedWindow):

@@ -13,45 +13,68 @@ Algorithm needs a few ordered-navigation primitives:
   candidate value a roll-up would raise the threshold to,
 * report the current top weight (to initialise thresholds / bounds).
 
-Internally the entries are stored in a :class:`SortedKeyList` of
-``(-weight, doc_id)`` pairs, so ascending container order is "descending
-weight, ties broken by ascending document id" -- ties are therefore broken
-towards *older* documents first, a deterministic choice that keeps runs
-reproducible.
+Internally the entries are one flat sorted list of ``(-weight, doc_id)``
+pairs maintained with the C-implemented :mod:`bisect` primitives, so
+ascending container order is "descending weight, ties broken by ascending
+document id" -- ties are therefore broken towards *older* documents first,
+a deterministic choice that keeps runs reproducible.  The flat layout
+makes the per-arrival insert/delete a binary search plus one memmove, and
+every navigation primitive a binary search plus index arithmetic; this is
+the hot path of every streamed document, so the list deliberately avoids
+any wrapper container.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from bisect import bisect_left, insort
 from typing import Iterator, List, Optional, Tuple
 
 from repro.exceptions import DuplicateDocumentError, UnknownDocumentError
-from repro.index.sorted_list import SortedKeyList
 
 __all__ = ["PostingEntry", "InvertedList"]
 
+_INF = float("inf")
 
-@dataclass(frozen=True)
+
 class PostingEntry:
-    """One impact entry of an inverted list."""
+    """One impact entry of an inverted list.
 
-    doc_id: int
-    weight: float
+    A plain ``__slots__`` record rather than a dataclass: entries are
+    materialised on the threshold-descent and roll-up paths, and the slim
+    layout keeps their construction cheap and their footprint two pointers.
+    """
+
+    __slots__ = ("doc_id", "weight")
+
+    def __init__(self, doc_id: int, weight: float) -> None:
+        self.doc_id = doc_id
+        self.weight = weight
 
     def key(self) -> Tuple[float, int]:
         """The container sort key (descending weight, ascending doc id)."""
         return (-self.weight, self.doc_id)
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PostingEntry):
+            return NotImplemented
+        return self.doc_id == other.doc_id and self.weight == other.weight
+
+    def __hash__(self) -> int:
+        return hash((self.doc_id, self.weight))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PostingEntry(doc_id={self.doc_id}, weight={self.weight})"
+
 
 class InvertedList:
     """The impact-ordered posting list of a single term."""
 
-    __slots__ = ("term_id", "_entries", "_weights")
+    __slots__ = ("term_id", "_items", "_weights")
 
     def __init__(self, term_id: int) -> None:
         self.term_id = term_id
-        #: ordered (-weight, doc_id) pairs
-        self._entries = SortedKeyList()
+        #: flat sorted (-weight, doc_id) pairs
+        self._items: List[Tuple[float, int]] = []
         #: doc_id -> weight, for O(1) membership and deletion by id
         self._weights: dict = {}
 
@@ -59,18 +82,18 @@ class InvertedList:
     # basic protocol
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._items)
 
     def __bool__(self) -> bool:
-        return bool(self._entries)
+        return bool(self._items)
 
     def __contains__(self, doc_id: int) -> bool:
         return doc_id in self._weights
 
     def __iter__(self) -> Iterator[PostingEntry]:
         """Iterate entries in impact order (highest weight first)."""
-        for negative_weight, doc_id in self._entries:
-            yield PostingEntry(doc_id=doc_id, weight=-negative_weight)
+        for negative_weight, doc_id in self._items:
+            yield PostingEntry(doc_id, -negative_weight)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(term={self.term_id}, postings={len(self)})"
@@ -91,7 +114,7 @@ class InvertedList:
             raise DuplicateDocumentError(
                 f"document {doc_id} already has a posting for term {self.term_id}"
             )
-        self._entries.add((-weight, doc_id))
+        insort(self._items, (-weight, doc_id))
         self._weights[doc_id] = weight
 
     def delete(self, doc_id: int) -> float:
@@ -101,7 +124,8 @@ class InvertedList:
             raise UnknownDocumentError(
                 f"document {doc_id} has no posting for term {self.term_id}"
             )
-        self._entries.remove((-weight, doc_id))
+        items = self._items
+        del items[bisect_left(items, (-weight, doc_id))]
         return weight
 
     # ------------------------------------------------------------------ #
@@ -113,17 +137,15 @@ class InvertedList:
 
     def top_weight(self) -> float:
         """The highest weight in the list (0.0 when empty)."""
-        if not self._entries:
+        if not self._items:
             return 0.0
-        negative_weight, _ = self._entries.first()
-        return -negative_weight
+        return -self._items[0][0]
 
     def bottom_weight(self) -> float:
         """The lowest weight in the list (0.0 when empty)."""
-        if not self._entries:
+        if not self._items:
             return 0.0
-        negative_weight, _ = self._entries.last()
-        return -negative_weight
+        return -self._items[-1][0]
 
     # ------------------------------------------------------------------ #
     # ordered navigation used by the ITA
@@ -141,12 +163,14 @@ class InvertedList:
         ``weight`` have already been examined and live in the query's
         result container.
         """
+        items = self._items
         if inclusive:
-            start_key = (-weight, -1)          # before any doc id at this weight
+            start = bisect_left(items, (-weight, -1))  # before any doc id at this weight
         else:
-            start_key = (-weight, float("inf"))  # after every doc id at this weight
-        for negative_weight, doc_id in self._entries.irange(minimum=start_key):
-            yield PostingEntry(doc_id=doc_id, weight=-negative_weight)
+            start = bisect_left(items, (-weight, _INF))  # after every doc id at this weight
+        for index in range(start, len(items)):
+            negative_weight, doc_id = items[index]
+            yield PostingEntry(doc_id, -negative_weight)
 
     def next_weight_above(self, weight: float) -> Optional[PostingEntry]:
         """The entry with the smallest weight strictly greater than ``weight``.
@@ -156,18 +180,21 @@ class InvertedList:
         largest doc id is returned; only the weight matters to callers
         (roll-up candidates are weight values).
         """
-        boundary = (-weight, -1)
-        item = self._entries.find_lt(boundary)
-        if item is None:
+        items = self._items
+        position = bisect_left(items, (-weight, -1))
+        if position == 0:
             return None
-        negative_weight, doc_id = item
-        return PostingEntry(doc_id=doc_id, weight=-negative_weight)
+        negative_weight, doc_id = items[position - 1]
+        return PostingEntry(doc_id, -negative_weight)
 
     def first_entry_at_or_below(self, weight: float) -> Optional[PostingEntry]:
         """The highest-impact entry with weight <= ``weight`` (None if none)."""
-        for entry in self.iter_from_weight(weight, inclusive=True):
-            return entry
-        return None
+        items = self._items
+        position = bisect_left(items, (-weight, -1))
+        if position >= len(items):
+            return None
+        negative_weight, doc_id = items[position]
+        return PostingEntry(doc_id, -negative_weight)
 
     def entries_at_or_above(self, weight: float) -> List[PostingEntry]:
         """All entries with weight >= ``weight``, highest first.
@@ -175,25 +202,23 @@ class InvertedList:
         Used by tests and by invariant checks; the hot path never needs to
         materialise this list.
         """
-        out: List[PostingEntry] = []
-        for negative_weight, doc_id in self._entries:
-            current = -negative_weight
-            if current < weight:
-                break
-            out.append(PostingEntry(doc_id=doc_id, weight=current))
-        return out
+        items = self._items
+        end = bisect_left(items, (-weight, _INF))
+        return [PostingEntry(doc_id, -negative_weight) for negative_weight, doc_id in items[:end]]
 
     def to_pairs(self) -> List[Tuple[int, float]]:
         """The whole list as ``(doc_id, weight)`` pairs, impact order."""
-        return [(entry.doc_id, entry.weight) for entry in self]
+        return [(doc_id, -negative_weight) for negative_weight, doc_id in self._items]
 
     # ------------------------------------------------------------------ #
     def check_invariants(self) -> None:
         """Validate internal consistency (ordering and the id->weight map)."""
-        self._entries.check_invariants()
-        assert len(self._entries) == len(self._weights), "entry/weight map size mismatch"
-        previous_weight = float("inf")
-        for entry in self:
-            assert entry.weight <= previous_weight, "weights not non-increasing"
-            assert self._weights.get(entry.doc_id) == entry.weight, "map/list disagree"
-            previous_weight = entry.weight
+        items = self._items
+        assert len(items) == len(self._weights), "entry/weight map size mismatch"
+        previous = None
+        for item in items:
+            if previous is not None:
+                assert previous <= item, "items not sorted"
+            previous = item
+            negative_weight, doc_id = item
+            assert self._weights.get(doc_id) == -negative_weight, "map/list disagree"

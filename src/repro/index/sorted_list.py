@@ -1,17 +1,24 @@
-"""A block-based sorted container.
+"""A flat, array-backed sorted container.
 
 Both the impact-ordered inverted lists and the threshold trees need an
 ordered collection with cheap insertion, deletion and ordered traversal
-from an arbitrary key.  The standard library offers ``bisect`` over a flat
-list (O(n) memmove per update) and nothing else; rather than pulling in an
-external dependency, this module implements the classic "list of sorted
-blocks" design (the same idea as the well-known ``sortedcontainers``
-package): items are kept in blocks of bounded size, and a parallel list of
-per-block maxima is used to locate the block for a key with binary search.
+from an arbitrary key.  Earlier revisions used the classic "list of sorted
+blocks" design (the idea behind the ``sortedcontainers`` package); profiling
+the monitoring hot path showed that at the list sizes this system actually
+produces -- impact lists bounded by the window population, threshold trees
+bounded by the query count -- the Python-level block bookkeeping costs more
+than it saves.  The container is therefore a single flat ``list`` kept in
+sorted order with the C-implemented :mod:`bisect` primitives:
 
-Updates therefore cost O(sqrt-ish) amortised (a bisect over the maxima plus
-an insertion into a bounded block), and ordered iteration from a key is a
-generator that walks blocks left to right.
+* :meth:`add` is ``insort`` (binary search plus one memmove),
+* :meth:`remove` is ``bisect_left`` plus one ``del`` (again one memmove),
+* every ordered query (:meth:`find_le`, :meth:`irange`, :meth:`count_le`,
+  ...) is a single binary search followed by C-level slicing/indexing.
+
+A memmove over a few thousand pointers is far cheaper than interpreting
+Python block-maintenance code, and the probe operations that dominate the
+per-arrival cost (threshold-tree prefix scans, roll-up candidate lookups)
+become branch-free index arithmetic.
 
 The container stores *items* directly and orders them by the natural tuple
 order, which is how the callers encode their sort keys:
@@ -24,13 +31,13 @@ order, which is how the callers encode their sort keys:
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right, insort
-from typing import Any, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Iterable, Iterator, List, Optional
 
 __all__ = ["SortedKeyList"]
 
 
 class SortedKeyList:
-    """A sorted multiset of comparable items with block-based storage.
+    """A sorted multiset of comparable items backed by one flat list.
 
     Duplicate items are allowed (callers avoid true duplicates by embedding
     a unique id in the item tuple).  All comparisons use the items' natural
@@ -41,189 +48,114 @@ class SortedKeyList:
     items:
         Optional initial contents (need not be sorted).
     block_size:
-        Target block capacity.  Blocks are split when they exceed twice
-        this value.  The default suits lists from a handful of entries up
-        to a few million.
+        Retained from the earlier block-based implementation for API
+        compatibility (several callers and tests pass it); the flat
+        container validates it but otherwise ignores it.
     """
 
-    __slots__ = ("_blocks", "_maxes", "_size", "_block_size")
+    __slots__ = ("_items",)
 
     def __init__(self, items: Optional[Iterable[Any]] = None, block_size: int = 512) -> None:
         if block_size < 4:
             raise ValueError("block_size must be at least 4")
-        self._block_size = block_size
-        self._blocks: List[List[Any]] = []
-        self._maxes: List[Any] = []
-        self._size = 0
-        if items is not None:
-            bulk = sorted(items)
-            for start in range(0, len(bulk), block_size):
-                block = bulk[start : start + block_size]
-                self._blocks.append(block)
-                self._maxes.append(block[-1])
-            self._size = len(bulk)
+        self._items: List[Any] = sorted(items) if items is not None else []
 
     # ------------------------------------------------------------------ #
     # basic protocol
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
-        return self._size
+        return len(self._items)
 
     def __bool__(self) -> bool:
-        return self._size > 0
+        return bool(self._items)
 
     def __iter__(self) -> Iterator[Any]:
-        for block in self._blocks:
-            yield from block
+        return iter(self._items)
 
     def __contains__(self, item: Any) -> bool:
-        block_index = self._find_block(item)
-        if block_index is None:
-            return False
-        block = self._blocks[block_index]
-        position = bisect_left(block, item)
-        return position < len(block) and block[position] == item
+        items = self._items
+        position = bisect_left(items, item)
+        return position < len(items) and items[position] == item
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        preview = list(self)[:5]
-        suffix = "..." if self._size > 5 else ""
-        return f"{type(self).__name__}({preview}{suffix}, size={self._size})"
-
-    # ------------------------------------------------------------------ #
-    # internal helpers
-    # ------------------------------------------------------------------ #
-    def _find_block(self, item: Any) -> Optional[int]:
-        """Index of the block that would contain ``item`` (None if empty)."""
-        if not self._blocks:
-            return None
-        index = bisect_left(self._maxes, item)
-        if index >= len(self._blocks):
-            index = len(self._blocks) - 1
-        return index
-
-    def _split_if_needed(self, block_index: int) -> None:
-        block = self._blocks[block_index]
-        if len(block) <= 2 * self._block_size:
-            return
-        middle = len(block) // 2
-        left, right = block[:middle], block[middle:]
-        self._blocks[block_index] = left
-        self._blocks.insert(block_index + 1, right)
-        self._maxes[block_index] = left[-1]
-        self._maxes.insert(block_index + 1, right[-1])
-
-    def _remove_block_if_empty(self, block_index: int) -> None:
-        if not self._blocks[block_index]:
-            del self._blocks[block_index]
-            del self._maxes[block_index]
+        preview = self._items[:5]
+        suffix = "..." if len(self._items) > 5 else ""
+        return f"{type(self).__name__}({preview}{suffix}, size={len(self._items)})"
 
     # ------------------------------------------------------------------ #
     # updates
     # ------------------------------------------------------------------ #
     def add(self, item: Any) -> None:
         """Insert ``item``, keeping the container sorted."""
-        if not self._blocks:
-            self._blocks.append([item])
-            self._maxes.append(item)
-            self._size = 1
-            return
-        block_index = bisect_left(self._maxes, item)
-        if block_index >= len(self._blocks):
-            block_index = len(self._blocks) - 1
-        block = self._blocks[block_index]
-        insort(block, item)
-        if block[-1] > self._maxes[block_index]:
-            self._maxes[block_index] = block[-1]
-        self._size += 1
-        self._split_if_needed(block_index)
+        insort(self._items, item)
 
     def remove(self, item: Any) -> None:
         """Remove one occurrence of ``item``; raise ``ValueError`` if absent."""
-        block_index = self._find_block(item)
-        if block_index is None:
+        items = self._items
+        position = bisect_left(items, item)
+        if position >= len(items) or items[position] != item:
             raise ValueError(f"{item!r} not in SortedKeyList")
-        block = self._blocks[block_index]
-        position = bisect_left(block, item)
-        if position >= len(block) or block[position] != item:
-            raise ValueError(f"{item!r} not in SortedKeyList")
-        del block[position]
-        self._size -= 1
-        if block:
-            self._maxes[block_index] = block[-1]
-            return
-        self._remove_block_if_empty(block_index)
+        del items[position]
 
     def discard(self, item: Any) -> bool:
         """Remove ``item`` if present; return whether a removal happened."""
-        try:
-            self.remove(item)
-        except ValueError:
+        items = self._items
+        position = bisect_left(items, item)
+        if position >= len(items) or items[position] != item:
             return False
+        del items[position]
         return True
 
     def clear(self) -> None:
         """Remove every item."""
-        self._blocks.clear()
-        self._maxes.clear()
-        self._size = 0
+        self._items.clear()
 
     # ------------------------------------------------------------------ #
     # ordered queries
     # ------------------------------------------------------------------ #
     def first(self) -> Any:
         """The smallest item; raises ``IndexError`` when empty."""
-        if not self._blocks:
+        if not self._items:
             raise IndexError("SortedKeyList is empty")
-        return self._blocks[0][0]
+        return self._items[0]
 
     def last(self) -> Any:
         """The largest item; raises ``IndexError`` when empty."""
-        if not self._blocks:
+        if not self._items:
             raise IndexError("SortedKeyList is empty")
-        return self._blocks[-1][-1]
+        return self._items[-1]
 
     def find_ge(self, key: Any) -> Optional[Any]:
         """The smallest item >= ``key`` (None if no such item)."""
-        for item in self.irange(minimum=key):
-            return item
-        return None
+        items = self._items
+        position = bisect_left(items, key)
+        if position >= len(items):
+            return None
+        return items[position]
 
     def find_gt(self, key: Any) -> Optional[Any]:
         """The smallest item strictly greater than ``key``."""
-        for item in self.irange(minimum=key, inclusive=False):
-            return item
-        return None
+        items = self._items
+        position = bisect_right(items, key)
+        if position >= len(items):
+            return None
+        return items[position]
 
     def find_lt(self, key: Any) -> Optional[Any]:
         """The largest item strictly less than ``key`` (None if no such item)."""
-        if not self._blocks:
+        items = self._items
+        position = bisect_left(items, key)
+        if position == 0:
             return None
-        block_index = bisect_left(self._maxes, key)
-        if block_index >= len(self._blocks):
-            block_index = len(self._blocks) - 1
-        # The candidate lives either in this block or in the previous one.
-        while block_index >= 0:
-            block = self._blocks[block_index]
-            position = bisect_left(block, key)
-            if position > 0:
-                return block[position - 1]
-            block_index -= 1
-        return None
+        return items[position - 1]
 
     def find_le(self, key: Any) -> Optional[Any]:
         """The largest item <= ``key`` (None if no such item)."""
-        if not self._blocks:
+        items = self._items
+        position = bisect_right(items, key)
+        if position == 0:
             return None
-        block_index = bisect_right(self._maxes, key)
-        if block_index >= len(self._blocks):
-            block_index = len(self._blocks) - 1
-        while block_index >= 0:
-            block = self._blocks[block_index]
-            position = bisect_right(block, key)
-            if position > 0:
-                return block[position - 1]
-            block_index -= 1
-        return None
+        return items[position - 1]
 
     def irange(self, minimum: Any = None, maximum: Any = None, inclusive: bool = True) -> Iterator[Any]:
         """Iterate items in ``[minimum, maximum]`` in ascending order.
@@ -233,68 +165,64 @@ class SortedKeyList:
         (items strictly greater than ``minimum``); the upper bound is
         always inclusive when given.
         """
-        if not self._blocks:
-            return
+        items = self._items
         if minimum is None:
-            start_block, start_position = 0, 0
+            start = 0
+        elif inclusive:
+            start = bisect_left(items, minimum)
         else:
-            # For an inclusive lower bound the first candidate block is the
-            # first one whose max is >= minimum; for an exclusive bound it is
-            # the first one whose max is > minimum (duplicates of the bound
-            # may span several blocks).
-            if inclusive:
-                start_block = bisect_left(self._maxes, minimum)
-            else:
-                start_block = bisect_right(self._maxes, minimum)
-            if start_block >= len(self._blocks):
-                return
-            block = self._blocks[start_block]
-            if inclusive:
-                start_position = bisect_left(block, minimum)
-            else:
-                start_position = bisect_right(block, minimum)
-            if start_position >= len(block):
-                start_block += 1
-                start_position = 0
-                if start_block >= len(self._blocks):
-                    return
-        for block_index in range(start_block, len(self._blocks)):
-            block = self._blocks[block_index]
-            position = start_position if block_index == start_block else 0
-            for item_index in range(position, len(block)):
-                item = block[item_index]
-                if maximum is not None and item > maximum:
-                    return
-                yield item
+            start = bisect_right(items, minimum)
+        if maximum is None:
+            end = len(items)
+        else:
+            end = bisect_right(items, maximum)
+        return iter(items[start:end])
+
+    def prefix_le(self, key: Any) -> List[Any]:
+        """All items <= ``key`` as one list slice (ascending order).
+
+        This is the hot-path form of ``irange(maximum=key)``: a single
+        binary search plus one C-level slice, with no generator machinery.
+        The threshold-tree probes -- executed once per term of every
+        arriving and expiring document -- are built on it.
+        """
+        items = self._items
+        return items[: bisect_right(items, key)]
+
+    def head(self, count: int) -> List[Any]:
+        """The ``count`` smallest items as one list slice (ascending order).
+
+        Hot-path primitive behind :meth:`repro.query.result.ResultList.top`:
+        the reported top-k of a query is the first k items of its ordered
+        view, and a C-level slice beats an iterate-and-stop loop.
+        """
+        return self._items[:count]
+
+    def item_at(self, index: int) -> Any:
+        """The item at ``index`` in ascending order (negative ok).
+
+        Raises ``IndexError`` when out of range.
+        """
+        return self._items[index]
+
+    def suffix_gt(self, key: Any) -> List[Any]:
+        """All items strictly greater than ``key`` as one list slice."""
+        items = self._items
+        return items[bisect_right(items, key):]
 
     def count_le(self, key: Any) -> int:
         """Number of items <= ``key`` (used by tests and statistics)."""
-        count = 0
-        for block_index, block in enumerate(self._blocks):
-            if self._maxes[block_index] <= key:
-                count += len(block)
-                continue
-            count += bisect_right(block, key)
-            break
-        return count
+        return bisect_right(self._items, key)
 
     def to_list(self) -> List[Any]:
         """A flat, sorted list copy of the contents."""
-        return [item for block in self._blocks for item in block]
+        return list(self._items)
 
     # ------------------------------------------------------------------ #
     # invariant checking (used by property tests)
     # ------------------------------------------------------------------ #
     def check_invariants(self) -> None:
         """Raise ``AssertionError`` if the internal structure is inconsistent."""
-        total = 0
-        previous_item: Optional[Any] = None
-        for block_index, block in enumerate(self._blocks):
-            assert block, "empty block retained"
-            assert block == sorted(block), "block not sorted"
-            assert self._maxes[block_index] == block[-1], "stale block max"
-            if previous_item is not None:
-                assert previous_item <= block[0], "blocks out of order"
-            previous_item = block[-1]
-            total += len(block)
-        assert total == self._size, "size counter out of sync"
+        items = self._items
+        for index in range(1, len(items)):
+            assert items[index - 1] <= items[index], "items out of order"

@@ -16,6 +16,13 @@ The implementation keeps the ``(threshold, query_id)`` pairs in a
 :class:`SortedKeyList` (ascending threshold) plus a ``query_id ->
 threshold`` dictionary for O(1) updates, so a probe enumerates exactly the
 matching prefix.
+
+Note for maintainers: the batched hot path
+(:meth:`repro.core.engine.ITAEngine.process_batch_events`) inlines the
+probe by reading ``tree._entries._items`` (the flat sorted storage)
+directly -- if the internal layout of this class or of
+:class:`SortedKeyList` changes, that fast path must change with it, and
+the batch-vs-sequential equivalence tests will catch a divergence.
 """
 
 from __future__ import annotations
@@ -109,17 +116,18 @@ class ThresholdTree:
         impact weight for this term is ``weight`` (paper: "probe its
         threshold tree to identify all those queries Q_i where
         theta_{Q_i,t} <= w_{d,t}").
+
+        This probe runs once per term of every arriving and expiring
+        document, so it is a single binary search plus one slice over the
+        flat entry storage -- ``(weight, +inf)`` is greater than every
+        ``(threshold==weight, query_id)`` pair, so the inclusive upper
+        bound covers exact ties.
         """
-        matched: List[int] = []
-        # (weight, +inf) is greater than every (threshold==weight, query_id)
-        # pair, so the inclusive upper bound covers exact ties.
-        for threshold, query_id in self._entries.irange(maximum=(weight, float("inf"))):
-            matched.append(query_id)
-        return matched
+        return [query_id for _, query_id in self._entries.prefix_le((weight, float("inf")))]
 
     def iter_queries_at_or_below(self, weight: float) -> Iterator[int]:
         """Lazy variant of :meth:`queries_at_or_below`."""
-        for threshold, query_id in self._entries.irange(maximum=(weight, float("inf"))):
+        for _, query_id in self._entries.prefix_le((weight, float("inf"))):
             yield query_id
 
     def min_threshold(self) -> Optional[float]:

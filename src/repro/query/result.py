@@ -117,27 +117,36 @@ class ResultList:
         """The ``k`` best entries (descending score, ties by ascending id)."""
         if k <= 0:
             return []
-        out: List[ResultEntry] = []
-        for negative_score, doc_id in self._ordered:
-            out.append(ResultEntry(doc_id=doc_id, score=-negative_score))
-            if len(out) >= k:
-                break
-        return out
+        return [
+            ResultEntry(doc_id=doc_id, score=-negative_score)
+            for negative_score, doc_id in self._ordered.head(k)
+        ]
 
     def kth_score(self, k: int) -> float:
         """``S_k``: the score of the k-th best document (0.0 if fewer than k).
 
         The paper denotes this value S_k; it is the bar a new document must
-        clear to enter the top-k result.
+        clear to enter the top-k result.  This is called on every arrival
+        and expiration a query is routed, so it is a single O(1) index into
+        the ordered view.
         """
-        if k <= 0:
+        if k <= 0 or k > len(self._scores):
             return 0.0
-        count = 0
-        for negative_score, _doc_id in self._ordered:
-            count += 1
-            if count == k:
-                return -negative_score
-        return 0.0
+        return -self._ordered.item_at(k - 1)[0]
+
+    def entries_below(self, score: float) -> List[ResultEntry]:
+        """All entries with score strictly below ``score``, best first.
+
+        The roll-up eviction scan
+        (:meth:`repro.core.ita.ITAQueryState._evict_uncovered`) only ever
+        needs the entries under the influence threshold tau; slicing just
+        that suffix of the ordered view avoids walking the (much larger)
+        verified prefix.
+        """
+        return [
+            ResultEntry(doc_id=doc_id, score=-negative_score)
+            for negative_score, doc_id in self._ordered.suffix_gt((-score, float("inf")))
+        ]
 
     def min_score(self) -> float:
         """The lowest stored score (0.0 when empty).

@@ -116,7 +116,19 @@ class QueryHandle:
 
     # ------------------------------------------------------------------ #
     def result(self) -> TopKResult:
-        """The query's current top-k result (best document first)."""
+        """The query's current top-k result.
+
+        Returns
+        -------
+        list of :class:`~repro.query.result.ResultEntry`
+            The reported top-k documents, best first (descending score,
+            ties broken towards the older document).
+
+        Raises
+        ------
+        UnknownQueryError
+            If the handle has been unsubscribed.
+        """
         if not self._active:
             raise UnknownQueryError(
                 f"query id {self.query_id} is no longer subscribed"
@@ -126,8 +138,13 @@ class QueryHandle:
     def changes(self) -> Iterator[Alert]:
         """Drain and yield the buffered result changes, oldest first.
 
-        The iterator is non-blocking: it stops when the buffer is empty
-        and can be called again after further ``ingest()`` calls.
+        Returns
+        -------
+        iterator of :class:`~repro.alerting.Alert`
+            The buffered changes; each yielded alert is removed from the
+            buffer.  The iterator is non-blocking: it stops when the
+            buffer is empty and can be called again after further
+            ``ingest()`` calls.
         """
         while self._pending:
             yield self._pending.popleft()
@@ -138,7 +155,13 @@ class QueryHandle:
         return len(self._pending)
 
     def unsubscribe(self) -> None:
-        """Terminate the query and detach the handle (idempotent)."""
+        """Terminate the query and detach the handle.
+
+        Idempotent: unsubscribing an already-detached handle is a no-op.
+        After the call :meth:`result` raises
+        :class:`~repro.exceptions.UnknownQueryError`; already-buffered
+        changes remain drainable via :meth:`changes`.
+        """
         if self._active:
             self._service._unsubscribe(self)
 
@@ -286,6 +309,22 @@ class MonitoringService:
         ``DEFAULT_CALLBACK_MAX_PENDING`` (callback consumers rarely drain
         ``changes()`` and must not grow memory forever); pure-poll handles
         stay unbounded unless bounded explicitly.
+
+        Returns
+        -------
+        QueryHandle
+            The live subscription: poll it with ``result()``, drain its
+            buffered changes with ``changes()``, terminate it with
+            ``unsubscribe()``.
+
+        Raises
+        ------
+        ServiceError
+            If the service has been closed.
+        DuplicateQueryError
+            If a query with the same id is already installed.
+        ConfigurationError
+            If the query is malformed (no terms, non-positive ``k``).
         """
         self._check_open()
         if isinstance(query, ContinuousQuery):
@@ -319,6 +358,21 @@ class MonitoringService:
         ``on_change``/``max_pending`` alongside it is rejected rather than
         silently dropped -- register extra observers with
         :meth:`on_change` or the existing handle instead.
+
+        Returns
+        -------
+        QueryHandle
+            The existing handle of ``query_id``, or a newly attached one.
+
+        Raises
+        ------
+        ServiceError
+            If the service has been closed.
+        UnknownQueryError
+            If no query with ``query_id`` is installed at the engine.
+        ConfigurationError
+            If a handle already exists and ``on_change``/``max_pending``
+            were passed alongside it.
         """
         self._check_open()
         existing = self._handles.get(query_id)
@@ -356,7 +410,13 @@ class MonitoringService:
             self.engine.unregister_query(handle.query_id)
 
     def unsubscribe(self, query_id: int) -> None:
-        """Terminate ``query_id`` whether or not a handle exists for it."""
+        """Terminate ``query_id`` whether or not a handle exists for it.
+
+        Raises
+        ------
+        UnknownQueryError
+            If no query with ``query_id`` is installed.
+        """
         handle = self._handles.get(query_id)
         if handle is not None:
             handle.unsubscribe()
@@ -366,13 +426,21 @@ class MonitoringService:
     def on_change(self, callback: AlertSubscriber) -> Callable[[], None]:
         """Register a global subscriber for every query's result changes.
 
-        Returns a function that unsubscribes the callback.
+        Returns
+        -------
+        callable
+            A zero-argument function that unsubscribes the callback.
+
+        Raises
+        ------
+        ServiceError
+            If the service has been closed.
         """
         self._check_open()
         return self.dispatcher.subscribe(callback)
 
     def query_ids(self) -> List[int]:
-        """The ids of every installed query."""
+        """The ids of every installed query, in installation order."""
         return self.engine.query_ids()
 
     # ------------------------------------------------------------------ #
@@ -394,16 +462,33 @@ class MonitoringService:
         overrides the timestamp of a single element and fast-forwards the
         clock); streamed documents keep their own arrival times.
 
-        While nothing is subscribed, iterables take the engine's batch
-        path (:meth:`~repro.core.base.MonitoringEngine.process_many` --
-        on a sharded cluster that is the amortised per-shard batch
-        fan-out).  As soon as a subscriber exists, events are processed
+        While nothing is subscribed, iterables take the engine's batched
+        hot path (:meth:`~repro.core.base.MonitoringEngine.process_batch`
+        -- on a single ITA engine that is the inlined batch loop, on a
+        sharded cluster the amortised per-shard batch fan-out), and the
+        per-element analysis cost is the only per-document service
+        overhead.  As soon as a subscriber exists, events are processed
         one at a time so every alert can carry its triggering document.
+
+        Returns
+        -------
+        list of :class:`~repro.core.base.ResultChange`
+            The per-query result changes of every ingested event, in
+            event order (empty when the engine does not track changes).
+
+        Raises
+        ------
+        ServiceError
+            If the service has been closed.
+        ConfigurationError
+            If ``at`` is combined with an iterable or a streamed document,
+            if ``at`` is before the service clock, or if an element of an
+            iterable ``source`` is not an ingestible type.
         """
         self._check_open()
         single = isinstance(source, (str, Document, StreamedDocument))
         if not single and not self.dispatcher.has_subscribers:
-            return self.engine.process_many(self._as_stream(source, at))
+            return self.engine.process_batch(self._as_stream(source, at))
         changes: List[ResultChange] = []
         for streamed in self._as_stream(source, at):
             changes.extend(self.dispatcher.process(streamed))
@@ -414,6 +499,18 @@ class MonitoringService:
 
         Expiry-driven changes are dispatched to subscribers with
         ``alert.document`` set to ``None``.
+
+        Returns
+        -------
+        list of :class:`~repro.core.base.ResultChange`
+            The per-query result changes caused by the expirations.
+
+        Raises
+        ------
+        ServiceError
+            If the service has been closed.
+        WindowError
+            If ``now`` is before the last observed arrival time.
         """
         self._check_open()
         self._clock = max(self._clock, float(now))
@@ -487,11 +584,28 @@ class MonitoringService:
     # results
     # ------------------------------------------------------------------ #
     def result(self, query_id: int) -> TopKResult:
-        """The current top-k result of ``query_id`` (best document first)."""
+        """The current top-k result of ``query_id``.
+
+        Returns
+        -------
+        list of :class:`~repro.query.result.ResultEntry`
+            The reported top-k documents, best first.
+
+        Raises
+        ------
+        UnknownQueryError
+            If no query with ``query_id`` is installed.
+        """
         return self.engine.current_result(query_id)
 
     def results(self) -> Dict[int, TopKResult]:
-        """The current results of every installed query."""
+        """The current results of every installed query.
+
+        Returns
+        -------
+        dict
+            ``{query_id: top-k result}`` for every installed query.
+        """
         return self.engine.current_results()
 
     @property
@@ -525,6 +639,13 @@ class MonitoringService:
         :meth:`restore` that this service was built with, or late
         subscriptions will analyse text differently than the snapshotted
         documents.
+
+        Returns
+        -------
+        dict
+            A JSON-compatible envelope (``kind == "service"``) wrapping
+            the engine or cluster snapshot; feed it back to
+            :meth:`restore`.
         """
         # Imported lazily: the cluster's cost-model placement imports
         # repro.workloads, whose runner imports this package.
@@ -568,6 +689,20 @@ class MonitoringService:
         vocabulary the documents were analysed with -- a fresh one would
         re-assign term ids from zero, so text subscribed after the restore
         would silently match the wrong documents.
+
+        Returns
+        -------
+        MonitoringService
+            A fresh service whose engine, window contents, clock, id
+            sequence and (for service snapshots) vocabulary match the
+            snapshotted state.
+
+        Raises
+        ------
+        ConfigurationError
+            If the snapshot version is unsupported, a vocabulary is
+            passed alongside a service snapshot, or the snapshot payload
+            is malformed.
         """
         from repro.cluster.persistence import restore_cluster
 

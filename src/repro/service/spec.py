@@ -161,6 +161,18 @@ class EngineSpec:
     # validation
     # ------------------------------------------------------------------ #
     def validate(self) -> None:
+        """Check the spec's fields against its declared kind.
+
+        Raises
+        ------
+        UnknownEngineError
+            If ``kind`` is not a registered engine kind.
+        ConfigurationError
+            If any field is invalid for the declared kind (unknown probe
+            order or placement policy, non-positive shard count, nested
+            sharding, analytical k_max over a time-based window,
+            mismatched inner spec, ...).
+        """
         if self.kind not in _KINDS:
             raise UnknownEngineError(
                 f"unknown engine kind {self.kind!r}; registered kinds: "
@@ -233,7 +245,18 @@ class EngineSpec:
     # construction
     # ------------------------------------------------------------------ #
     def build(self) -> MonitoringEngine:
-        """Construct the described engine (window included)."""
+        """Construct the described engine (window included).
+
+        Returns
+        -------
+        MonitoringEngine
+            A fresh engine of the declared kind over a fresh window.
+
+        Raises
+        ------
+        UnknownEngineError, ConfigurationError
+            As raised by :meth:`validate`.
+        """
         self.validate()
         return _KINDS[self.kind].build(self)
 
@@ -243,6 +266,20 @@ class EngineSpec:
         This is the seam the persistence layer and the sharded cluster
         use: they own the window (restored from a snapshot, or one private
         window per shard) and need the engine built around it.
+
+        Returns
+        -------
+        callable
+            A one-argument factory mapping a
+            :class:`~repro.documents.window.SlidingWindow` to a fresh
+            engine of this spec's kind.
+
+        Raises
+        ------
+        ConfigurationError
+            If the kind manages its own windows (the sharded cluster) and
+            cannot be built around an existing one, or if the spec is
+            invalid.
         """
         self.validate()
         build_around = _KINDS[self.kind].build_around
@@ -254,7 +291,19 @@ class EngineSpec:
         return lambda window: build_around(self, window)
 
     def shard_spec(self) -> "EngineSpec":
-        """The effective per-shard spec of a sharded engine."""
+        """The effective per-shard spec of a sharded engine.
+
+        Returns
+        -------
+        EngineSpec
+            The explicit ``inner`` spec when set; otherwise an ITA spec
+            inheriting this spec's window and change tracking.
+
+        Raises
+        ------
+        ConfigurationError
+            If this spec is not of kind ``"sharded"``.
+        """
         if self.kind != "sharded":
             raise ConfigurationError(f"{self.kind!r} specs have no shards")
         if self.inner is not None:
@@ -272,6 +321,17 @@ class EngineSpec:
         this, so a calibrated cluster is reconstructed identically
         everywhere.  ``num_shards`` overrides the spec's shard count
         (restore sizes the policy from the snapshot).
+
+        Returns
+        -------
+        str or PlacementPolicy
+            The policy name for uncalibrated specs, or a calibrated
+            :class:`~repro.cluster.placement.CostModelPlacement` instance.
+
+        Raises
+        ------
+        ConfigurationError
+            If this spec is not of kind ``"sharded"``.
         """
         if self.kind != "sharded":
             raise ConfigurationError(f"{self.kind!r} specs have no placement")
@@ -292,7 +352,15 @@ class EngineSpec:
     # serialisation
     # ------------------------------------------------------------------ #
     def to_dict(self) -> Dict[str, Any]:
-        """A plain JSON-compatible encoding of the spec."""
+        """A plain JSON-compatible encoding of the spec.
+
+        Returns
+        -------
+        dict
+            All scalar fields plus the window encoding (and, when set,
+            the calibration and inner-spec encodings);
+            :meth:`from_dict` inverts it exactly.
+        """
         data: Dict[str, Any] = {
             "kind": self.kind,
             "window": self.window.to_dict(),

@@ -12,7 +12,12 @@
   counters for every engine.
 * :mod:`repro.workloads.reporting` -- renders results as text tables
   (the same rows/series as the paper's figures).
-* :mod:`repro.workloads.cli` -- ``python -m repro.workloads.cli figure3a``.
+* :mod:`repro.workloads.perfjson` -- the machine-readable performance
+  harness behind ``bench-all``: a fixed suite of workloads x engine kinds
+  x processing modes emitting ``BENCH_results.json`` (see
+  ``docs/BENCHMARKING.md``).
+* :mod:`repro.workloads.cli` -- ``python -m repro.workloads.cli figure3a``
+  / ``bench-all``.
 """
 
 from repro.workloads.experiments import (
@@ -29,6 +34,7 @@ from repro.workloads.experiments import (
     figure_3b,
 )
 from repro.workloads.generators import QueryWorkloadGenerator, WorkloadConfig, build_workload
+from repro.workloads.perfjson import BenchCase, BenchRecord, default_suite, run_bench_suite
 from repro.workloads.runner import EngineMeasurement, ExperimentResult, PointResult, run_experiment
 from repro.workloads.cost_model import (
     CostEstimate,
@@ -57,6 +63,10 @@ __all__ = [
     "ExperimentResult",
     "PointResult",
     "EngineMeasurement",
+    "BenchCase",
+    "BenchRecord",
+    "default_suite",
+    "run_bench_suite",
     "format_result_table",
     "format_speedup_summary",
     "WorkloadParameters",

@@ -10,6 +10,11 @@ Run every experiment at smoke scale and write the tables to a file::
 
     python -m repro.workloads.cli all --scale smoke --output results.txt
 
+Run the machine-readable performance harness and write the JSON artifact
+(see ``docs/BENCHMARKING.md`` for the schema and comparison recipe)::
+
+    python -m repro.workloads.cli bench-all --out BENCH_results.json
+
 List the available experiments::
 
     python -m repro.workloads.cli list
@@ -18,6 +23,7 @@ List the available experiments::
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Callable, Dict, List, Optional
 
@@ -67,8 +73,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS) + ["all", "list"],
-        help="which experiment to run ('all' for every one, 'list' to enumerate them)",
+        choices=sorted(_EXPERIMENTS) + ["all", "bench-all", "list"],
+        help=(
+            "which experiment to run ('all' for every one, 'bench-all' for the "
+            "machine-readable performance harness, 'list' to enumerate them)"
+        ),
     )
     parser.add_argument(
         "--scale",
@@ -80,6 +89,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         default=None,
         help="also write the rendered tables to this file",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_results.json",
+        help="bench-all only: where to write the JSON results (default: BENCH_results.json)",
+    )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="bench-all only: chunk size of the batched measurement mode",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="bench-all only: best-of-N repetitions per measurement (default: 3)",
     )
     parser.add_argument(
         "--quiet",
@@ -106,6 +132,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     progress = None if args.quiet else (lambda message: print(message, file=sys.stderr))
+
+    if args.experiment == "bench-all":
+        from repro.workloads.perfjson import DEFAULT_BATCH_SIZE, run_bench_suite
+
+        if args.batch_size is not None and args.batch_size <= 0:
+            parser.error("--batch-size must be positive")
+        if args.repeats <= 0:
+            parser.error("--repeats must be positive")
+        document = run_bench_suite(
+            scale=args.scale,
+            batch_size=(
+                args.batch_size if args.batch_size is not None else DEFAULT_BATCH_SIZE
+            ),
+            repeats=args.repeats,
+            progress=progress,
+        )
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        if not args.quiet:
+            print(f"wrote {args.out}", file=sys.stderr)
+        for key, value in document["summary"].items():
+            print(f"{key}: {value}")
+        return 0
     sections: List[str] = []
     for definition in _selected_definitions(args.experiment, args.scale):
         result = run_experiment(definition, progress=progress)

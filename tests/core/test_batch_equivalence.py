@@ -1,0 +1,250 @@
+"""Batch-vs-sequential equivalence: ``process_batch`` must be a pure
+performance optimisation.
+
+The batched hot path (:meth:`repro.core.engine.ITAEngine.process_batch_events`
+and the cluster's batch fan-out) inlines and fuses the per-event pipeline;
+these tests pin down that it is *bit-identical* to feeding the same stream
+through ``process()`` one document at a time:
+
+* identical final top-k snapshots for every query (exact doc ids and
+  scores, not merely tie-tolerant),
+* an identical per-event result-change stream,
+* identical operation counters (the batched path accumulates them in
+  locals and flushes once per batch -- the flush must be exact),
+* engine invariants intact afterwards.
+
+Covered engines: ita (with and without roll-up / round-robin probing),
+naive, naive-kmax, and the sharded cluster, over count- and time-based
+windows, with several chunkings including size 1 and the whole stream.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.naive import NaiveEngine
+from repro.core.engine import ITAEngine
+from repro.documents.window import CountBasedWindow, WindowSpec
+from repro.query.query import ContinuousQuery
+from repro.service.spec import spec_from_name
+from tests.conftest import StreamCase, assert_same_topk, make_document
+
+ENGINE_NAMES = ["ita", "naive", "naive-kmax", "sharded-ita-2"]
+
+
+def build_pair(name, window_size, queries):
+    """Two identically-specced engines with the same queries installed."""
+    engines = []
+    for _ in range(2):
+        engine = spec_from_name(name, window=WindowSpec.count(window_size)).build()
+        for query in queries:
+            engine.register_query(
+                ContinuousQuery(query_id=query.query_id, weights=query.weights, k=query.k)
+            )
+        engines.append(engine)
+    return engines
+
+
+def chunked(documents, size):
+    return [documents[start : start + size] for start in range(0, len(documents), size)]
+
+
+def assert_identical_results(sequential, batched, queries, context):
+    for query in queries:
+        expected = sequential.current_result(query.query_id)
+        actual = batched.current_result(query.query_id)
+        assert expected == actual, (
+            f"top-k diverged for query {query.query_id} {context}: "
+            f"{expected} != {actual}"
+        )
+
+
+class TestAllEnginesSeededStreams:
+    @pytest.mark.parametrize("engine_name", ENGINE_NAMES)
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    @pytest.mark.parametrize("chunk_size", [1, 7, 1000])
+    def test_final_snapshots_and_change_streams_match(self, engine_name, seed, chunk_size):
+        case = StreamCase(seed=seed, num_documents=120)
+        window = 12 + seed
+        sequential, batched = build_pair(engine_name, window, case.queries)
+
+        sequential_changes = []
+        for document in case.documents:
+            sequential_changes.extend(sequential.process(document))
+        batched_changes = []
+        for chunk in chunked(case.documents, chunk_size):
+            batched_changes.extend(batched.process_batch(chunk))
+
+        assert_identical_results(
+            sequential, batched, case.queries,
+            f"(engine {engine_name}, seed {seed}, chunk {chunk_size})",
+        )
+        assert sequential_changes == batched_changes, (
+            f"change streams diverged (engine {engine_name}, seed {seed}, "
+            f"chunk {chunk_size})"
+        )
+        validate = getattr(batched, "check_invariants", None)
+        if validate is not None:
+            validate()
+
+    @pytest.mark.parametrize("engine_name", ENGINE_NAMES)
+    def test_counters_flush_exactly(self, engine_name):
+        case = StreamCase(seed=9, num_documents=90)
+        sequential, batched = build_pair(engine_name, 10, case.queries)
+        for document in case.documents:
+            sequential.process(document)
+        for chunk in chunked(case.documents, 16):
+            batched.process_batch(chunk)
+        assert sequential.counters.as_dict() == batched.counters.as_dict()
+
+
+class TestITAVariants:
+    """The ablation configurations ride the same batched loop."""
+
+    @pytest.mark.parametrize(
+        "options",
+        [
+            {"enable_rollup": False},
+            {"probe_order": "round_robin"},
+            {"track_changes": False},
+        ],
+    )
+    def test_variant_batched_matches_sequential(self, options):
+        case = StreamCase(seed=5, num_documents=100)
+        engines = []
+        for _ in range(2):
+            from repro.core.descent import ProbeOrder
+
+            engine = ITAEngine(
+                CountBasedWindow(11),
+                track_changes=options.get("track_changes", True),
+                enable_rollup=options.get("enable_rollup", True),
+                probe_order=ProbeOrder(options.get("probe_order", "weighted")),
+            )
+            for query in case.queries:
+                engine.register_query(
+                    ContinuousQuery(query_id=query.query_id, weights=query.weights, k=query.k)
+                )
+            engines.append(engine)
+        sequential, batched = engines
+        for document in case.documents:
+            sequential.process(document)
+        for chunk in chunked(case.documents, 13):
+            batched.process_batch(chunk)
+        assert_identical_results(sequential, batched, case.queries, f"({options})")
+        for query in case.queries:
+            seq_state = sequential.state_of(query.query_id)
+            bat_state = batched.state_of(query.query_id)
+            assert seq_state.thresholds == bat_state.thresholds
+            assert seq_state.tau == bat_state.tau
+            assert seq_state.results.as_dict() == bat_state.results.as_dict()
+        batched.check_invariants()
+
+    def test_time_based_window_batched_matches_sequential(self):
+        from repro.documents.window import TimeBasedWindow
+
+        case = StreamCase(seed=31, num_documents=110)
+        engines = []
+        for _ in range(2):
+            engine = ITAEngine(TimeBasedWindow(15.0))
+            for query in case.queries:
+                engine.register_query(
+                    ContinuousQuery(query_id=query.query_id, weights=query.weights, k=query.k)
+                )
+            engines.append(engine)
+        sequential, batched = engines
+        sequential_changes = []
+        for document in case.documents:
+            sequential_changes.extend(sequential.process(document))
+        batched_changes = []
+        for chunk in chunked(case.documents, 9):
+            batched_changes.extend(batched.process_batch(chunk))
+        assert_identical_results(sequential, batched, case.queries, "(time window)")
+        assert sequential_changes == batched_changes
+        batched.check_invariants()
+
+
+class TestDifferentialAgainstNaive:
+    """The batched ITA path must still agree with the naive baseline."""
+
+    @pytest.mark.parametrize("seed", [41, 42, 43])
+    def test_batched_ita_matches_naive(self, seed):
+        case = StreamCase(seed=seed, num_documents=130)
+        window = 14
+        ita = ITAEngine(CountBasedWindow(window))
+        naive = NaiveEngine(CountBasedWindow(window))
+        for query in case.queries:
+            ita.register_query(
+                ContinuousQuery(query_id=query.query_id, weights=query.weights, k=query.k)
+            )
+            naive.register_query(
+                ContinuousQuery(query_id=query.query_id, weights=query.weights, k=query.k)
+            )
+        for chunk in chunked(case.documents, 10):
+            ita.process_batch(chunk)
+            naive.process_batch(chunk)
+            for query in case.queries:
+                assert_same_topk(
+                    naive.current_result(query.query_id),
+                    ita.current_result(query.query_id),
+                    context=f"(seed {seed}, query {query.query_id})",
+                )
+        ita.check_invariants()
+
+
+class TestPropertyBased:
+    @given(
+        queries=st.lists(
+            st.tuples(
+                st.dictionaries(
+                    st.integers(min_value=0, max_value=9),
+                    st.sampled_from([0.1, 0.2, 0.25, 0.5, 0.75, 1.0]),
+                    min_size=1,
+                    max_size=3,
+                ),
+                st.integers(min_value=1, max_value=3),
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+        documents=st.lists(
+            st.dictionaries(
+                st.integers(min_value=0, max_value=9),
+                st.sampled_from([0.1, 0.2, 0.25, 0.5, 0.75, 1.0]),
+                min_size=0,
+                max_size=4,
+            ),
+            min_size=1,
+            max_size=30,
+        ),
+        window_size=st.integers(min_value=1, max_value=8),
+        chunk_size=st.integers(min_value=1, max_value=11),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_ita_batched_is_bit_identical(self, queries, documents, window_size, chunk_size):
+        sequential = ITAEngine(CountBasedWindow(window_size))
+        batched = ITAEngine(CountBasedWindow(window_size))
+        for query_id, (weights, k) in enumerate(queries):
+            sequential.register_query(ContinuousQuery(query_id, weights, k=k))
+            batched.register_query(ContinuousQuery(query_id, weights, k=k))
+        streamed = [
+            make_document(doc_id, weights, arrival_time=float(doc_id))
+            for doc_id, weights in enumerate(documents)
+        ]
+        sequential_changes = []
+        for document in streamed:
+            sequential_changes.extend(sequential.process(document))
+        batched_changes = []
+        for chunk in chunked(streamed, chunk_size):
+            batched_changes.extend(batched.process_batch(chunk))
+        assert sequential_changes == batched_changes
+        for query_id in range(len(queries)):
+            assert (
+                sequential.current_result(query_id) == batched.current_result(query_id)
+            )
+            seq_state = sequential.state_of(query_id)
+            bat_state = batched.state_of(query_id)
+            assert seq_state.thresholds == bat_state.thresholds
+            assert seq_state.results.as_dict() == bat_state.results.as_dict()
+        assert sequential.counters.as_dict() == batched.counters.as_dict()
+        batched.check_invariants()

@@ -109,16 +109,16 @@ class TestSubscribeAndIngest:
             service.ingest([42])
 
     def test_unsubscribed_iterable_ingest_uses_batch_path(self):
-        """Without subscribers, iterables go through engine.process_many."""
+        """Without subscribers, iterables go through engine.process_batch."""
         calls = []
         service = MonitoringService()
-        original = service.engine.process_many
+        original = service.engine.process_batch
 
-        def spying_process_many(documents):
+        def spying_process_batch(documents):
             calls.append("batch")
             return original(documents)
 
-        service.engine.process_many = spying_process_many
+        service.engine.process_batch = spying_process_batch
         # low-level registration: no façade subscriber exists
         service.engine.register_query(ContinuousQuery(0, {1: 1.0}, k=1))
         changes = service.ingest(

@@ -1,0 +1,88 @@
+"""Tests for the machine-readable performance harness."""
+
+import json
+
+import pytest
+
+from repro.workloads.cli import main
+from repro.workloads.perfjson import (
+    SCHEMA,
+    BenchRecord,
+    default_suite,
+    run_bench_suite,
+    run_case,
+)
+
+
+class TestSuiteDefinition:
+    def test_covers_enough_workloads_and_engines(self):
+        suite = default_suite("smoke")
+        workloads = {case.workload for case in suite}
+        engines = {name for case in suite for name in case.modes}
+        assert len(workloads) >= 4
+        assert len(engines) >= 3
+
+    def test_headline_workload_measures_both_ita_modes(self):
+        suite = default_suite("smoke")
+        figure3a = next(case for case in suite if case.workload == "figure3a")
+        assert tuple(figure3a.modes["ita"]) == ("sequential", "batched")
+
+    def test_every_case_resolves_a_point(self):
+        for case in default_suite("smoke"):
+            assert case.point in tuple(case.definition.points)
+
+    def test_rejects_non_positive_repeats(self):
+        case = default_suite("smoke")[0]
+        with pytest.raises(ValueError):
+            run_case(case, repeats=0)
+
+
+class TestRunCase:
+    def test_records_have_consistent_metrics(self):
+        case = default_suite("smoke")[0]
+        records = run_case(case, batch_size=8, repeats=1)
+        assert {record.mode for record in records} == {"sequential", "batched"}
+        for record in records:
+            assert isinstance(record, BenchRecord)
+            assert record.workload == case.workload
+            assert record.events == case.point.config.measured_events
+            assert record.docs_per_sec == pytest.approx(1000.0 / record.mean_ms)
+            if record.mode == "batched":
+                assert record.batch_size == 8
+            else:
+                assert record.batch_size is None
+
+
+class TestRunBenchSuite:
+    def test_smoke_suite_document_shape(self):
+        document = run_bench_suite(scale="smoke", repeats=1)
+        assert document["schema"] == SCHEMA
+        assert document["scale"] == "smoke"
+        assert len(document["workloads"]) >= 4
+        assert len(document["engines"]) >= 3
+        assert "figure3a_ita_batched_over_sequential" in document["summary"]
+        assert "service_facade_over_direct" in document["summary"]
+        for record in document["results"]:
+            assert record["events"] > 0
+            assert record["docs_per_sec"] > 0.0
+            assert record["mean_ms"] > 0.0
+            assert record["p99_ms"] >= record["p50_ms"] >= 0.0
+            assert record["mode"] in ("sequential", "batched", "direct", "facade")
+        # The document must survive a JSON round-trip unchanged.
+        assert json.loads(json.dumps(document)) == document
+
+
+class TestCLI:
+    def test_bench_all_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_results.json"
+        code = main(
+            ["bench-all", "--scale", "smoke", "--quiet", "--repeats", "1",
+             "--out", str(out)]
+        )
+        assert code == 0
+        document = json.loads(out.read_text())
+        assert document["schema"] == SCHEMA
+        assert len(document["workloads"]) >= 4
+        assert len(document["engines"]) >= 3
+        printed = capsys.readouterr().out
+        assert "figure3a_ita_batched_over_sequential" in printed

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Markdown link checker (no third-party dependencies, no network).
+
+Scans the given markdown files for inline links and validates every
+*local* target: relative file links must resolve to an existing file or
+directory (anchors are stripped), and bare intra-repo code references in
+backticks are left alone.  External ``http(s)``/``mailto`` links are
+reported but not fetched, so the check is deterministic and CI-safe.
+
+Usage::
+
+    python tools/check_links.py README.md docs/*.md
+
+Exits non-zero when any local link is broken.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+#: inline markdown links: [text](target); images share the syntax
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+#: fenced code blocks, stripped before scanning (links in code are examples)
+_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def check_file(path: Path) -> Tuple[List[str], int]:
+    """Return (broken link descriptions, total local links checked)."""
+    text = _FENCE.sub("", path.read_text(encoding="utf-8"))
+    broken: List[str] = []
+    checked = 0
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            # Intra-document anchor; heading slugs are editor-checked.
+            continue
+        checked += 1
+        relative = target.split("#", 1)[0]
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            broken.append(f"{path}: broken link -> {target}")
+    return broken, checked
+
+
+def main(argv: List[str]) -> int:
+    if not argv:
+        print("usage: check_links.py FILE.md [FILE.md ...]", file=sys.stderr)
+        return 2
+    all_broken: List[str] = []
+    total = 0
+    for name in argv:
+        path = Path(name)
+        if not path.exists():
+            all_broken.append(f"{name}: file does not exist")
+            continue
+        broken, checked = check_file(path)
+        all_broken.extend(broken)
+        total += checked
+    for line in all_broken:
+        print(line, file=sys.stderr)
+    print(f"checked {total} local links in {len(argv)} files, "
+          f"{len(all_broken)} broken")
+    return 1 if all_broken else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -4,8 +4,9 @@ One entry point for the whole performance story of the repository: it runs
 the machine-readable suite of :mod:`repro.workloads.perfjson` -- the
 figure-3(a)/3(b) settings, the query-count ablation, the sharded-cluster
 scale-out workload and the service-façade overhead check, each across
-several engine kinds and both the sequential and the batched processing
-mode -- and emits ``BENCH_results.json``.
+several engine kinds and the sequential, batched and async-pipeline
+processing modes (the async cells at one and at several workers fill the
+document's ``concurrency`` column) -- and emits ``BENCH_results.json``.
 
 Three ways to run it:
 
@@ -70,7 +71,22 @@ def test_harness_emits_valid_document():
         assert record["docs_per_sec"] > 0.0
         assert record["mean_ms"] > 0.0
         assert record["p99_ms"] >= record["p50_ms"] >= 0.0
-        assert record["mode"] in ("sequential", "batched", "direct", "facade")
+        assert record["mode"] in ("sequential", "batched", "async", "direct", "facade")
+        # The concurrency column is exactly the async mode's worker count.
+        if record["mode"] == "async":
+            assert record["concurrency"] >= 1
+        else:
+            assert record["concurrency"] is None
+
+    # The cluster workload carries the async concurrency measurements:
+    # the single-worker baseline plus the multi-worker run.
+    async_workers = {
+        record["concurrency"]
+        for record in records
+        if record["workload"] == "cluster-scaling" and record["mode"] == "async"
+    }
+    assert 1 in async_workers and len(async_workers) >= 2, async_workers
+    assert "cluster_async_multi_over_single_worker" in document["summary"]
 
     # The headline workload carries both ITA modes, so every artifact
     # contains the batched-over-sequential trajectory point.

@@ -105,6 +105,7 @@ from repro.documents.window import CountBasedWindow, TimeBasedWindow
 from repro.exceptions import ReproError
 from repro.query.query import ContinuousQuery
 from repro.query.result import ResultEntry, ResultList
+from repro.service.async_service import AsyncMonitoringService
 from repro.service.service import MonitoringService, QueryHandle
 from repro.service.spec import (
     EngineSpec,
@@ -122,6 +123,7 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     # service façade
+    "AsyncMonitoringService",
     "MonitoringService",
     "QueryHandle",
     "EngineSpec",

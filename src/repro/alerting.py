@@ -131,7 +131,7 @@ class AlertDispatcher:
     def process(self, document: StreamedDocument) -> List[ResultChange]:
         """Forward ``document`` to the engine and dispatch any alerts."""
         changes = self.engine.process(document)
-        self._dispatch(changes, document)
+        self.dispatch_changes(changes, document)
         return changes
 
     def process_many(self, documents: Iterable[StreamedDocument]) -> List[ResultChange]:
@@ -147,11 +147,22 @@ class AlertDispatcher:
         ``document`` field is ``None``.
         """
         changes = self.engine.advance_time(now)
-        self._dispatch(changes, None)
+        self.dispatch_changes(changes, None)
         return changes
 
     # ------------------------------------------------------------------ #
-    def _dispatch(self, changes: List[ResultChange], document: Optional[StreamedDocument]) -> None:
+    def dispatch_changes(
+        self, changes: List[ResultChange], document: Optional[StreamedDocument]
+    ) -> None:
+        """Deliver already-computed ``changes`` to the subscribers.
+
+        This is the notification half of :meth:`process`, split out for
+        callers that run the engine themselves -- the asynchronous
+        ingestion pipeline computes the changes on worker threads and
+        dispatches them here, in stream order, from the event loop.
+        ``document`` is the triggering arrival (``None`` for pure-expiry
+        changes), exactly as in :meth:`process`/:meth:`advance_time`.
+        """
         for change in changes:
             alert = Alert(change=change, document=document)
             for callback in self._global_subscribers:

@@ -1,0 +1,477 @@
+"""Concurrent ingestion pipelines over monitoring engines.
+
+The sharded cluster decomposes the per-arrival work horizontally -- each
+shard evaluates its own share of the queries over a private window copy --
+but :meth:`~repro.cluster.engine.ShardedEngine.process_batch_events` still
+walks the shards one after another inside one blocking call, so the
+decomposition buys no wall-clock concurrency.  This module supplies the
+missing execution layer:
+
+* :class:`ClusterPipeline` drives every shard of a
+  :class:`~repro.cluster.engine.ShardedEngine` through its *own* worker
+  lane: a bounded :class:`asyncio.Queue` (backpressure: producers block
+  when a shard falls behind) feeding a per-shard consumer task that runs
+  the shard's batched fast path on a shared
+  :class:`~concurrent.futures.ThreadPoolExecutor`, so independent shards
+  overlap whenever the interpreter allows it.
+* :class:`EnginePipeline` is the single-engine degenerate case (one lane,
+  no merging): it keeps ingestion off the event loop, which is what an
+  ``asyncio`` server needs even without a cluster.
+
+**Determinism.**  The pipeline is bit-identical to the sequential path.
+Three mechanisms guarantee it:
+
+1. every lane is a FIFO queue and its consumer processes one batch at a
+   time, so each shard sees the stream in submission order -- exactly the
+   order :meth:`~repro.cluster.dispatcher.EventDispatcher.dispatch_batch`
+   would have used;
+2. the producer inserts every document into the cluster's mirror window
+   *in submission order* before fanning the batch out, matching the
+   sequential bookkeeping;
+3. a *merge barrier* task awaits all shards' per-event change lists for a
+   batch before merging them with the same
+   :class:`~repro.cluster.merger.ResultMerger` the synchronous path uses,
+   and resolves the batch futures strictly in submission order.
+
+A note on speed-ups: with CPython's GIL and pure-Python shard engines the
+overlap buys little on CPU-bound work; the pipeline's value on stock
+CPython is bounded queues, backpressure and an event loop that never
+blocks on ingestion.  The lanes become true parallelism on free-threaded
+builds, with native engine kinds that release the GIL, or on
+multi-core machines running GIL-free inner engines registered via
+:func:`~repro.service.spec.register_engine_kind`.  ``bench-all`` records
+the measured ratio in its ``concurrency`` column rather than assuming one
+(see ``docs/BENCHMARKING.md``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Iterable, List, Optional, Sequence
+
+from repro.core.base import MonitoringEngine, ResultChange
+from repro.documents.document import StreamedDocument
+from repro.exceptions import ConfigurationError, ServiceError
+from repro.monitoring.metrics import Timer
+
+__all__ = ["ClusterPipeline", "EnginePipeline", "PipelineStats", "pipeline_for"]
+
+#: default bound of each shard lane's queue, in batches
+DEFAULT_QUEUE_DEPTH = 4
+
+#: sentinel closing a lane queue / the merge queue
+_CLOSE = object()
+
+#: per-event merged result changes of one batch: ``result[i]`` belongs to
+#: the batch's i-th document
+BatchChanges = List[List[ResultChange]]
+
+
+class PipelineStats:
+    """Progress and occupancy counters of one pipeline run.
+
+    ``shard_busy_ms`` is the accumulated in-engine service time per lane
+    (for :class:`EnginePipeline` a single-element list); when lanes truly
+    run in parallel the pipeline's critical path is ``max_shard_busy_ms``,
+    not the sum -- the same quantity
+    :meth:`~repro.cluster.dispatcher.EventDispatcher.max_shard_total_ms`
+    reports for the synchronous fan-out.
+    """
+
+    def __init__(self, num_lanes: int) -> None:
+        self.batches = 0
+        self.events = 0
+        #: completed batches (resolved through the merge barrier)
+        self.merged_batches = 0
+        #: high-water mark of batches enqueued but not yet merged
+        self.max_inflight = 0
+        self._inflight = 0
+        self.lane_timers: List[Timer] = [Timer() for _ in range(num_lanes)]
+
+    @property
+    def shard_busy_ms(self) -> List[float]:
+        return [timer.total_ms for timer in self.lane_timers]
+
+    @property
+    def max_shard_busy_ms(self) -> float:
+        busy = self.shard_busy_ms
+        return max(busy) if busy else 0.0
+
+    def _submitted(self, events: int) -> None:
+        self.batches += 1
+        self.events += events
+        self._inflight += 1
+        self.max_inflight = max(self.max_inflight, self._inflight)
+
+    def _merged(self) -> None:
+        self.merged_batches += 1
+        self._inflight -= 1
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}(batches={self.batches}, events={self.events}, "
+            f"max_inflight={self.max_inflight})"
+        )
+
+
+class _BasePipeline:
+    """The ordered fan-out/merge machinery shared by both pipelines.
+
+    Subclasses define the consumer lanes (one callable per lane, each
+    taking a batch and returning per-event changes) and how the per-lane
+    outputs of one batch combine into the merged per-event change lists.
+    The base class owns the queues, the worker tasks, the merge barrier
+    and the executor lifecycle.
+
+    A pipeline is single-producer: ``submit`` must be called from one
+    coroutine at a time (interleaved producers would race for queue slots
+    and break the deterministic submission order).
+    """
+
+    def __init__(
+        self,
+        num_lanes: int,
+        max_workers: Optional[int] = None,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        executor: Optional[ThreadPoolExecutor] = None,
+    ) -> None:
+        if num_lanes <= 0:
+            raise ConfigurationError("a pipeline needs at least one lane")
+        if queue_depth <= 0:
+            raise ConfigurationError("queue_depth must be positive")
+        if max_workers is not None and max_workers <= 0:
+            raise ConfigurationError("max_workers must be positive")
+        self.num_lanes = num_lanes
+        self.max_workers = max_workers if max_workers is not None else num_lanes
+        self.queue_depth = queue_depth
+        self.stats = PipelineStats(num_lanes)
+        self._external_executor = executor
+        self._executor: Optional[ThreadPoolExecutor] = executor
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._lane_queues: List[asyncio.Queue] = []
+        self._merge_queue: Optional[asyncio.Queue] = None
+        self._tasks: List[asyncio.Task] = []
+        self._last_result: Optional[asyncio.Future] = None
+        self._failure: Optional[BaseException] = None
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # hooks implemented by subclasses
+    # ------------------------------------------------------------------ #
+    def _lane_consumer(self, lane: int) -> Callable[[Sequence[StreamedDocument]], Any]:
+        """The blocking per-batch consumer of one lane (runs on the pool)."""
+        raise NotImplementedError
+
+    def _combine(self, batch_size: int, per_lane: Sequence[Any]) -> BatchChanges:
+        """Merge the lanes' outputs for one batch into per-event changes."""
+        raise NotImplementedError
+
+    def _before_submit(self, batch: Sequence[StreamedDocument]) -> None:
+        """Producer-side bookkeeping applied in submission order."""
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        """Create the queues, the worker tasks and (if needed) the executor."""
+        if self._started:
+            raise ServiceError("the pipeline is already started")
+        if self._closed:
+            raise ServiceError("the pipeline has been closed")
+        self._loop = asyncio.get_running_loop()
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self.max_workers, thread_name_prefix="repro-pipeline"
+            )
+        self._lane_queues = [
+            asyncio.Queue(maxsize=self.queue_depth) for _ in range(self.num_lanes)
+        ]
+        self._merge_queue = asyncio.Queue()
+        self._tasks = [
+            asyncio.ensure_future(self._lane_loop(lane)) for lane in range(self.num_lanes)
+        ]
+        self._tasks.append(asyncio.ensure_future(self._merge_loop()))
+        self._started = True
+
+    async def aclose(self) -> None:
+        """Flush every lane, stop the tasks and release the executor.
+
+        All batches submitted before the call are processed and their
+        futures resolved (the close sentinel queues *behind* them); a
+        pipeline cannot be restarted after closing.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        if not self._started:
+            return
+        for queue in self._lane_queues:
+            await queue.put(_CLOSE)
+        assert self._merge_queue is not None
+        await self._merge_queue.put(_CLOSE)
+        await asyncio.gather(*self._tasks)
+        self._tasks = []
+        if self._executor is not None and self._external_executor is None:
+            self._executor.shutdown(wait=True)
+        self._executor = self._external_executor
+
+    async def __aenter__(self) -> "_BasePipeline":
+        await self.start()
+        return self
+
+    async def __aexit__(self, exc_type: Any, exc: Any, traceback: Any) -> None:
+        await self.aclose()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _check_running(self) -> None:
+        if not self._started:
+            raise ServiceError("the pipeline has not been started")
+        if self._closed:
+            raise ServiceError("the pipeline has been closed")
+        if self._failure is not None:
+            raise ServiceError(
+                "the pipeline has failed and no longer accepts work"
+            ) from self._failure
+
+    # ------------------------------------------------------------------ #
+    # submission and the merge barrier
+    # ------------------------------------------------------------------ #
+    async def submit(
+        self, documents: Iterable[StreamedDocument]
+    ) -> "asyncio.Future[BatchChanges]":
+        """Enqueue one batch on every lane; future of its merged changes.
+
+        Blocks (yielding to the event loop) while any lane's bounded queue
+        is full -- that is the pipeline's backpressure.  The returned
+        futures resolve in submission order, each with the batch's
+        *per-event* merged result changes (``result[i]`` belongs to the
+        batch's i-th document), exactly what the sequential
+        ``process_batch_events`` returns.
+        """
+        self._check_running()
+        assert self._loop is not None and self._merge_queue is not None
+        batch = list(documents)
+        result_future: "asyncio.Future[BatchChanges]" = self._loop.create_future()
+        # Retrieve the exception eagerly so an abandoned future of a failed
+        # batch does not warn at garbage collection; awaiting callers still
+        # observe it through the normal await path.
+        result_future.add_done_callback(
+            lambda future: future.exception() if not future.cancelled() else None
+        )
+        if not batch:
+            result_future.set_result([])
+            return result_future
+        self._before_submit(batch)
+        lane_futures = []
+        for queue in self._lane_queues:
+            future: asyncio.Future = self._loop.create_future()
+            await queue.put((batch, future))
+            lane_futures.append(future)
+        await self._merge_queue.put((len(batch), lane_futures, result_future))
+        self.stats._submitted(len(batch))
+        self._last_result = result_future
+        return result_future
+
+    async def drain(self) -> None:
+        """Wait until every submitted batch has passed the merge barrier.
+
+        Raises the first processing failure, if any batch failed.
+        """
+        if self._last_result is not None and not self._last_result.done():
+            await asyncio.wait([self._last_result])
+        if self._failure is not None:
+            raise ServiceError("a pipeline batch failed") from self._failure
+
+    async def _run_blocking(self, fn: Callable[..., Any], *args: Any) -> Any:
+        assert self._loop is not None and self._executor is not None
+        return await self._loop.run_in_executor(self._executor, fn, *args)
+
+    async def _lane_loop(self, lane: int) -> None:
+        queue = self._lane_queues[lane]
+        consumer = self._lane_consumer(lane)
+        timer = self.stats.lane_timers[lane]
+
+        def timed(batch: Sequence[StreamedDocument]) -> Any:
+            with timer:
+                return consumer(batch)
+
+        while True:
+            item = await queue.get()
+            if item is _CLOSE:
+                return
+            batch, future = item
+            try:
+                result = await self._run_blocking(timed, batch)
+            except BaseException as exc:  # noqa: BLE001 - forwarded to the barrier
+                future.set_exception(exc)
+            else:
+                future.set_result(result)
+
+    async def _merge_loop(self) -> None:
+        assert self._merge_queue is not None
+        while True:
+            item = await self._merge_queue.get()
+            if item is _CLOSE:
+                return
+            batch_size, lane_futures, result_future = item
+            try:
+                per_lane = await asyncio.gather(*lane_futures)
+                merged = self._combine(batch_size, per_lane)
+            except BaseException as exc:  # noqa: BLE001 - forwarded to the caller
+                if self._failure is None:
+                    self._failure = exc
+                if not result_future.done():
+                    result_future.set_exception(exc)
+            else:
+                # The caller may have cancelled its await of the future
+                # (e.g. asyncio.wait_for around ingest); the batch was
+                # still fully processed, so the pipeline stays healthy --
+                # just nobody collects this batch's changes.
+                if not result_future.done():
+                    result_future.set_result(merged)
+            finally:
+                self.stats._merged()
+
+
+class ClusterPipeline(_BasePipeline):
+    """Per-shard worker lanes over a :class:`~repro.cluster.engine.ShardedEngine`.
+
+    Parameters
+    ----------
+    cluster:
+        The sharded engine to drive.  While the pipeline is running the
+        cluster must not be mutated through its synchronous API (each
+        shard is owned by its lane); query management and reads go through
+        :class:`~repro.service.async_service.AsyncMonitoringService`,
+        which drains the pipeline first.
+    max_workers:
+        Size of the shared thread pool (default: one worker per shard).
+        ``1`` serialises the shards -- the single-worker baseline the
+        benchmark's ``concurrency`` column compares against.
+    queue_depth:
+        Bound of each shard lane's queue, in batches.  Producers block
+        when the slowest shard is ``queue_depth`` batches behind.
+    executor:
+        An externally owned executor to run the shard work on; the
+        pipeline then does not shut it down.
+    """
+
+    def __init__(
+        self,
+        cluster: MonitoringEngine,
+        max_workers: Optional[int] = None,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        executor: Optional[ThreadPoolExecutor] = None,
+    ) -> None:
+        shards = getattr(cluster, "shards", None)
+        merger = getattr(cluster, "merger", None)
+        if not shards or merger is None:
+            raise ConfigurationError(
+                "ClusterPipeline needs a sharded engine (with .shards and "
+                ".merger); wrap single engines in an EnginePipeline instead"
+            )
+        super().__init__(
+            num_lanes=len(shards),
+            max_workers=max_workers,
+            queue_depth=queue_depth,
+            executor=executor,
+        )
+        self.cluster = cluster
+
+    def _lane_consumer(self, lane: int) -> Callable[[Sequence[StreamedDocument]], Any]:
+        return self.cluster.shards[lane].process_batch_events
+
+    def _combine(self, batch_size: int, per_lane: Sequence[Any]) -> BatchChanges:
+        merge = self.cluster.merger.merge_changes
+        return [
+            merge(lane_events[event] for lane_events in per_lane)
+            for event in range(batch_size)
+        ]
+
+    def _before_submit(self, batch: Sequence[StreamedDocument]) -> None:
+        # Mirror-window bookkeeping in submission order, exactly like the
+        # synchronous ``ShardedEngine.process_batch_events``.
+        insert = self.cluster.window.insert
+        for document in batch:
+            insert(document)
+
+    async def advance_time(self, now: float) -> List[ResultChange]:
+        """Advance every shard's clock; merged expiry changes.
+
+        Drains the pipeline first so the advancement lands at the same
+        stream position on every shard, then runs the per-shard
+        advancement concurrently on the pool.
+        """
+        self._check_running()
+        await self.drain()
+        self.cluster.window.advance_time(now)
+        per_shard = await asyncio.gather(
+            *(
+                self._run_blocking(shard.advance_time, now)
+                for shard in self.cluster.shards
+            )
+        )
+        return self.cluster.merger.merge_changes(per_shard)
+
+
+class EnginePipeline(_BasePipeline):
+    """A single-lane pipeline over any monitoring engine.
+
+    No fan-out and no merging -- the lane's per-event changes *are* the
+    merged changes -- but ingestion runs on the pool behind the same
+    bounded queue, so an ``asyncio`` application gets backpressure and a
+    non-blocking event loop with a plain ITA engine too.
+    """
+
+    def __init__(
+        self,
+        engine: MonitoringEngine,
+        max_workers: Optional[int] = None,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        executor: Optional[ThreadPoolExecutor] = None,
+    ) -> None:
+        if getattr(engine, "shards", None):
+            raise ConfigurationError(
+                "EnginePipeline is the single-engine pipeline; drive sharded "
+                "engines through a ClusterPipeline"
+            )
+        super().__init__(
+            num_lanes=1,
+            max_workers=max_workers if max_workers is not None else 1,
+            queue_depth=queue_depth,
+            executor=executor,
+        )
+        self.engine = engine
+
+    def _lane_consumer(self, lane: int) -> Callable[[Sequence[StreamedDocument]], Any]:
+        return self.engine.process_batch_events
+
+    def _combine(self, batch_size: int, per_lane: Sequence[Any]) -> BatchChanges:
+        return per_lane[0]
+
+    async def advance_time(self, now: float) -> List[ResultChange]:
+        """Advance the engine's clock after draining the lane."""
+        self._check_running()
+        await self.drain()
+        return await self._run_blocking(self.engine.advance_time, now)
+
+
+def pipeline_for(
+    engine: MonitoringEngine,
+    max_workers: Optional[int] = None,
+    queue_depth: int = DEFAULT_QUEUE_DEPTH,
+    executor: Optional[ThreadPoolExecutor] = None,
+) -> _BasePipeline:
+    """The right pipeline for ``engine``: cluster-fan-out or single-lane."""
+    if getattr(engine, "shards", None):
+        return ClusterPipeline(
+            engine, max_workers=max_workers, queue_depth=queue_depth, executor=executor
+        )
+    return EnginePipeline(
+        engine, max_workers=max_workers, queue_depth=queue_depth, executor=executor
+    )

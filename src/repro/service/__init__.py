@@ -11,6 +11,12 @@ Two pieces:
   standing query and get a :class:`~repro.service.service.QueryHandle`,
   ``ingest()`` raw text or document streams, ``snapshot()``/``restore()``
   the whole service.
+* :class:`~repro.service.async_service.AsyncMonitoringService` -- the
+  same façade for ``asyncio`` applications (``service.serve()`` returns
+  one): ingestion runs through the concurrent per-shard pipeline of
+  :mod:`repro.cluster.pipeline` with bounded-queue backpressure, while
+  results, change streams and snapshots stay bit-identical to the
+  synchronous path.
 
 The modules below this package (:mod:`repro.core`, :mod:`repro.cluster`,
 :mod:`repro.alerting`, :mod:`repro.persistence`, ...) remain the
@@ -28,8 +34,10 @@ from repro.service.spec import (
     spec_from_name,
 )
 from repro.service.service import MonitoringService, QueryHandle
+from repro.service.async_service import AsyncMonitoringService
 
 __all__ = [
+    "AsyncMonitoringService",
     "EngineSpec",
     "WindowSpec",
     "PlacementCalibration",

@@ -1,0 +1,346 @@
+"""The asynchronous service façade: :class:`AsyncMonitoringService`.
+
+:class:`~repro.service.service.MonitoringService` is synchronous -- one
+blocking ``ingest()`` call processes the whole stream chunk on the calling
+thread.  This module wraps it for ``asyncio`` applications and wires the
+engine to the concurrent ingestion pipelines of
+:mod:`repro.cluster.pipeline`:
+
+>>> import asyncio
+>>> from repro.service import AsyncMonitoringService
+>>> async def firehose():
+...     async with AsyncMonitoringService("sharded-ita-2") as service:
+...         handle = await service.subscribe("market news", k=2)
+...         _ = await service.ingest(["breaking news about markets"])
+...         return [entry.doc_id for entry in handle.result()]
+>>> asyncio.run(firehose())
+[0]
+
+* ``ingest()`` analyses and stamps documents exactly like the synchronous
+  façade, then feeds them through the pipeline in bounded batches: for a
+  sharded engine every shard consumes its partition from its own bounded
+  queue on a thread pool, so independent shards overlap; for a single
+  engine the work still leaves the event loop.
+* a *merge barrier* re-assembles the per-shard change lists in submission
+  order before any alert is delivered, so results, change streams and
+  snapshots are **bit-identical** to the synchronous path (the
+  differential fuzz suite in ``tests/conformance/`` pins this down).
+* query management (``subscribe``/``unsubscribe``), time advancement,
+  reads and ``snapshot()`` first *drain* the pipeline, giving them the
+  same sequential semantics they have on the synchronous façade.
+
+The synchronous service stays the source of truth: ``service.service`` is
+a fully functional :class:`~repro.service.service.MonitoringService`, and
+closing the async wrapper returns it to synchronous use.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.alerting import Alert
+from repro.core.base import MonitoringEngine, ResultChange, TopKResult
+from repro.documents.document import StreamedDocument
+from repro.exceptions import ServiceError
+from repro.query.query import ContinuousQuery
+from repro.service.service import Ingestible, MonitoringService, QueryHandle
+from repro.service.spec import EngineSpec
+from repro.cluster.pipeline import (
+    DEFAULT_QUEUE_DEPTH,
+    BatchChanges,
+    pipeline_for,
+)
+
+__all__ = ["AsyncMonitoringService", "DEFAULT_ASYNC_BATCH_SIZE"]
+
+#: default number of documents grouped into one pipeline batch
+DEFAULT_ASYNC_BATCH_SIZE = 32
+
+
+class AsyncMonitoringService:
+    """Asynchronous façade over a :class:`MonitoringService` and its engine.
+
+    Parameters
+    ----------
+    service:
+        What to serve: an existing :class:`MonitoringService` (wrapped
+        as-is), or anything its constructor accepts -- an
+        :class:`~repro.service.spec.EngineSpec`, a legacy engine name
+        ("sharded-ita-4", ...), a prebuilt engine, or ``None`` for the
+        default ITA engine -- in which case a fresh synchronous service is
+        built with ``service_kwargs``.
+    max_workers:
+        Thread-pool size shared by the shard lanes (default: one worker
+        per shard; ``1`` is the single-worker baseline mode).
+    queue_depth:
+        Bound of each shard lane's queue, in batches; producers block in
+        ``await`` when the slowest shard falls that far behind.
+    batch_size:
+        How many documents ``ingest`` groups into one pipeline batch.
+
+    The wrapper is an async context manager; entering starts the pipeline,
+    leaving drains and closes it (the wrapped synchronous service remains
+    open and usable -- call :meth:`close` to close it too).
+    """
+
+    def __init__(
+        self,
+        service: Union[MonitoringService, EngineSpec, MonitoringEngine, str, None] = None,
+        max_workers: Optional[int] = None,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        batch_size: int = DEFAULT_ASYNC_BATCH_SIZE,
+        **service_kwargs: Any,
+    ) -> None:
+        if isinstance(service, MonitoringService):
+            if service_kwargs:
+                raise ServiceError(
+                    "service construction keywords only apply when the "
+                    "AsyncMonitoringService builds the MonitoringService itself"
+                )
+            self.service = service
+        else:
+            self.service = MonitoringService(service, **service_kwargs)
+        if batch_size <= 0:
+            raise ServiceError("batch_size must be positive")
+        self.batch_size = batch_size
+        self._max_workers = max_workers
+        self._queue_depth = queue_depth
+        self._pipeline = None
+        self._started = False
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> "AsyncMonitoringService":
+        """Start the ingestion pipeline (idempotent)."""
+        if self._started:
+            return self
+        self.service._check_open()
+        self._pipeline = pipeline_for(
+            self.service.engine,
+            max_workers=self._max_workers,
+            queue_depth=self._queue_depth,
+        )
+        await self._pipeline.start()
+        self._started = True
+        return self
+
+    async def aclose(self) -> None:
+        """Drain and stop the pipeline; the synchronous service stays open."""
+        if not self._started:
+            return
+        self._started = False
+        pipeline, self._pipeline = self._pipeline, None
+        await pipeline.aclose()
+
+    async def close(self) -> None:
+        """Stop the pipeline *and* close the wrapped synchronous service."""
+        await self.aclose()
+        self.service.close()
+
+    async def __aenter__(self) -> "AsyncMonitoringService":
+        return await self.start()
+
+    async def __aexit__(self, exc_type: Any, exc: Any, traceback: Any) -> None:
+        await self.aclose()
+
+    def _check_started(self):
+        if not self._started or self._pipeline is None:
+            raise ServiceError(
+                "the async service is not started; enter it with 'async with' "
+                "or await start() first"
+            )
+        return self._pipeline
+
+    @property
+    def started(self) -> bool:
+        return self._started
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+    # ------------------------------------------------------------------ #
+    async def ingest(
+        self,
+        source: Union[Ingestible, Iterable[Ingestible]],
+        at: Optional[float] = None,
+        batch_size: Optional[int] = None,
+    ) -> List[ResultChange]:
+        """Feed documents through the concurrent pipeline; merged changes.
+
+        Accepts exactly what :meth:`MonitoringService.ingest` accepts; raw
+        texts are analysed and stamped by the service clock on the event
+        loop (in submission order, so ids and timestamps match the
+        synchronous path), then grouped into batches of ``batch_size`` and
+        fanned out to the shard lanes.  Alerts are delivered from the
+        event loop in stream order as each batch clears the merge
+        barrier; the returned change list is identical to the synchronous
+        ``ingest`` of the same source.
+        """
+        pipeline = self._check_started()
+        self.service._check_open()
+        size = batch_size if batch_size is not None else self.batch_size
+        if size <= 0:
+            raise ServiceError("batch_size must be positive")
+        changes: List[ResultChange] = []
+        #: batches submitted but not yet merged, oldest first
+        inflight: Deque[Tuple[List[StreamedDocument], "asyncio.Future[BatchChanges]"]] = deque()
+
+        async def flush(future_batch: List[StreamedDocument], future) -> None:
+            merged: BatchChanges = await future
+            for document, event_changes in zip(future_batch, merged):
+                if event_changes:
+                    self.service.dispatcher.dispatch_changes(event_changes, document)
+                    changes.extend(event_changes)
+
+        batch: List[StreamedDocument] = []
+        for streamed in self.service._as_stream(source, at):
+            batch.append(streamed)
+            if len(batch) >= size:
+                inflight.append((batch, await pipeline.submit(batch)))
+                batch = []
+                # Deliver completed batches opportunistically so alert
+                # latency stays bounded on long streams, still in order.
+                while inflight and inflight[0][1].done():
+                    await flush(*inflight.popleft())
+        if batch:
+            inflight.append((batch, await pipeline.submit(batch)))
+        while inflight:
+            await flush(*inflight.popleft())
+        return changes
+
+    async def advance_time(self, now: float) -> List[ResultChange]:
+        """Advance the virtual clock (time-based windows); expiry changes.
+
+        Drains the pipeline, advances every shard concurrently, and
+        delivers the expiry alerts (with ``alert.document`` set to
+        ``None``) exactly like the synchronous façade.
+        """
+        pipeline = self._check_started()
+        self.service._check_open()
+        self.service._clock = max(self.service._clock, float(now))
+        expiry_changes = await pipeline.advance_time(now)
+        if expiry_changes:
+            self.service.dispatcher.dispatch_changes(expiry_changes, None)
+        return expiry_changes
+
+    async def drain(self) -> None:
+        """Wait until every submitted batch has been merged and delivered.
+
+        Note that alerts are delivered by the ``ingest`` coroutine itself,
+        so after ``await ingest(...)`` returns there is nothing left to
+        drain; this exists for producers that overlap several ``ingest``
+        calls with reads.
+        """
+        await self._check_started().drain()
+
+    # ------------------------------------------------------------------ #
+    # subscriptions (drain first: sequential semantics)
+    # ------------------------------------------------------------------ #
+    async def subscribe(
+        self,
+        query: Union[str, ContinuousQuery],
+        k: int = 10,
+        on_change: Optional[Callable[[Alert], None]] = None,
+        query_id: Optional[int] = None,
+        max_pending: Optional[int] = None,
+    ) -> QueryHandle:
+        """Install a standing query once all in-flight batches are merged.
+
+        Draining first gives registration the same sequential position it
+        has on the synchronous façade: the query's initial result covers
+        exactly the documents ingested before this call.
+        """
+        await self.drain()
+        return self.service.subscribe(
+            query, k=k, on_change=on_change, query_id=query_id, max_pending=max_pending
+        )
+
+    async def unsubscribe(self, query_id: int) -> None:
+        """Terminate ``query_id`` once all in-flight batches are merged."""
+        await self.drain()
+        self.service.unsubscribe(query_id)
+
+    async def handle(
+        self,
+        query_id: int,
+        on_change: Optional[Callable[[Alert], None]] = None,
+        max_pending: Optional[int] = None,
+    ) -> QueryHandle:
+        """A handle for an already-installed query (see the sync façade)."""
+        await self.drain()
+        return self.service.handle(query_id, on_change=on_change, max_pending=max_pending)
+
+    def on_change(self, callback) -> Callable[[], None]:
+        """Register a global change subscriber (fires on the event loop)."""
+        return self.service.on_change(callback)
+
+    # ------------------------------------------------------------------ #
+    # reads (drain first: read-your-writes)
+    # ------------------------------------------------------------------ #
+    async def result(self, query_id: int) -> TopKResult:
+        """The query's top-k after every in-flight batch is applied."""
+        await self.drain()
+        return self.service.result(query_id)
+
+    async def results(self) -> Dict[int, TopKResult]:
+        """All queries' top-k after every in-flight batch is applied."""
+        await self.drain()
+        return self.service.results()
+
+    async def snapshot(self) -> Dict[str, Any]:
+        """Checkpoint the whole service after draining the pipeline.
+
+        The snapshot is bit-identical to one taken by the synchronous
+        façade at the same stream position.
+        """
+        await self.drain()
+        return self.service.snapshot()
+
+    @classmethod
+    async def restore(
+        cls,
+        snapshot: Dict[str, Any],
+        max_workers: Optional[int] = None,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        batch_size: int = DEFAULT_ASYNC_BATCH_SIZE,
+        **restore_kwargs: Any,
+    ) -> "AsyncMonitoringService":
+        """Rebuild a service from a snapshot and start its pipeline."""
+        service = MonitoringService.restore(snapshot, **restore_kwargs)
+        wrapper = cls(
+            service,
+            max_workers=max_workers,
+            queue_depth=queue_depth,
+            batch_size=batch_size,
+        )
+        return await wrapper.start()
+
+    # ------------------------------------------------------------------ #
+    # passthroughs
+    # ------------------------------------------------------------------ #
+    @property
+    def engine(self) -> MonitoringEngine:
+        return self.service.engine
+
+    @property
+    def counters(self):
+        """The engine's operation counters (cluster-aggregated if sharded)."""
+        return self.service.counters
+
+    @property
+    def clock(self) -> float:
+        return self.service.clock
+
+    @property
+    def stats(self):
+        """The running pipeline's :class:`~repro.cluster.pipeline.PipelineStats`."""
+        return self._check_started().stats
+
+    def query_ids(self) -> List[int]:
+        return self.service.query_ids()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "started" if self._started else "stopped"
+        return f"{type(self).__name__}({self.service!r}, {state})"

@@ -108,6 +108,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="bench-all only: best-of-N repetitions per measurement (default: 3)",
     )
     parser.add_argument(
+        "--async-workers",
+        type=int,
+        default=None,
+        help=(
+            "bench-all only: worker-pool size of the async ingestion mode's "
+            "multi-worker measurement (default: 4; the single-worker baseline "
+            "is always measured alongside)"
+        ),
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="suppress progress messages",
@@ -134,12 +144,18 @@ def main(argv: Optional[List[str]] = None) -> int:
     progress = None if args.quiet else (lambda message: print(message, file=sys.stderr))
 
     if args.experiment == "bench-all":
-        from repro.workloads.perfjson import DEFAULT_BATCH_SIZE, run_bench_suite
+        from repro.workloads.perfjson import (
+            DEFAULT_ASYNC_WORKERS,
+            DEFAULT_BATCH_SIZE,
+            run_bench_suite,
+        )
 
         if args.batch_size is not None and args.batch_size <= 0:
             parser.error("--batch-size must be positive")
         if args.repeats <= 0:
             parser.error("--repeats must be positive")
+        if args.async_workers is not None and args.async_workers <= 0:
+            parser.error("--async-workers must be positive")
         document = run_bench_suite(
             scale=args.scale,
             batch_size=(
@@ -147,6 +163,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             ),
             repeats=args.repeats,
             progress=progress,
+            async_workers=(
+                args.async_workers
+                if args.async_workers is not None
+                else DEFAULT_ASYNC_WORKERS
+            ),
         )
         with open(args.out, "w", encoding="utf-8") as handle:
             json.dump(document, handle, indent=2, sort_keys=False)

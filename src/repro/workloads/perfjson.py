@@ -5,16 +5,20 @@ nothing produced an artifact a later PR could diff against.  This module
 runs a fixed suite of representative workloads -- the paper's Figure 3(a)
 and 3(b) settings, the query-count ablation, the sharded-cluster scale-out
 workload and a service-façade overhead check -- across several engine
-kinds and both processing modes (per-event ``process()`` and the batched
-``process_batch()`` hot path), and emits one JSON document
-(``BENCH_results.json`` by convention) with, per measurement:
+kinds and three processing modes (per-event ``process()``, the batched
+``process_batch()`` hot path, and the asynchronous ingestion pipeline of
+:mod:`repro.cluster.pipeline` at one and at several workers), and emits
+one JSON document (``BENCH_results.json`` by convention) with, per
+measurement:
 
 * the workload and sweep-point label,
 * the engine kind and processing mode,
 * throughput in documents/second,
 * mean / p50 / p99 per-document service time in milliseconds,
 * similarity scores computed per event (the hardware-independent cost
-  proxy the paper uses).
+  proxy the paper uses),
+* for async measurements, the ``concurrency`` column: the worker-pool
+  size the cell was measured at.
 
 Run it via the experiment CLI::
 
@@ -47,6 +51,8 @@ from repro.workloads.runner import run_point
 
 __all__ = [
     "SCHEMA",
+    "DEFAULT_BATCH_SIZE",
+    "DEFAULT_ASYNC_WORKERS",
     "BenchRecord",
     "BenchCase",
     "default_suite",
@@ -55,10 +61,13 @@ __all__ = [
 ]
 
 #: bump when a field of the emitted JSON changes meaning
-SCHEMA = "repro-bench/1"
+SCHEMA = "repro-bench/2"
 
 #: default chunk size of the batched measurement mode
 DEFAULT_BATCH_SIZE = 64
+
+#: default thread-pool size of the async measurement mode's multi-worker run
+DEFAULT_ASYNC_WORKERS = 4
 
 Progress = Optional[Callable[[str], None]]
 
@@ -70,8 +79,9 @@ class BenchRecord:
     workload: str
     point: str
     engine: str
-    #: "sequential" (one timed ``process()`` call per arrival) or
-    #: "batched" (timed ``process_batch()`` chunks)
+    #: "sequential" (one timed ``process()`` call per arrival), "batched"
+    #: (timed ``process_batch()`` chunks) or "async" (chunks through the
+    #: concurrent ingestion pipeline of :mod:`repro.cluster.pipeline`)
     mode: str
     #: measured arrival events
     events: int
@@ -87,6 +97,10 @@ class BenchRecord:
     scores_per_event: float
     #: chunk size of the batched mode (None for sequential)
     batch_size: Optional[int] = None
+    #: worker-thread-pool size of the async mode (None otherwise); the
+    #: async records at 1 and N workers form the measured concurrency
+    #: speedup -- see ``summary["cluster_async_multi_over_single_worker"]``
+    concurrency: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -167,7 +181,10 @@ def default_suite(scale: str = "small") -> List[BenchCase]:
             workload="cluster-scaling",
             definition=cluster,
             point=_point_by_label(cluster, "shards=4"),
-            modes={"sharded-ita": ita_both},
+            # "async" measures the concurrent ingestion pipeline twice --
+            # single-worker and multi-worker -- producing the concurrency
+            # column of the emitted document.
+            modes={"sharded-ita": ("sequential", "batched", "async")},
         ),
     ]
 
@@ -177,6 +194,7 @@ def run_case(
     batch_size: int = DEFAULT_BATCH_SIZE,
     repeats: int = 1,
     progress: Progress = None,
+    async_workers: int = DEFAULT_ASYNC_WORKERS,
 ) -> List[BenchRecord]:
     """Measure every (engine, mode) combination of one case.
 
@@ -184,44 +202,57 @@ def run_case(
     engine and the run with the lowest mean per-document time is kept --
     best-of-N squeezes scheduler and frequency-scaling noise out of the
     trajectory artifact, which later PRs diff against.
+
+    The ``"async"`` mode expands into one cell per worker count -- ``1``
+    (the single-worker baseline) and ``async_workers`` -- so the measured
+    concurrency speedup is part of the emitted document.
     """
     if repeats <= 0:
         raise ValueError("repeats must be positive")
+    if async_workers <= 0:
+        raise ValueError("async_workers must be positive")
     if progress is not None:
         progress(f"[bench] workload {case.workload} ({case.point.label})")
     workload = build_workload(case.point.config)
     records: List[BenchRecord] = []
     for engine_name, modes in case.modes.items():
         for mode in modes:
-            if progress is not None:
-                progress(f"[bench]   engine {engine_name} ({mode})")
-            measurement = None
-            for _ in range(repeats):
-                result = run_point(
-                    case.point,
-                    [engine_name],
-                    workload=workload,
-                    batch_size=batch_size if mode == "batched" else None,
+            worker_counts: Sequence[Optional[int]] = (None,)
+            if mode == "async":
+                worker_counts = tuple(sorted({1, async_workers}))
+            for workers in worker_counts:
+                if progress is not None:
+                    suffix = f", workers={workers}" if workers is not None else ""
+                    progress(f"[bench]   engine {engine_name} ({mode}{suffix})")
+                measurement = None
+                for _ in range(repeats):
+                    result = run_point(
+                        case.point,
+                        [engine_name],
+                        workload=workload,
+                        batch_size=batch_size if mode in ("batched", "async") else None,
+                        concurrency=workers,
+                    )
+                    candidate = result.measurements[engine_name]
+                    if measurement is None or candidate.mean_ms < measurement.mean_ms:
+                        measurement = candidate
+                mean_ms = measurement.mean_ms
+                records.append(
+                    BenchRecord(
+                        workload=case.workload,
+                        point=case.point.label,
+                        engine=engine_name,
+                        mode=mode,
+                        events=measurement.events,
+                        docs_per_sec=(1000.0 / mean_ms) if mean_ms > 0 else 0.0,
+                        mean_ms=mean_ms,
+                        p50_ms=measurement.summary.p50,
+                        p99_ms=measurement.summary.p99,
+                        scores_per_event=measurement.scores_per_event,
+                        batch_size=batch_size if mode in ("batched", "async") else None,
+                        concurrency=workers,
+                    )
                 )
-                candidate = result.measurements[engine_name]
-                if measurement is None or candidate.mean_ms < measurement.mean_ms:
-                    measurement = candidate
-            mean_ms = measurement.mean_ms
-            records.append(
-                BenchRecord(
-                    workload=case.workload,
-                    point=case.point.label,
-                    engine=engine_name,
-                    mode=mode,
-                    events=measurement.events,
-                    docs_per_sec=(1000.0 / mean_ms) if mean_ms > 0 else 0.0,
-                    mean_ms=mean_ms,
-                    p50_ms=measurement.summary.p50,
-                    p99_ms=measurement.summary.p99,
-                    scores_per_event=measurement.scores_per_event,
-                    batch_size=batch_size if mode == "batched" else None,
-                )
-            )
     return records
 
 
@@ -328,40 +359,66 @@ def run_bench_suite(
     batch_size: int = DEFAULT_BATCH_SIZE,
     repeats: int = 3,
     progress: Progress = None,
+    async_workers: int = DEFAULT_ASYNC_WORKERS,
 ) -> Dict[str, Any]:
     """Run the full suite and return the JSON-compatible result document.
 
     The ``summary`` block pre-computes the ratios later PRs care about:
     the batched-over-sequential ITA speedup on the headline figure-3a
-    workload and the façade-over-direct service overhead.  Dump the
-    returned dictionary with ``json.dump`` to produce
-    ``BENCH_results.json``.
+    workload, the façade-over-direct service overhead, and the async
+    pipeline's measured multi-worker-over-single-worker concurrency
+    speedup on the cluster workload.  Dump the returned dictionary with
+    ``json.dump`` to produce ``BENCH_results.json``.
     """
     records: List[BenchRecord] = []
     for case in default_suite(scale):
         records.extend(
-            run_case(case, batch_size=batch_size, repeats=repeats, progress=progress)
+            run_case(
+                case,
+                batch_size=batch_size,
+                repeats=repeats,
+                progress=progress,
+                async_workers=async_workers,
+            )
         )
     records.extend(_service_overhead_records(scale, batch_size, progress=progress))
 
     by_key = {
-        (record.workload, record.engine, record.mode): record for record in records
+        (record.workload, record.engine, record.mode, record.concurrency): record
+        for record in records
     }
     summary: Dict[str, Any] = {}
-    sequential = by_key.get(("figure3a", "ita", "sequential"))
-    batched = by_key.get(("figure3a", "ita", "batched"))
+    sequential = by_key.get(("figure3a", "ita", "sequential", None))
+    batched = by_key.get(("figure3a", "ita", "batched", None))
     if sequential and batched and sequential.docs_per_sec > 0:
         summary["figure3a_ita_batched_over_sequential"] = round(
             batched.docs_per_sec / sequential.docs_per_sec, 4
         )
-    direct = by_key.get(("service-overhead", "ita", "direct"))
-    facade = by_key.get(("service-overhead", "ita", "facade"))
+    direct = by_key.get(("service-overhead", "ita", "direct", None))
+    facade = by_key.get(("service-overhead", "ita", "facade", None))
     if direct and facade and direct.mean_ms > 0:
         summary["service_facade_over_direct"] = round(facade.mean_ms / direct.mean_ms, 4)
-    naive_kmax = by_key.get(("figure3a", "naive-kmax", "sequential"))
+    naive_kmax = by_key.get(("figure3a", "naive-kmax", "sequential", None))
     if naive_kmax and batched and batched.mean_ms > 0:
         summary["figure3a_ita_batched_over_naive_kmax"] = round(
             naive_kmax.mean_ms / batched.mean_ms, 4
+        )
+    async_single = by_key.get(("cluster-scaling", "sharded-ita", "async", 1))
+    # With async_workers == 1 there is only the single-worker cell; a
+    # self-ratio of 1.0 would claim a speedup that was never measured.
+    async_multi = (
+        by_key.get(("cluster-scaling", "sharded-ita", "async", async_workers))
+        if async_workers != 1
+        else None
+    )
+    if async_single and async_multi and async_single.docs_per_sec > 0:
+        summary["cluster_async_multi_over_single_worker"] = round(
+            async_multi.docs_per_sec / async_single.docs_per_sec, 4
+        )
+    cluster_batched = by_key.get(("cluster-scaling", "sharded-ita", "batched", None))
+    if async_multi and cluster_batched and cluster_batched.docs_per_sec > 0:
+        summary["cluster_async_over_batched"] = round(
+            async_multi.docs_per_sec / cluster_batched.docs_per_sec, 4
         )
 
     return {
@@ -369,6 +426,7 @@ def run_bench_suite(
         "generated_by": "repro.workloads.perfjson",
         "scale": scale,
         "batch_size": batch_size,
+        "async_workers": async_workers,
         "workloads": sorted({record.workload for record in records}),
         "engines": sorted({record.engine for record in records}),
         "results": [asdict(record) for record in records],

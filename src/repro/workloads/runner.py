@@ -15,10 +15,11 @@ hardware-independent cost proxy.
 
 from __future__ import annotations
 
+import asyncio
 import time
 import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.base import MonitoringEngine
 from repro.monitoring.instrumentation import OperationCounters
@@ -40,6 +41,7 @@ __all__ = [
     "build_engine",
     "make_engine",
     "prepare_engine",
+    "measure_async_ingest",
     "run_point",
     "run_experiment",
 ]
@@ -188,12 +190,68 @@ def prepare_engine(
     return engine
 
 
+def measure_async_ingest(
+    engine: MonitoringEngine,
+    measured: Sequence,
+    batch_size: int,
+    concurrency: int,
+    queue_depth: Optional[int] = None,
+) -> Tuple[float, List[float]]:
+    """Feed ``measured`` through the concurrent ingestion pipeline.
+
+    Builds the matching pipeline for ``engine`` (per-shard lanes for a
+    sharded cluster, a single off-loop lane otherwise) with a thread pool
+    of ``concurrency`` workers, submits the stream in ``batch_size``
+    chunks without waiting between submissions (the bounded lane queues
+    provide backpressure), and drains.
+
+    Returns
+    -------
+    (total_ms, samples)
+        ``total_ms`` is the wall-clock time from the first submission to
+        the drain -- its inverse is the pipeline's true throughput.  Each
+        sample is one chunk's submit-to-merge latency divided by the chunk
+        length; with a full pipeline that latency includes queue wait, so
+        the percentiles describe end-to-end delivery lag, not pure service
+        time.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    if concurrency <= 0:
+        raise ValueError("concurrency must be positive")
+    # Imported lazily: the cluster package imports this module's siblings.
+    from repro.cluster.pipeline import DEFAULT_QUEUE_DEPTH, pipeline_for
+
+    depth = queue_depth if queue_depth is not None else DEFAULT_QUEUE_DEPTH
+
+    async def run() -> Tuple[float, List[float]]:
+        samples: List[float] = []
+        pipeline = pipeline_for(engine, max_workers=concurrency, queue_depth=depth)
+        async with pipeline:
+            started = time.perf_counter()
+            for start in range(0, len(measured), batch_size):
+                chunk = measured[start : start + batch_size]
+                began = time.perf_counter()
+                future = await pipeline.submit(chunk)
+
+                def record(_future, began=began, count=len(chunk)) -> None:
+                    samples.append((time.perf_counter() - began) * 1000.0 / count)
+
+                future.add_done_callback(record)
+            await pipeline.drain()
+            total_ms = (time.perf_counter() - started) * 1000.0
+        return total_ms, samples
+
+    return asyncio.run(run())
+
+
 def run_point(
     point: SweepPoint,
     engines: Sequence[str],
     workload: Optional[GeneratedWorkload] = None,
     progress: Optional[Callable[[str], None]] = None,
     batch_size: Optional[int] = None,
+    concurrency: Optional[int] = None,
 ) -> PointResult:
     """Run every engine on one sweep point and collect measurements.
 
@@ -205,7 +263,16 @@ def run_point(
     chunks of that size; one sample is then the *mean per-document* time
     of one chunk (individual per-event times are not observable inside a
     batch), while ``mean_ms`` stays the exact overall mean.
+
+    With ``concurrency`` set (requires ``batch_size``), the chunks go
+    through the asynchronous ingestion pipeline instead
+    (:func:`measure_async_ingest`): ``concurrency`` sizes the worker
+    thread pool, ``mean_ms`` is wall-clock over the whole stream divided
+    by the event count (true pipeline throughput), and the percentile
+    summary holds per-chunk submit-to-merge latencies.
     """
+    if concurrency is not None and batch_size is None:
+        raise ValueError("async measurement is batched; pass batch_size with concurrency")
     if workload is None:
         workload = build_workload(point.config)
     measurements: Dict[str, EngineMeasurement] = {}
@@ -217,7 +284,14 @@ def run_point(
         samples: List[float] = []
         if progress is not None:
             progress(f"    engine {engine_name}: measuring {len(measured)} events")
-        if batch_size is None:
+        if concurrency is not None:
+            assert batch_size is not None
+            if batch_size <= 0:
+                raise ValueError("batch_size must be positive when given")
+            total_ms, samples = measure_async_ingest(
+                engine, measured, batch_size, concurrency
+            )
+        elif batch_size is None:
             for document in measured:
                 started = time.perf_counter()
                 engine.process(document)

@@ -1,0 +1,180 @@
+"""Mid-stream checkpointing: a restored run must be bit-identical to an
+uninterrupted one.
+
+The cluster (and the service façade above it) advertises snapshot/restore
+as a *pause* button: checkpoint between two batches, rebuild from the
+snapshot, keep streaming, and nobody downstream can tell.  These tests pin
+that down at both layers -- :func:`repro.cluster.persistence.snapshot_cluster`
+directly, and :meth:`repro.service.MonitoringService.snapshot` including
+the asynchronous ingestion path -- comparing final top-k results, the
+continuation's change stream, and the final snapshots themselves.
+
+The workloads here draw continuous weights, so score ties are absent and
+the continuation is bit-identical.  At *exactly tied* scores a restored
+engine may keep a different (equally scoring) document than the
+uninterrupted one: per-query incremental state is rebuilt by
+re-registration, which orders tied documents canonically rather than by
+their original entry history.  That pre-existing, tie-only latitude is the
+same one the oracle-equivalence tests grant, and the differential fuzz
+suite covers it on its tie-heavy tape.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.cluster.engine import ShardedEngine
+from repro.cluster.persistence import restore_cluster, snapshot_cluster
+from repro.documents.window import CountBasedWindow, WindowSpec
+from repro.query.query import ContinuousQuery
+from repro.service import AsyncMonitoringService, MonitoringService, spec_from_name
+from tests.conftest import make_document
+
+
+class TieFreeCase:
+    """A seeded workload with continuous weights (score ties absent)."""
+
+    def __init__(self, seed, num_terms=12, num_queries=8, num_documents=160):
+        rng = random.Random(seed)
+        self.queries = []
+        for query_id in range(num_queries):
+            terms = rng.sample(range(num_terms), rng.randint(1, 4))
+            weights = {term: round(rng.uniform(0.05, 1.0), 6) for term in terms}
+            self.queries.append(
+                ContinuousQuery(query_id=query_id, weights=weights, k=rng.randint(1, 4))
+            )
+        self.documents = []
+        clock = 0.0
+        for doc_id in range(num_documents):
+            clock += rng.choice([0.1, 0.5, 1.0])
+            count = rng.randint(0, 5)
+            terms = rng.sample(range(num_terms), count) if count else []
+            weights = {term: round(rng.uniform(0.05, 1.0), 6) for term in terms}
+            self.documents.append(
+                make_document(doc_id, weights, arrival_time=round(clock, 6))
+            )
+
+
+def chunked(documents, size):
+    return [documents[start : start + size] for start in range(0, len(documents), size)]
+
+
+def build_cluster(num_shards, window, queries):
+    cluster = ShardedEngine(
+        num_shards=num_shards,
+        window_factory=lambda: CountBasedWindow(window),
+        placement="cost",
+    )
+    for query in queries:
+        cluster.register_query(
+            ContinuousQuery(query_id=query.query_id, weights=query.weights, k=query.k)
+        )
+    return cluster
+
+
+@pytest.mark.parametrize("num_shards", [2, 3])
+def test_cluster_restored_between_batches_matches_uninterrupted(num_shards):
+    case = TieFreeCase(seed=71, num_queries=9, num_documents=180)
+    window = 15
+    batches = chunked(case.documents, 16)
+    cut = len(batches) // 2
+
+    uninterrupted = build_cluster(num_shards, window, case.queries)
+    restored = build_cluster(num_shards, window, case.queries)
+
+    for batch in batches[:cut]:
+        uninterrupted.process_batch(batch)
+        restored.process_batch(batch)
+
+    # Pause: checkpoint the second cluster and rebuild it from scratch.
+    restored = restore_cluster(snapshot_cluster(restored))
+    assert restored.num_shards == num_shards
+    restored.check_invariants()
+
+    # Continue: both runs must report the identical change stream and,
+    # event for event, the identical final state.
+    for index, batch in enumerate(batches[cut:]):
+        expected = uninterrupted.process_batch_events(batch)
+        actual = restored.process_batch_events(batch)
+        assert expected == actual, f"change stream diverged in batch {index} after restore"
+
+    assert restored.current_results() == uninterrupted.current_results()
+    assert restored.assignment() == uninterrupted.assignment()
+    assert snapshot_cluster(restored) == snapshot_cluster(uninterrupted)
+    restored.check_invariants()
+
+
+def test_service_restored_between_batches_matches_uninterrupted():
+    case = TieFreeCase(seed=83)
+    spec = spec_from_name("sharded-ita-3", window=WindowSpec.count(12))
+    batches = chunked(case.documents, 20)
+    cut = 4
+
+    def subscribed(service):
+        for query in case.queries:
+            service.subscribe(
+                ContinuousQuery(query_id=query.query_id, weights=query.weights, k=query.k)
+            )
+        return service
+
+    uninterrupted = subscribed(MonitoringService(spec))
+    paused = subscribed(MonitoringService(spec))
+    for batch in batches[:cut]:
+        uninterrupted.ingest(batch)
+        paused.ingest(batch)
+
+    resumed = MonitoringService.restore(paused.snapshot())
+    paused.close()
+
+    for batch in batches[cut:]:
+        expected = uninterrupted.ingest(batch)
+        actual = resumed.ingest(batch)
+        assert expected == actual, "continuation change stream diverged after restore"
+
+    assert resumed.results() == uninterrupted.results()
+    assert resumed.snapshot() == uninterrupted.snapshot()
+
+
+def test_async_service_restored_between_batches_matches_sync_uninterrupted():
+    """Checkpoint under the async pipeline, resume async, compare to one
+    uninterrupted synchronous run -- crossing both the persistence seam
+    and the execution-strategy seam at once."""
+    case = TieFreeCase(seed=97)
+    spec = spec_from_name("sharded-ita-3", window=WindowSpec.count(12))
+    batches = chunked(case.documents, 20)
+    cut = 4
+
+    uninterrupted = MonitoringService(spec)
+    for query in case.queries:
+        uninterrupted.subscribe(
+            ContinuousQuery(query_id=query.query_id, weights=query.weights, k=query.k)
+        )
+    sync_changes = [uninterrupted.ingest(batch) for batch in batches]
+
+    async def interrupted_async_run():
+        changes = []
+        service = await AsyncMonitoringService(
+            spec, max_workers=3, queue_depth=2, batch_size=7
+        ).start()
+        for query in case.queries:
+            await service.subscribe(
+                ContinuousQuery(query_id=query.query_id, weights=query.weights, k=query.k)
+            )
+        for batch in batches[:cut]:
+            changes.append(await service.ingest(batch))
+        snapshot = await service.snapshot()
+        await service.close()
+        service = await AsyncMonitoringService.restore(
+            snapshot, max_workers=3, queue_depth=2, batch_size=7
+        )
+        for batch in batches[cut:]:
+            changes.append(await service.ingest(batch))
+        final = (await service.results(), await service.snapshot())
+        await service.aclose()
+        return changes, final
+
+    async_changes, (async_results, async_snapshot) = asyncio.run(interrupted_async_run())
+    assert async_changes == sync_changes
+    assert async_results == uninterrupted.results()
+    assert async_snapshot == uninterrupted.snapshot()

@@ -1,0 +1,312 @@
+"""Unit tests of the concurrent ingestion pipelines.
+
+Determinism (ordering, merge barrier), backpressure (bounded lanes),
+failure propagation and lifecycle of
+:class:`~repro.cluster.pipeline.ClusterPipeline` and
+:class:`~repro.cluster.pipeline.EnginePipeline`.  End-to-end equivalence
+with the synchronous path lives in ``tests/service/test_async_service.py``
+and ``tests/conformance/``.
+"""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.cluster.engine import ShardedEngine
+from repro.cluster.pipeline import ClusterPipeline, EnginePipeline, pipeline_for
+from repro.core.engine import ITAEngine
+from repro.documents.window import CountBasedWindow, TimeBasedWindow
+from repro.exceptions import ConfigurationError, ServiceError
+from tests.conftest import StreamCase
+
+
+def make_cluster(num_shards=3, window=16, engine_factory=None):
+    return ShardedEngine(
+        num_shards=num_shards,
+        window_factory=lambda: CountBasedWindow(window),
+        engine_factory=engine_factory,
+        placement="round-robin",
+    )
+
+
+def register_case(engine, case):
+    for query in case.queries:
+        engine.register_query(query)
+
+
+def chunked(documents, size):
+    return [documents[start : start + size] for start in range(0, len(documents), size)]
+
+
+class SlowEngine(ITAEngine):
+    """An ITA shard whose batch path sleeps -- makes the producer outrun it."""
+
+    delay = 0.002
+
+    def process_batch_events(self, documents):
+        time.sleep(self.delay)
+        return super().process_batch_events(documents)
+
+
+class FailingEngine(ITAEngine):
+    """An ITA shard that blows up on a chosen document id."""
+
+    fail_on = None
+
+    def process_batch_events(self, documents):
+        if any(document.doc_id == self.fail_on for document in documents):
+            raise RuntimeError(f"shard refused document {self.fail_on}")
+        return super().process_batch_events(documents)
+
+
+class TestConstruction:
+    def test_cluster_pipeline_rejects_single_engines(self):
+        with pytest.raises(ConfigurationError):
+            ClusterPipeline(ITAEngine(CountBasedWindow(8)))
+
+    def test_engine_pipeline_rejects_clusters(self):
+        with pytest.raises(ConfigurationError):
+            EnginePipeline(make_cluster())
+
+    def test_pipeline_for_dispatches_on_engine_shape(self):
+        assert isinstance(pipeline_for(make_cluster()), ClusterPipeline)
+        assert isinstance(pipeline_for(ITAEngine(CountBasedWindow(8))), EnginePipeline)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"queue_depth": 0},
+        {"queue_depth": -1},
+        {"max_workers": 0},
+    ])
+    def test_rejects_degenerate_shapes(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            ClusterPipeline(make_cluster(), **kwargs)
+
+
+class TestOrderingAndEquivalence:
+    def test_futures_resolve_in_submission_order_with_correct_content(self):
+        case = StreamCase(seed=5, num_documents=90)
+        sync_cluster = make_cluster()
+        async_cluster = make_cluster()
+        register_case(sync_cluster, case)
+        register_case(async_cluster, case)
+        batches = chunked(case.documents, 7)
+        expected = [sync_cluster.process_batch_events(batch) for batch in batches]
+
+        async def run():
+            completion_order = []
+            async with ClusterPipeline(async_cluster, max_workers=3) as pipeline:
+                futures = []
+                for index, batch in enumerate(batches):
+                    future = await pipeline.submit(batch)
+                    future.add_done_callback(
+                        lambda _f, index=index: completion_order.append(index)
+                    )
+                    futures.append(future)
+                merged = [await future for future in futures]
+            return merged, completion_order
+
+        merged, completion_order = asyncio.run(run())
+        assert merged == expected
+        assert completion_order == sorted(completion_order)
+        assert async_cluster.current_results() == sync_cluster.current_results()
+
+    def test_empty_batch_resolves_immediately(self):
+        async def run():
+            async with ClusterPipeline(make_cluster()) as pipeline:
+                future = await pipeline.submit([])
+                assert await future == []
+                assert pipeline.stats.batches == 0
+
+        asyncio.run(run())
+
+    def test_advance_time_matches_synchronous_cluster(self):
+        case = StreamCase(seed=29, num_documents=60)
+
+        def make_time_cluster():
+            cluster = ShardedEngine(
+                num_shards=2,
+                window_factory=lambda: TimeBasedWindow(9.0),
+                placement="hash",
+            )
+            register_case(cluster, case)
+            return cluster
+
+        sync_cluster = make_time_cluster()
+        sync_cluster.process_batch(case.documents)
+        final_time = case.documents[-1].arrival_time + 30.0
+        expected_changes = sync_cluster.advance_time(final_time)
+
+        async def run():
+            cluster = make_time_cluster()
+            async with ClusterPipeline(cluster, max_workers=2) as pipeline:
+                await pipeline.submit(case.documents)
+                changes = await pipeline.advance_time(final_time)
+            return cluster, changes
+
+        async_cluster, actual_changes = asyncio.run(run())
+        assert actual_changes == expected_changes
+        assert async_cluster.current_results() == sync_cluster.current_results()
+        assert len(async_cluster.window) == len(sync_cluster.window)
+
+
+class TestBackpressure:
+    def test_inflight_batches_stay_bounded_by_queue_depth(self):
+        case = StreamCase(seed=11, num_documents=120)
+        cluster = make_cluster(
+            num_shards=2, engine_factory=lambda window: SlowEngine(window)
+        )
+        register_case(cluster, case)
+        queue_depth = 2
+
+        async def run():
+            async with ClusterPipeline(
+                cluster, max_workers=2, queue_depth=queue_depth
+            ) as pipeline:
+                for batch in chunked(case.documents, 6):
+                    await pipeline.submit(batch)
+                await pipeline.drain()
+                return pipeline.stats
+
+        stats = asyncio.run(run())
+        assert stats.batches == 20
+        assert stats.merged_batches == 20
+        # The producer runs far ahead of the sleeping shards, so without
+        # the bounded lanes every batch would be in flight at once; the
+        # queue bound caps it at depth + one in service + one at the
+        # barrier.
+        assert stats.max_inflight <= queue_depth + 2
+        assert stats.max_inflight >= 2
+
+    def test_lane_timers_accumulate_per_shard_busy_time(self):
+        case = StreamCase(seed=13, num_documents=40)
+        cluster = make_cluster(
+            num_shards=2, engine_factory=lambda window: SlowEngine(window)
+        )
+        register_case(cluster, case)
+
+        async def run():
+            async with ClusterPipeline(cluster) as pipeline:
+                await pipeline.submit(case.documents)
+                await pipeline.drain()
+                return pipeline.stats
+
+        stats = asyncio.run(run())
+        assert len(stats.shard_busy_ms) == 2
+        assert all(busy >= SlowEngine.delay * 1000.0 for busy in stats.shard_busy_ms)
+        assert stats.max_shard_busy_ms == max(stats.shard_busy_ms)
+
+
+class TestFailurePropagation:
+    def test_shard_failure_reaches_the_batch_future_and_poisons_the_pipeline(self):
+        case = StreamCase(seed=17, num_documents=40)
+
+        def factory(window):
+            engine = FailingEngine(window)
+            engine.fail_on = case.documents[25].doc_id
+            return engine
+
+        cluster = make_cluster(num_shards=2, engine_factory=factory)
+        register_case(cluster, case)
+
+        async def run():
+            async with ClusterPipeline(cluster) as pipeline:
+                good = await pipeline.submit(case.documents[:20])
+                assert await good  # the healthy batch still merges
+                bad = await pipeline.submit(case.documents[20:30])
+                with pytest.raises(RuntimeError, match="shard refused"):
+                    await bad
+                # After a failure the pipeline refuses further work...
+                with pytest.raises(ServiceError):
+                    await pipeline.submit(case.documents[30:])
+                # ...and drain() surfaces the root cause.
+                with pytest.raises(ServiceError) as excinfo:
+                    await pipeline.drain()
+                assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+        asyncio.run(run())
+
+
+class TestCancelledAwaits:
+    def test_cancelling_an_await_does_not_wedge_the_pipeline(self):
+        """A timed-out ``wait_for`` around a batch future must not kill the
+        merge barrier: the batch is still processed, later batches still
+        resolve, and close stays clean (regression test)."""
+        case = StreamCase(seed=61, num_documents=60)
+        cluster = make_cluster(
+            num_shards=2, engine_factory=lambda window: SlowEngine(window)
+        )
+        register_case(cluster, case)
+
+        async def run():
+            async with ClusterPipeline(cluster, max_workers=2) as pipeline:
+                first = await pipeline.submit(case.documents[:20])
+                with pytest.raises(asyncio.TimeoutError):
+                    await asyncio.wait_for(asyncio.shield(first), timeout=0.0001)
+                first.cancel()
+                # The pipeline must keep accepting and resolving work.
+                second = await pipeline.submit(case.documents[20:40])
+                assert await second
+                await pipeline.drain()
+                assert pipeline.stats.merged_batches == 2
+
+        asyncio.run(run())
+        # Both batches reached the shards despite the cancelled await.
+        assert len(cluster.window) == 16
+
+
+class TestLifecycle:
+    def test_submit_before_start_and_after_close_raise(self):
+        async def run():
+            pipeline = ClusterPipeline(make_cluster())
+            with pytest.raises(ServiceError):
+                await pipeline.submit([])
+            await pipeline.start()
+            with pytest.raises(ServiceError):
+                await pipeline.start()
+            await pipeline.aclose()
+            assert pipeline.closed
+            with pytest.raises(ServiceError):
+                await pipeline.submit([])
+            with pytest.raises(ServiceError):
+                await pipeline.start()
+            await pipeline.aclose()  # idempotent
+
+        asyncio.run(run())
+
+    def test_aclose_flushes_submitted_batches(self):
+        case = StreamCase(seed=19, num_documents=60)
+        cluster = make_cluster()
+        register_case(cluster, case)
+
+        async def run():
+            pipeline = ClusterPipeline(cluster, queue_depth=3)
+            await pipeline.start()
+            futures = [
+                await pipeline.submit(batch) for batch in chunked(case.documents, 10)
+            ]
+            await pipeline.aclose()  # no explicit drain
+            assert all(future.done() for future in futures)
+            return pipeline.stats
+
+        stats = asyncio.run(run())
+        assert stats.merged_batches == stats.batches == 6
+
+    def test_external_executor_is_not_shut_down(self):
+        from concurrent.futures import ThreadPoolExecutor
+
+        case = StreamCase(seed=23, num_documents=30)
+        cluster = make_cluster()
+        register_case(cluster, case)
+        executor = ThreadPoolExecutor(max_workers=2)
+        try:
+            async def run():
+                async with ClusterPipeline(cluster, executor=executor) as pipeline:
+                    await pipeline.submit(case.documents)
+                    await pipeline.drain()
+
+            asyncio.run(run())
+            # Still usable afterwards: the pipeline must not have shut it down.
+            assert executor.submit(lambda: 41 + 1).result() == 42
+        finally:
+            executor.shutdown(wait=True)

@@ -31,10 +31,20 @@ class TestSuiteDefinition:
         for case in default_suite("smoke"):
             assert case.point in tuple(case.definition.points)
 
+    def test_cluster_workload_measures_the_async_pipeline(self):
+        suite = default_suite("smoke")
+        cluster = next(case for case in suite if case.workload == "cluster-scaling")
+        assert "async" in cluster.modes["sharded-ita"]
+
     def test_rejects_non_positive_repeats(self):
         case = default_suite("smoke")[0]
         with pytest.raises(ValueError):
             run_case(case, repeats=0)
+
+    def test_rejects_non_positive_async_workers(self):
+        case = default_suite("smoke")[0]
+        with pytest.raises(ValueError):
+            run_case(case, async_workers=0)
 
 
 class TestRunCase:
@@ -51,9 +61,29 @@ class TestRunCase:
                 assert record.batch_size == 8
             else:
                 assert record.batch_size is None
+            assert record.concurrency is None
+
+    def test_async_mode_measures_single_and_multi_worker(self):
+        suite = default_suite("smoke")
+        cluster = next(case for case in suite if case.workload == "cluster-scaling")
+        records = run_case(cluster, batch_size=8, repeats=1, async_workers=3)
+        async_records = [record for record in records if record.mode == "async"]
+        assert sorted(record.concurrency for record in async_records) == [1, 3]
+        for record in async_records:
+            assert record.batch_size == 8
+            assert record.docs_per_sec > 0.0
+            assert record.scores_per_event > 0.0
 
 
 class TestRunBenchSuite:
+    def test_single_worker_only_run_omits_the_speedup_ratio(self):
+        """--async-workers 1 measures only the baseline cell; the summary
+        must not fabricate a 1.0 self-ratio from it."""
+        document = run_bench_suite(scale="smoke", repeats=1, async_workers=1)
+        async_cells = [r for r in document["results"] if r["mode"] == "async"]
+        assert [r["concurrency"] for r in async_cells] == [1]
+        assert "cluster_async_multi_over_single_worker" not in document["summary"]
+
     def test_smoke_suite_document_shape(self):
         document = run_bench_suite(scale="smoke", repeats=1)
         assert document["schema"] == SCHEMA
@@ -62,12 +92,19 @@ class TestRunBenchSuite:
         assert len(document["engines"]) >= 3
         assert "figure3a_ita_batched_over_sequential" in document["summary"]
         assert "service_facade_over_direct" in document["summary"]
+        assert "cluster_async_multi_over_single_worker" in document["summary"]
         for record in document["results"]:
             assert record["events"] > 0
             assert record["docs_per_sec"] > 0.0
             assert record["mean_ms"] > 0.0
             assert record["p99_ms"] >= record["p50_ms"] >= 0.0
-            assert record["mode"] in ("sequential", "batched", "direct", "facade")
+            assert record["mode"] in (
+                "sequential", "batched", "async", "direct", "facade"
+            )
+            if record["mode"] == "async":
+                assert record["concurrency"] >= 1
+            else:
+                assert record["concurrency"] is None
         # The document must survive a JSON round-trip unchanged.
         assert json.loads(json.dumps(document)) == document
 

@@ -71,7 +71,15 @@ def test_harness_emits_valid_document():
         assert record["docs_per_sec"] > 0.0
         assert record["mean_ms"] > 0.0
         assert record["p99_ms"] >= record["p50_ms"] >= 0.0
-        assert record["mode"] in ("sequential", "batched", "async", "direct", "facade")
+        assert record["mode"] in (
+            "sequential",
+            "batched",
+            "async",
+            "wal",
+            "wal-recovery",
+            "direct",
+            "facade",
+        )
         # The concurrency column is exactly the async mode's worker count.
         if record["mode"] == "async":
             assert record["concurrency"] >= 1
@@ -95,8 +103,10 @@ def test_harness_emits_valid_document():
         for record in records
         if record["workload"] == "figure3a" and record["engine"] == "ita"
     }
-    assert figure3a_modes == {"sequential", "batched"}
+    assert figure3a_modes == {"sequential", "batched", "wal", "wal-recovery"}
     assert "figure3a_ita_batched_over_sequential" in document["summary"]
+    assert "figure3a_ita_wal_over_batched" in document["summary"]
+    assert "figure3a_wal_recovery_ms" in document["summary"]
 
     # The document must survive a JSON round-trip unchanged.
     assert json.loads(json.dumps(document)) == document

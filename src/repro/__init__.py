@@ -102,6 +102,12 @@ from repro.documents.stream import (
     ReplayArrivalProcess,
 )
 from repro.documents.window import CountBasedWindow, TimeBasedWindow
+from repro.durability import (
+    DurabilityLog,
+    DurabilityPolicy,
+    RecoveryReport,
+    recover_service,
+)
 from repro.exceptions import ReproError
 from repro.query.query import ContinuousQuery
 from repro.query.result import ResultEntry, ResultList
@@ -131,6 +137,11 @@ __all__ = [
     "PlacementCalibration",
     "register_engine_kind",
     "engine_kinds",
+    # durability
+    "DurabilityPolicy",
+    "DurabilityLog",
+    "RecoveryReport",
+    "recover_service",
     # engines
     "MonitoringEngine",
     "ITAEngine",

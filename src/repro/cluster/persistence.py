@@ -117,6 +117,14 @@ def restore_cluster(
     for record in sorted(documents, key=lambda r: r["arrival_time"]):
         cluster.process(_document_from_record(record))
 
+    # Restore the recorded window clock (shards replicate the stream, so
+    # shard 0's clock is the cluster's) before the queries register: a
+    # time advance the snapshotted cluster observed must keep rejecting
+    # older arrivals after the restore.
+    clock = shard_snapshots[0].get("clock") if shard_snapshots else None
+    if clock is not None:
+        cluster.advance_time(float(clock))
+
     for shard_index, shard_snapshot in enumerate(shard_snapshots):
         for record in shard_snapshot["queries"]:
             cluster.register_query(_query_from_record(record), shard=shard_index)

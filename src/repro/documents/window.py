@@ -35,7 +35,14 @@ class SlidingWindow:
 
     def __init__(self) -> None:
         self._valid: Deque[StreamedDocument] = deque()
-        self._last_arrival_time: Optional[float] = None
+        #: doc_id -> number of valid copies; a count (not a set) so that a
+        #: duplicate id -- which the base window does not forbid -- cannot
+        #: make membership go falsely negative after one copy expires
+        self._valid_ids: Dict[int, int] = {}
+        #: the latest observed time: the maximum over every arrival time
+        #: *and* every explicit :meth:`advance_time` call -- both kinds of
+        #: event advance it, and neither may move it backwards
+        self._clock: Optional[float] = None
 
     # ------------------------------------------------------------------ #
     # queries
@@ -47,7 +54,17 @@ class SlidingWindow:
         return iter(self._valid)
 
     def __contains__(self, doc_id: int) -> bool:
-        return any(entry.doc_id == doc_id for entry in self._valid)
+        return doc_id in self._valid_ids
+
+    @property
+    def clock(self) -> Optional[float]:
+        """The latest observed time (arrival or :meth:`advance_time`).
+
+        ``None`` until the window has seen its first event.  Snapshots
+        persist it so a restored window rejects exactly the arrivals the
+        original would have rejected.
+        """
+        return self._clock
 
     def valid_documents(self) -> List[StreamedDocument]:
         """A list snapshot of the currently valid documents, oldest first."""
@@ -70,13 +87,14 @@ class SlidingWindow:
         Expired documents are returned oldest-first and have already been
         removed from the window when the method returns.
         """
-        if self._last_arrival_time is not None and document.arrival_time < self._last_arrival_time:
+        if self._clock is not None and document.arrival_time < self._clock:
             raise WindowError(
-                f"arrival time went backwards: {document.arrival_time} < {self._last_arrival_time}"
+                f"arrival time went backwards: {document.arrival_time} < {self._clock}"
             )
-        self._last_arrival_time = document.arrival_time
+        self._clock = document.arrival_time
         expired = self._expired_by_time(document.arrival_time)
         self._valid.append(document)
+        self._valid_ids[document.doc_id] = self._valid_ids.get(document.doc_id, 0) + 1
         expired.extend(self._expired_by_arrival())
         return expired
 
@@ -84,10 +102,15 @@ class SlidingWindow:
         """Advance the clock without an arrival; return expirations.
 
         Only meaningful for time-based windows; a count-based window never
-        expires documents because of the passage of time alone.
+        expires documents because of the passage of time alone.  The
+        advanced clock *sticks*: a later :meth:`insert` whose arrival time
+        lies before ``now`` is rejected, exactly as if a document had
+        arrived at ``now`` -- an already-expired document must never enter
+        a time-based window.
         """
-        if self._last_arrival_time is not None and now < self._last_arrival_time:
-            raise WindowError("time cannot go backwards")
+        if self._clock is not None and now < self._clock:
+            raise WindowError(f"time cannot go backwards: {now} < {self._clock}")
+        self._clock = now
         return self._expired_by_time(now)
 
     # hooks ------------------------------------------------------------- #
@@ -100,7 +123,13 @@ class SlidingWindow:
     def _pop_oldest(self) -> StreamedDocument:
         if not self._valid:
             raise WindowError("window is empty")
-        return self._valid.popleft()
+        oldest = self._valid.popleft()
+        remaining = self._valid_ids.get(oldest.doc_id, 0) - 1
+        if remaining > 0:
+            self._valid_ids[oldest.doc_id] = remaining
+        else:
+            self._valid_ids.pop(oldest.doc_id, None)
+        return oldest
 
 
 class CountBasedWindow(SlidingWindow):
@@ -259,14 +288,23 @@ class WindowSpec:
         Raises
         ------
         ConfigurationError
-            If the encoded kind is unknown.
-        KeyError
-            If the size/span field of the encoded kind is missing.
+            If the encoded kind is unknown, or the size/span field of the
+            encoded kind is missing.  One exception type for every decode
+            failure is part of the codec's contract: WAL and checkpoint
+            decoding route all malformed input through it.
         """
         kind = data.get("type", data.get("kind"))
         if kind == "count":
+            if "size" not in data:
+                raise ConfigurationError(
+                    "count-based window encoding is missing its 'size' field"
+                )
             return cls.count(int(data["size"]))
         if kind == "time":
+            if "span" not in data:
+                raise ConfigurationError(
+                    "time-based window encoding is missing its 'span' field"
+                )
             return cls.time(float(data["span"]))
         raise ConfigurationError(f"unknown window kind {kind!r}")
 

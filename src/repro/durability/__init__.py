@@ -1,0 +1,39 @@
+"""Durability: write-ahead logging, checkpoints and crash recovery.
+
+The paper's server is main-memory only; this package makes a
+:class:`~repro.service.MonitoringService` survive a process crash without
+replaying the whole stream:
+
+* :class:`~repro.durability.policy.DurabilityPolicy` -- the serialisable
+  knobs (fsync mode, checkpoint interval, segment size); rides on
+  :class:`~repro.service.spec.EngineSpec`.
+* :class:`~repro.durability.wal.WriteAheadLog` -- segmented, CRC-checked
+  JSONL logging with torn-tail tolerance.
+* :class:`~repro.durability.log.DurabilityLog` -- binds a service to a
+  directory: logs every state-changing operation before it is
+  acknowledged, checkpoints periodically, truncates the covered log.
+  Sharded engines get one WAL per shard plus a cluster manifest.
+* :func:`~repro.durability.recovery.recover_service` -- last checkpoint +
+  WAL-tail replay through the normal event path; on tie-free workloads
+  the recovered state is bit-identical to the uninterrupted run.
+
+The front door is :meth:`repro.service.MonitoringService.open`::
+
+    with MonitoringService.open("state/") as service:   # fresh or recovered
+        service.subscribe("market news", k=3)
+        service.ingest(stream)
+"""
+
+from repro.durability.log import DurabilityLog
+from repro.durability.policy import DurabilityPolicy
+from repro.durability.recovery import RecoveryReport, recover_service
+from repro.durability.wal import WriteAheadLog, read_wal_records
+
+__all__ = [
+    "DurabilityPolicy",
+    "DurabilityLog",
+    "WriteAheadLog",
+    "read_wal_records",
+    "RecoveryReport",
+    "recover_service",
+]

@@ -1,0 +1,410 @@
+"""The :class:`DurabilityLog`: a service's write-ahead log plus checkpoints.
+
+The paper's per-query ITA state (the result container ``R``, the local
+thresholds ``theta``, ``tau``) is expensive to build and cheap to maintain
+-- which is exactly what makes losing it to a crash expensive.  A
+:class:`DurabilityLog` binds a :class:`~repro.service.MonitoringService`
+to a directory and makes its state recoverable:
+
+* every state-changing service operation -- ``subscribe`` /
+  ``unsubscribe`` / ``ingest`` / ``advance_time`` -- is appended to a
+  segmented :class:`~repro.durability.wal.WriteAheadLog` *before* it is
+  acknowledged, together with any vocabulary growth it caused;
+* a *checkpoint* (``service.snapshot()`` written atomically, then WAL
+  truncation) bounds recovery cost by the checkpoint interval instead of
+  the stream length;
+* a ``MANIFEST.json`` (written atomically) records the layout, the
+  policy, the engine spec and the live checkpoint, so
+  :func:`~repro.durability.recovery.recover_service` can re-assemble the
+  service without any other input.
+
+For a sharded engine the log keeps **one WAL per shard**
+(``shard-0/``, ``shard-1/``, ...), modelling a deployment where every
+shard node logs locally: the replicated events (ingest, time advancement)
+are appended to every shard's log under one shared ``lsn``, while
+subscribe/unsubscribe records land only in the owning shard's log --
+recovery merges the shard logs by ``lsn`` and re-registers every query on
+exactly the shard that owned it.  The single-engine layout is the same
+thing with one ``wal/`` directory.
+
+Directory layout::
+
+    MANIFEST.json                 # layout, policy, spec, live checkpoint
+    checkpoint-<lsn>.json         # the service snapshot covering lsn
+    wal/wal-<seq>.jsonl           # single-engine layout
+    shard-<k>/wal-<seq>.jsonl     # cluster layout, one directory per shard
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.documents.document import StreamedDocument
+from repro.durability.policy import DurabilityPolicy
+from repro.durability.wal import WriteAheadLog, segment_paths
+from repro.exceptions import DurabilityError
+from repro.persistence import document_record, query_record
+from repro.query.query import ContinuousQuery
+
+__all__ = [
+    "DurabilityLog",
+    "MANIFEST_NAME",
+    "MANIFEST_FORMAT",
+    "read_manifest",
+    "write_json_atomic",
+]
+
+MANIFEST_NAME = "MANIFEST.json"
+MANIFEST_FORMAT = "repro-wal/1"
+_CHECKPOINT_PREFIX = "checkpoint-"
+_LSN_DIGITS = 10
+
+
+def write_json_atomic(path: Union[str, Path], payload: Dict[str, Any]) -> None:
+    """Write ``payload`` as JSON via a temp file + atomic rename.
+
+    A reader (or a recovery after a crash mid-write) sees either the old
+    file or the new one, never a torn half.
+    """
+    path = Path(path)
+    temporary = path.with_name(path.name + ".tmp")
+    with open(temporary, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=False)
+        handle.write("\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(temporary, path)
+
+
+def read_manifest(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load and sanity-check the durability manifest of ``path``.
+
+    Raises
+    ------
+    DurabilityError
+        If the manifest is absent or not one this version understands.
+    """
+    manifest_path = Path(path) / MANIFEST_NAME
+    if not manifest_path.is_file():
+        raise DurabilityError(f"no durability manifest at {manifest_path}")
+    with open(manifest_path, "r", encoding="utf-8") as handle:
+        manifest = json.load(handle)
+    if manifest.get("format") != MANIFEST_FORMAT:
+        raise DurabilityError(
+            f"unsupported durability manifest format {manifest.get('format')!r}"
+        )
+    return manifest
+
+
+def _checkpoint_name(lsn: int) -> str:
+    return f"{_CHECKPOINT_PREFIX}{lsn:0{_LSN_DIGITS}d}.json"
+
+
+def _wal_directories(path: Path, layout: str, num_shards: int) -> List[Path]:
+    if layout == "cluster":
+        return [path / f"shard-{shard}" for shard in range(num_shards)]
+    return [path / "wal"]
+
+
+class DurabilityLog:
+    """The write-ahead log and checkpoint store of one service.
+
+    Construct through :meth:`create` (a fresh durability directory for a
+    running service) or :meth:`resume` (re-attach after
+    :func:`~repro.durability.recovery.recover_service` replayed the tail);
+    services built via :meth:`~repro.service.MonitoringService.open` do
+    both for you.
+    """
+
+    def __init__(
+        self,
+        service: Any,
+        path: Path,
+        policy: DurabilityPolicy,
+        layout: str,
+        num_shards: int,
+        manifest: Dict[str, Any],
+        next_lsn: int,
+        records_since_checkpoint: int = 0,
+    ) -> None:
+        self._service = service
+        self.path = Path(path)
+        self.policy = policy
+        self.layout = layout
+        self.num_shards = num_shards
+        self._manifest = manifest
+        self._next_lsn = next_lsn
+        self._records_since_checkpoint = records_since_checkpoint
+        self._logged_vocab = len(service.vocabulary)
+        #: highest arrival time / clock advance ever logged -- the floor a
+        #: new durable batch must respect.  The engine's window clock is
+        #: not enough on its own: async lanes may hold logged batches the
+        #: engine has not applied yet.
+        self._logged_clock: Optional[float] = service.window.clock
+        self._closed = False
+        self._wals = [
+            WriteAheadLog(
+                directory,
+                fsync=policy.fsync,
+                fsync_interval=policy.fsync_interval,
+                segment_max_records=policy.segment_max_records,
+            )
+            for directory in _wal_directories(self.path, layout, num_shards)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _layout_of(engine: Any) -> Dict[str, Any]:
+        # Imported lazily: the cluster's cost-model placement imports
+        # repro.workloads, whose runner imports repro.service.spec, which
+        # imports this package's policy module.
+        from repro.cluster.engine import ShardedEngine
+
+        if isinstance(engine, ShardedEngine):
+            return {"layout": "cluster", "num_shards": engine.num_shards}
+        return {"layout": "single", "num_shards": 1}
+
+    @classmethod
+    def create(
+        cls, service: Any, path: Union[str, Path], policy: Optional[DurabilityPolicy] = None
+    ) -> "DurabilityLog":
+        """Initialise a fresh durability directory for ``service``.
+
+        Writes the manifest and takes the initial checkpoint (the current
+        service state -- usually empty, but a service wrapped around a
+        pre-filled engine checkpoints that state too, so recovery never
+        depends on how the service was originally constructed).
+        """
+        policy = policy if policy is not None else DurabilityPolicy()
+        policy.validate()
+        path = Path(path)
+        if (path / MANIFEST_NAME).exists():
+            raise DurabilityError(
+                f"{path} already holds a durability manifest; recover it with "
+                "MonitoringService.open() instead of creating over it"
+            )
+        path.mkdir(parents=True, exist_ok=True)
+        shape = cls._layout_of(service.engine)
+        manifest = {
+            "format": MANIFEST_FORMAT,
+            "layout": shape["layout"],
+            "num_shards": shape["num_shards"],
+            "policy": policy.to_dict(),
+            "spec": service.spec.to_dict() if service.spec is not None else None,
+            "checkpoint": None,
+        }
+        write_json_atomic(path / MANIFEST_NAME, manifest)
+        log = cls(
+            service,
+            path,
+            policy,
+            shape["layout"],
+            shape["num_shards"],
+            manifest,
+            next_lsn=1,
+        )
+        log.checkpoint()
+        return log
+
+    @classmethod
+    def resume(
+        cls,
+        service: Any,
+        path: Union[str, Path],
+        manifest: Dict[str, Any],
+        last_lsn: int,
+        policy: Optional[DurabilityPolicy] = None,
+    ) -> "DurabilityLog":
+        """Re-attach a log whose tail was just replayed into ``service``."""
+        resumed_policy = (
+            policy
+            if policy is not None
+            else DurabilityPolicy.from_dict(manifest.get("policy", {}))
+        )
+        resumed_policy.validate()
+        checkpoint = manifest.get("checkpoint") or {"lsn": 0}
+        return cls(
+            service,
+            Path(path),
+            resumed_policy,
+            str(manifest.get("layout", "single")),
+            int(manifest.get("num_shards", 1)),
+            dict(manifest),
+            next_lsn=last_lsn + 1,
+            records_since_checkpoint=max(0, last_lsn - int(checkpoint.get("lsn", 0))),
+        )
+
+    # ------------------------------------------------------------------ #
+    # state
+    # ------------------------------------------------------------------ #
+    @property
+    def last_lsn(self) -> int:
+        """The sequence number of the most recently appended record."""
+        return self._next_lsn - 1
+
+    @property
+    def records_since_checkpoint(self) -> int:
+        return self._records_since_checkpoint
+
+    @property
+    def checkpoint_due(self) -> bool:
+        """Whether the automatic-checkpoint period has elapsed."""
+        return (
+            self.policy.checkpoint_every > 0
+            and self._records_since_checkpoint >= self.policy.checkpoint_every
+        )
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def logged_clock(self) -> Optional[float]:
+        """The highest arrival/advance time appended to the log so far."""
+        return self._logged_clock
+
+    def wal_segments(self) -> List[Path]:
+        """Every live WAL segment across every shard directory."""
+        segments: List[Path] = []
+        for wal in self._wals:
+            segments.extend(wal.segments)
+        return segments
+
+    # ------------------------------------------------------------------ #
+    # logging
+    # ------------------------------------------------------------------ #
+    def _vocab_delta(self) -> List[str]:
+        vocabulary = self._service.vocabulary
+        size = len(vocabulary)
+        if size <= self._logged_vocab:
+            return []
+        delta = list(vocabulary)[self._logged_vocab :]
+        self._logged_vocab = size
+        return delta
+
+    def _append(self, payload: Dict[str, Any], shard: Optional[int] = None) -> int:
+        if self._closed:
+            raise DurabilityError("the durability log is closed")
+        lsn = self._next_lsn
+        record = {"lsn": lsn, **payload}
+        # Vocabulary growth rides on the record that caused it, so a WAL
+        # prefix always pairs documents/queries with the exact term ids
+        # they were analysed under.
+        delta = self._vocab_delta()
+        if delta:
+            record["vocab"] = delta
+        targets = self._wals if shard is None else [self._wals[shard]]
+        for wal in targets:
+            wal.append(record)
+        self._next_lsn = lsn + 1
+        self._records_since_checkpoint += 1
+        return lsn
+
+    def log_ingest(self, batch: Sequence[StreamedDocument]) -> int:
+        """Append one ingest record (replicated to every shard log)."""
+        lsn = self._append(
+            {"op": "ingest", "docs": [document_record(streamed) for streamed in batch]}
+        )
+        if batch:
+            # The caller validated the batch ascending, so the last
+            # arrival is the batch's maximum.
+            arrival = batch[-1].arrival_time
+            if self._logged_clock is None or arrival > self._logged_clock:
+                self._logged_clock = arrival
+        return lsn
+
+    def log_subscribe(self, query: ContinuousQuery, shard: Optional[int] = None) -> int:
+        """Append a subscribe record to the owning shard's log."""
+        payload: Dict[str, Any] = {"op": "subscribe", "query": query_record(query)}
+        if shard is not None:
+            payload["shard"] = shard
+        return self._append(payload, shard=shard)
+
+    def log_unsubscribe(self, query_id: int, shard: Optional[int] = None) -> int:
+        """Append an unsubscribe record to the owning shard's log."""
+        return self._append({"op": "unsubscribe", "query_id": query_id}, shard=shard)
+
+    def log_advance_time(self, now: float) -> int:
+        """Append a clock-advance record (replicated to every shard log)."""
+        lsn = self._append({"op": "advance_time", "now": now})
+        if self._logged_clock is None or now > self._logged_clock:
+            self._logged_clock = now
+        return lsn
+
+    # ------------------------------------------------------------------ #
+    # checkpoints
+    # ------------------------------------------------------------------ #
+    def checkpoint(self) -> Path:
+        """Snapshot the service, then truncate the log it covers.
+
+        The crash-safe order is: write the checkpoint file (atomically),
+        point the manifest at it (atomically), and only then delete the
+        covered segments and the previous checkpoint -- a crash between
+        any two steps recovers from a consistent (checkpoint, WAL-tail)
+        pair, merely replaying more than strictly necessary.
+        """
+        if self._closed:
+            raise DurabilityError("the durability log is closed")
+        snapshot = self._service.snapshot()
+        lsn = self.last_lsn
+        checkpoint_path = self.path / _checkpoint_name(lsn)
+        write_json_atomic(checkpoint_path, snapshot)
+
+        previous = self._manifest.get("checkpoint")
+        self._manifest["checkpoint"] = {"file": checkpoint_path.name, "lsn": lsn}
+        write_json_atomic(self.path / MANIFEST_NAME, self._manifest)
+
+        # Everything appended so far has lsn <= the checkpoint's; rotating
+        # makes those segments immutable and deletable as whole files.
+        for wal in self._wals:
+            for segment in wal.rotate():
+                segment.unlink(missing_ok=True)
+        if previous and previous.get("file") and previous["file"] != checkpoint_path.name:
+            (self.path / previous["file"]).unlink(missing_ok=True)
+
+        self._records_since_checkpoint = 0
+        self._logged_vocab = len(self._service.vocabulary)
+        return checkpoint_path
+
+    def maybe_checkpoint(self) -> Optional[Path]:
+        """Take a checkpoint iff the automatic period has elapsed."""
+        if self.checkpoint_due:
+            return self.checkpoint()
+        return None
+
+    # ------------------------------------------------------------------ #
+    def sync(self) -> None:
+        """Force every shard log to stable storage."""
+        for wal in self._wals:
+            wal.sync()
+
+    def close(self) -> None:
+        """Sync and close every shard log (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for wal in self._wals:
+            wal.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"{type(self).__name__}({str(self.path)!r}, layout={self.layout!r}, "
+            f"last_lsn={self.last_lsn})"
+        )
+
+
+def wal_record_count(path: Union[str, Path]) -> int:
+    """Total records on disk across every WAL directory under ``path``
+    (replicated cluster records counted once per shard file)."""
+    total = 0
+    root = Path(path)
+    for directory in [root / "wal", *sorted(root.glob("shard-*"))]:
+        for segment in segment_paths(directory):
+            with open(segment, "r", encoding="utf-8") as handle:
+                total += sum(1 for line in handle if line.strip())
+    return total

@@ -1,0 +1,101 @@
+"""The :class:`DurabilityPolicy` knobs of the write-ahead log.
+
+One small, serialisable dataclass describes every trade-off of the
+durability subsystem: how eagerly the log reaches stable storage
+(``fsync``), how often the service checkpoints and truncates the log
+(``checkpoint_every`` -- the recovery-cost bound), and how large a single
+log segment may grow (``segment_max_records``).  It rides on
+:class:`~repro.service.spec.EngineSpec` so one spec describes a durable
+deployment end to end, and it is recorded in the durability manifest so a
+recovered service resumes under the policy it crashed with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["DurabilityPolicy", "FSYNC_MODES"]
+
+#: the accepted ``fsync`` modes, strictest first
+FSYNC_MODES = ("always", "interval", "never")
+
+
+@dataclass(frozen=True)
+class DurabilityPolicy:
+    """How a durable service trades write latency against recovery cost.
+
+    Parameters
+    ----------
+    fsync:
+        When appended records reach stable storage.  ``"always"`` fsyncs
+        after every record (no acknowledged event is ever lost, slowest);
+        ``"interval"`` fsyncs every ``fsync_interval`` records and at every
+        rotation/checkpoint/close (bounded loss window, the default);
+        ``"never"`` flushes to the OS but leaves syncing to the kernel
+        (fastest; a *process* crash loses nothing, a power failure may
+        lose the kernel's write-back window).
+    fsync_interval:
+        Record count between fsyncs in ``"interval"`` mode.
+    checkpoint_every:
+        Automatic-checkpoint period in WAL records; recovery replays at
+        most this many records past the last checkpoint.  ``0`` disables
+        automatic checkpoints (explicit ``service.checkpoint()`` only).
+    segment_max_records:
+        Records per log segment before the writer rotates to a fresh file;
+        checkpoint truncation deletes whole segments.
+    """
+
+    fsync: str = "interval"
+    fsync_interval: int = 16
+    checkpoint_every: int = 1024
+    segment_max_records: int = 4096
+
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Check the policy's fields.
+
+        Raises
+        ------
+        ConfigurationError
+            If ``fsync`` is unknown or a count field is out of range.
+        """
+        if self.fsync not in FSYNC_MODES:
+            raise ConfigurationError(
+                f"unknown fsync mode {self.fsync!r}; expected one of {list(FSYNC_MODES)}"
+            )
+        if self.fsync_interval <= 0:
+            raise ConfigurationError("fsync_interval must be positive")
+        if self.checkpoint_every < 0:
+            raise ConfigurationError("checkpoint_every must be >= 0 (0 disables)")
+        if self.segment_max_records <= 0:
+            raise ConfigurationError("segment_max_records must be positive")
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """A plain JSON-compatible encoding; :meth:`from_dict` inverts it."""
+        return {
+            "fsync": self.fsync,
+            "fsync_interval": self.fsync_interval,
+            "checkpoint_every": self.checkpoint_every,
+            "segment_max_records": self.segment_max_records,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "DurabilityPolicy":
+        """Rebuild a policy from :meth:`to_dict` output.
+
+        Missing keys fall back to the defaults, so manifests written by
+        older versions stay loadable.
+        """
+        defaults = cls()
+        return cls(
+            fsync=str(data.get("fsync", defaults.fsync)),
+            fsync_interval=int(data.get("fsync_interval", defaults.fsync_interval)),
+            checkpoint_every=int(data.get("checkpoint_every", defaults.checkpoint_every)),
+            segment_max_records=int(
+                data.get("segment_max_records", defaults.segment_max_records)
+            ),
+        )

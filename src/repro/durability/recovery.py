@@ -1,0 +1,190 @@
+"""Crash recovery: checkpoint + WAL tail -> a running service.
+
+Recovery is deliberately boring: load the last checkpoint with the normal
+:meth:`~repro.service.MonitoringService.restore` path, then replay the WAL
+tail **through the normal event path** -- ``ingest`` for documents,
+engine-level query registration pinned to the recorded shard, the
+service's ``advance_time`` for clock advances.  Because replay reuses the
+exact code the uninterrupted run executed, the recovered state is
+bit-identical to the uninterrupted run at the same record boundary on
+tie-free workloads (the kill-point tests in ``tests/durability/`` pin this
+down against the conformance-fuzz tapes).
+
+For the cluster layout the per-shard logs are merged by ``lsn`` before
+replay: replicated records (ingest, advance_time) appear in every shard's
+log under the same ``lsn`` and are applied once through the cluster
+fan-out; subscribe/unsubscribe records exist only in the owning shard's
+log and carry the shard index, so every query returns to exactly the
+shard that hosted it.  A record torn out of one shard's tail but intact
+in another's is still recovered -- the merge takes the union.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.durability.log import (
+    MANIFEST_NAME,
+    DurabilityLog,
+    _wal_directories,
+    read_manifest,
+)
+from repro.durability.policy import DurabilityPolicy
+from repro.durability.wal import read_wal_records
+from repro.exceptions import DurabilityError, WalCorruptionError
+from repro.persistence import _document_from_record, _query_from_record
+
+__all__ = ["RecoveryReport", "recover_service", "read_tail"]
+
+
+@dataclass(frozen=True)
+class RecoveryReport:
+    """What one recovery did, for logging and for the recovery benchmark."""
+
+    path: str
+    #: the lsn covered by the checkpoint recovery started from
+    checkpoint_lsn: int
+    #: the last lsn found in the WAL tail (== checkpoint_lsn when empty)
+    last_lsn: int
+    #: WAL records replayed past the checkpoint
+    replayed_records: int
+    #: documents contained in the replayed ingest records
+    replayed_documents: int
+    #: wall-clock recovery time (checkpoint load + replay), milliseconds
+    duration_ms: float
+
+
+def read_tail(
+    path: Union[str, Path],
+    manifest: Dict[str, Any],
+    after_lsn: int,
+    repair: bool = False,
+) -> List[Dict[str, Any]]:
+    """The merged, lsn-ordered WAL records of ``path`` past ``after_lsn``.
+
+    ``repair=True`` (what :func:`recover_service` passes) truncates any
+    torn tail from disk while reading, so the next recovery -- which will
+    find the resumed writer's records in *later* segments -- does not
+    mistake the old crash residue for corruption.
+    """
+    layout = str(manifest.get("layout", "single"))
+    num_shards = int(manifest.get("num_shards", 1))
+    merged: Dict[int, Dict[str, Any]] = {}
+    for directory in _wal_directories(Path(path), layout, num_shards):
+        for record in read_wal_records(directory, after_lsn=after_lsn, repair=repair):
+            lsn = int(record["lsn"])
+            existing = merged.get(lsn)
+            if existing is None:
+                merged[lsn] = record
+            elif existing != record:
+                raise WalCorruptionError(
+                    f"shard logs disagree on WAL record lsn={lsn}"
+                )
+    return [merged[lsn] for lsn in sorted(merged)]
+
+
+def _replay_record(service: Any, record: Dict[str, Any]) -> int:
+    """Apply one WAL record through the normal event path.
+
+    Returns the number of documents the record carried (for the report).
+    """
+    for term in record.get("vocab", ()):
+        service.vocabulary.add(term)
+    op = record.get("op")
+    if op == "ingest":
+        documents = [_document_from_record(entry) for entry in record["docs"]]
+        service.ingest(documents)
+        return len(documents)
+    if op == "subscribe":
+        query = _query_from_record(record["query"])
+        shard = record.get("shard")
+        if shard is not None:
+            service.engine.register_query(query, shard=int(shard))
+        else:
+            service.engine.register_query(query)
+        return 0
+    if op == "unsubscribe":
+        service.engine.unregister_query(int(record["query_id"]))
+        return 0
+    if op == "advance_time":
+        service.advance_time(float(record["now"]))
+        return 0
+    raise DurabilityError(f"unknown WAL op {op!r} at lsn {record.get('lsn')}")
+
+
+def recover_service(
+    path: Union[str, Path],
+    analyzer: Any = None,
+    weighting: Any = None,
+    interarrival: float = 1.0,
+    policy: Optional[DurabilityPolicy] = None,
+) -> Tuple[Any, "RecoveryReport"]:
+    """Rebuild the durable service persisted at ``path``.
+
+    Returns
+    -------
+    (MonitoringService, RecoveryReport)
+        The recovered service -- with its :class:`DurabilityLog`
+        re-attached, so it keeps logging where the crashed process
+        stopped -- and a report of what recovery replayed.  Subscription
+        callbacks are not persisted; re-attach them with
+        :meth:`~repro.service.MonitoringService.handle`.
+
+    Raises
+    ------
+    DurabilityError
+        If ``path`` holds no recoverable state (missing/unreadable
+        manifest or checkpoint).
+    WalCorruptionError
+        If a WAL record fails its integrity check anywhere but the torn
+        tail, or shard logs disagree on a shared record.
+    """
+    # Imported lazily: repro.service.service imports repro.service.spec,
+    # which imports this package's policy module.
+    from repro.service.service import MonitoringService
+
+    started = time.perf_counter()
+    path = Path(path)
+    manifest = read_manifest(path)
+
+    checkpoint_info = manifest.get("checkpoint")
+    if not checkpoint_info or not checkpoint_info.get("file"):
+        raise DurabilityError(
+            f"durability manifest at {path / MANIFEST_NAME} records no checkpoint"
+        )
+    checkpoint_path = path / str(checkpoint_info["file"])
+    if not checkpoint_path.is_file():
+        raise DurabilityError(f"checkpoint file {checkpoint_path} is missing")
+    with open(checkpoint_path, "r", encoding="utf-8") as handle:
+        snapshot = json.load(handle)
+    checkpoint_lsn = int(checkpoint_info.get("lsn", 0))
+
+    service = MonitoringService.restore(
+        snapshot,
+        analyzer=analyzer,
+        weighting=weighting,
+        interarrival=interarrival,
+    )
+
+    tail = read_tail(path, manifest, after_lsn=checkpoint_lsn, repair=True)
+    replayed_documents = 0
+    last_lsn = checkpoint_lsn
+    for record in tail:
+        replayed_documents += _replay_record(service, record)
+        last_lsn = int(record["lsn"])
+
+    service._durability = DurabilityLog.resume(
+        service, path, manifest, last_lsn, policy=policy
+    )
+    return service, RecoveryReport(
+        path=str(path),
+        checkpoint_lsn=checkpoint_lsn,
+        last_lsn=last_lsn,
+        replayed_records=len(tail),
+        replayed_documents=replayed_documents,
+        duration_ms=(time.perf_counter() - started) * 1000.0,
+    )

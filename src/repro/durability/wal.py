@@ -1,0 +1,264 @@
+"""The segmented write-ahead log: append-only JSONL with integrity checks.
+
+One :class:`WriteAheadLog` owns one directory of numbered segment files
+(``wal-0000000001.jsonl``, ...).  Every record is a single JSON object on
+its own line carrying a monotonically increasing log sequence number
+(``lsn``) and a CRC-32 of its canonical encoding, so the reader can tell a
+*torn tail* (the final record of the final segment truncated by a crash
+mid-write -- expected, silently dropped) from corruption anywhere else
+(an error).  Segment rotation keeps individual files bounded and lets the
+checkpointing layer truncate the log by deleting whole segments.
+
+The record *payloads* are owned by :mod:`repro.durability.log`; this module
+only knows about the envelope (``lsn`` + ``crc``), durability (the fsync
+policy) and the file layout.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+from repro.exceptions import DurabilityError, WalCorruptionError
+
+__all__ = [
+    "WriteAheadLog",
+    "encode_record",
+    "decode_record",
+    "read_wal_records",
+    "segment_paths",
+]
+
+SEGMENT_PREFIX = "wal-"
+SEGMENT_SUFFIX = ".jsonl"
+_SEQ_DIGITS = 10
+
+
+def _segment_name(sequence: int) -> str:
+    return f"{SEGMENT_PREFIX}{sequence:0{_SEQ_DIGITS}d}{SEGMENT_SUFFIX}"
+
+
+def _segment_sequence(path: Path) -> Optional[int]:
+    name = path.name
+    if not (name.startswith(SEGMENT_PREFIX) and name.endswith(SEGMENT_SUFFIX)):
+        return None
+    digits = name[len(SEGMENT_PREFIX) : -len(SEGMENT_SUFFIX)]
+    return int(digits) if digits.isdigit() else None
+
+
+def segment_paths(directory: Union[str, Path]) -> List[Path]:
+    """The log segments of ``directory``, oldest first."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    segments = [
+        (sequence, path)
+        for path in directory.iterdir()
+        for sequence in [_segment_sequence(path)]
+        if sequence is not None
+    ]
+    return [path for _, path in sorted(segments)]
+
+
+# --------------------------------------------------------------------------- #
+# the record envelope
+# --------------------------------------------------------------------------- #
+def _canonical(record: Dict[str, Any]) -> bytes:
+    return json.dumps(record, sort_keys=True, separators=(",", ":")).encode("utf-8")
+
+
+def encode_record(record: Dict[str, Any]) -> str:
+    """Serialise ``record`` (which must carry ``lsn``) to one log line.
+
+    A CRC-32 of the canonical record encoding is appended under ``crc``;
+    :func:`decode_record` verifies it.  The checksum is spliced into the
+    one canonical encoding rather than re-serialising the whole record --
+    the append is on the ingest hot path, and verification re-canonises
+    the crc-less record anyway, so the field's position is irrelevant.
+    """
+    if "lsn" not in record:
+        raise DurabilityError("WAL records must carry an 'lsn'")
+    canonical = json.dumps(record, sort_keys=True, separators=(",", ":"))
+    crc = zlib.crc32(canonical.encode("utf-8"))
+    return f'{canonical[:-1]},"crc":{crc}}}'
+
+
+def decode_record(line: str) -> Dict[str, Any]:
+    """Parse and verify one log line.
+
+    Raises
+    ------
+    WalCorruptionError
+        If the line is not valid JSON, lacks the envelope fields, or its
+        CRC does not match (the caller decides whether the position makes
+        that a tolerable torn tail or hard corruption).
+    """
+    try:
+        record = json.loads(line)
+    except ValueError as error:
+        raise WalCorruptionError(f"undecodable WAL record: {error}") from error
+    if not isinstance(record, dict) or "lsn" not in record or "crc" not in record:
+        raise WalCorruptionError("WAL record lacks its lsn/crc envelope")
+    expected = record.pop("crc")
+    actual = zlib.crc32(_canonical(record))
+    if expected != actual:
+        raise WalCorruptionError(
+            f"WAL record lsn={record.get('lsn')} failed its CRC check"
+        )
+    return record
+
+
+# --------------------------------------------------------------------------- #
+# the writer
+# --------------------------------------------------------------------------- #
+class WriteAheadLog:
+    """Appender over one directory of numbered JSONL segments.
+
+    Opening always starts a *fresh* segment (numbered after any existing
+    ones) rather than appending to the previous tail: the old tail may end
+    in a torn record from a crash, and a fresh file means the writer never
+    has to repair or re-read it.
+    """
+
+    def __init__(
+        self,
+        directory: Union[str, Path],
+        fsync: str = "interval",
+        fsync_interval: int = 16,
+        segment_max_records: int = 4096,
+    ) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self._fsync = fsync
+        self._fsync_interval = max(1, int(fsync_interval))
+        self._segment_max_records = max(1, int(segment_max_records))
+        existing = segment_paths(self.directory)
+        last = _segment_sequence(existing[-1]) if existing else 0
+        self._sequence = last if last is not None else 0
+        self._handle = None
+        self._records_in_segment = 0
+        self._appends_since_fsync = 0
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def segments(self) -> List[Path]:
+        """Every segment currently on disk, oldest first."""
+        return segment_paths(self.directory)
+
+    def _open_next_segment(self) -> None:
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+        self._sequence += 1
+        path = self.directory / _segment_name(self._sequence)
+        self._handle = open(path, "a", encoding="utf-8")
+        self._records_in_segment = 0
+
+    # ------------------------------------------------------------------ #
+    def append(self, record: Dict[str, Any]) -> None:
+        """Append one record and apply the fsync policy."""
+        if self._closed:
+            raise DurabilityError("the write-ahead log is closed")
+        if self._handle is None or self._records_in_segment >= self._segment_max_records:
+            self._open_next_segment()
+        self._handle.write(encode_record(record) + "\n")
+        self._handle.flush()
+        self._records_in_segment += 1
+        self._appends_since_fsync += 1
+        if self._fsync == "always" or (
+            self._fsync == "interval"
+            and self._appends_since_fsync >= self._fsync_interval
+        ):
+            self.sync()
+
+    def sync(self) -> None:
+        """Force the current segment to stable storage."""
+        if self._handle is not None:
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+        self._appends_since_fsync = 0
+
+    def rotate(self) -> List[Path]:
+        """Close the current segment and start a fresh one.
+
+        Returns
+        -------
+        list of Path
+            The now-immutable *previous* segments (everything except the
+            freshly opened one) -- what checkpoint truncation may delete.
+        """
+        if self._closed:
+            raise DurabilityError("the write-ahead log is closed")
+        self._open_next_segment()
+        current = self.directory / _segment_name(self._sequence)
+        return [path for path in self.segments if path != current]
+
+    def close(self) -> None:
+        """Sync and close the current segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._handle is not None:
+            if self._fsync != "never":
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._handle = None
+
+
+# --------------------------------------------------------------------------- #
+# the reader
+# --------------------------------------------------------------------------- #
+def read_wal_records(
+    directory: Union[str, Path], after_lsn: int = -1, repair: bool = False
+) -> Iterator[Dict[str, Any]]:
+    """Yield the decoded records of every segment in ``directory``, in order.
+
+    Records with ``lsn <= after_lsn`` are skipped (they are covered by a
+    checkpoint).  A torn *final* record of the *final* segment -- the
+    expected residue of a crash mid-append -- is silently dropped; a
+    malformed record anywhere else raises
+    :class:`~repro.exceptions.WalCorruptionError`.  Empty trailing
+    segments (opened by a writer that crashed before its first append)
+    are fine.
+
+    With ``repair=True`` a dropped torn tail is also *truncated from the
+    segment on disk*.  Recovery must repair: the resumed writer appends
+    to a fresh segment, so an un-repaired torn line would sit in a
+    non-final segment at the *next* recovery and read as hard corruption.
+    """
+    segments = segment_paths(directory)
+    for segment_index, path in enumerate(segments):
+        final_segment = segment_index == len(segments) - 1
+        with open(path, "r", encoding="utf-8") as handle:
+            lines = handle.read().split("\n")
+        # A well-formed file ends with a newline, leaving one trailing
+        # empty string; anything after the last newline is a torn tail.
+        for line_index, line in enumerate(lines):
+            if line == "":
+                continue
+            try:
+                record = decode_record(line)
+            except WalCorruptionError:
+                if final_segment and line_index == len(lines) - 1:
+                    # Torn tail: crash mid-append, drop it.
+                    if repair:
+                        intact = lines[:line_index]
+                        with open(path, "w", encoding="utf-8") as handle:
+                            if any(intact):
+                                handle.write("\n".join(intact) + "\n")
+                            handle.flush()
+                            os.fsync(handle.fileno())
+                    return
+                raise
+            if int(record["lsn"]) > after_lsn:
+                yield record

@@ -89,3 +89,14 @@ class UnknownEngineError(ConfigurationError, ExperimentError):
 class ServiceError(ReproError):
     """The :class:`~repro.service.MonitoringService` façade was misused
     (e.g. ingesting after the service was closed)."""
+
+
+class DurabilityError(ReproError):
+    """A write-ahead-log or checkpoint operation failed (bad directory,
+    malformed manifest, recovery impossible)."""
+
+
+class WalCorruptionError(DurabilityError):
+    """A write-ahead-log record failed its integrity check somewhere other
+    than the torn tail (a truncated final record is expected after a crash
+    and silently dropped; corruption *before* the tail is not)."""

@@ -30,7 +30,13 @@ from repro.documents.window import SlidingWindow, WindowSpec
 from repro.exceptions import ConfigurationError, ReproError
 from repro.query.query import ContinuousQuery
 
-__all__ = ["snapshot_engine", "restore_engine", "EngineSnapshot"]
+__all__ = [
+    "snapshot_engine",
+    "restore_engine",
+    "EngineSnapshot",
+    "document_record",
+    "query_record",
+]
 
 SNAPSHOT_VERSION = 1
 
@@ -75,6 +81,36 @@ def _default_engine(window: SlidingWindow, config: Dict[str, Any]) -> ITAEngine:
     if "track_changes" in config:
         kwargs["track_changes"] = bool(config["track_changes"])
     return ITAEngine(window, **kwargs)
+
+
+def document_record(streamed: StreamedDocument) -> Dict[str, Any]:
+    """Encode one streamed document as a JSON-compatible record.
+
+    The inverse of :func:`_document_from_record`; snapshots and the
+    write-ahead log of :mod:`repro.durability` share this one codec.
+    """
+    document = streamed.document
+    return {
+        "doc_id": document.doc_id,
+        "arrival_time": streamed.arrival_time,
+        "weights": {str(t): w for t, w in document.composition.items()},
+        "text": document.text,
+        "metadata": dict(document.metadata),
+    }
+
+
+def query_record(query: ContinuousQuery) -> Dict[str, Any]:
+    """Encode one continuous query as a JSON-compatible record.
+
+    The inverse of :func:`_query_from_record`; shared with the
+    write-ahead log exactly like :func:`document_record`.
+    """
+    return {
+        "query_id": query.query_id,
+        "k": query.k,
+        "weights": {str(t): w for t, w in query.weights.items()},
+        "text": query.text,
+    }
 
 
 def _document_from_record(record: Dict[str, Any]) -> StreamedDocument:
@@ -124,34 +160,17 @@ def snapshot_engine(engine: MonitoringEngine) -> Dict[str, Any]:
     if registry is None:
         raise ReproError("engine does not expose a query registry to snapshot")
 
-    documents = []
-    for streamed in _valid_documents(engine):
-        document = streamed.document
-        documents.append(
-            {
-                "doc_id": document.doc_id,
-                "arrival_time": streamed.arrival_time,
-                "weights": {str(t): w for t, w in document.composition.items()},
-                "text": document.text,
-                "metadata": dict(document.metadata),
-            }
-        )
-
-    queries = []
-    for query in registry:
-        queries.append(
-            {
-                "query_id": query.query_id,
-                "k": query.k,
-                "weights": {str(t): w for t, w in query.weights.items()},
-                "text": query.text,
-            }
-        )
+    documents = [document_record(streamed) for streamed in _valid_documents(engine)]
+    queries = [query_record(query) for query in registry]
 
     return {
         "version": SNAPSHOT_VERSION,
         "engine": engine.name,
         "window": _window_to_dict(engine.window),
+        # The window's observed clock (latest arrival or advance_time).
+        # Without it a restored time-based window would accept an arrival
+        # older than a clock advance the original had already seen.
+        "clock": engine.window.clock,
         "config": _engine_config(engine),
         "documents": documents,
         "queries": queries,
@@ -199,6 +218,14 @@ def restore_engine(
 
     for record in sorted(snapshot["documents"], key=lambda r: r["arrival_time"]):
         engine.process(_document_from_record(record))
+
+    # Re-advance the snapshotted clock (a no-op for expirations: every
+    # snapshotted document was valid at that clock) so replayed streams
+    # cannot regress behind a time advance the original had observed.
+    # Older snapshots carry no clock; replay then only guards arrivals.
+    clock = snapshot.get("clock")
+    if clock is not None:
+        engine.advance_time(float(clock))
 
     for record in snapshot["queries"]:
         engine.register_query(_query_from_record(record))

@@ -25,6 +25,7 @@ themselves.
 """
 
 from repro.service.spec import (
+    DurabilityPolicy,
     EngineKind,
     EngineSpec,
     PlacementCalibration,
@@ -41,6 +42,7 @@ __all__ = [
     "EngineSpec",
     "WindowSpec",
     "PlacementCalibration",
+    "DurabilityPolicy",
     "EngineKind",
     "register_engine_kind",
     "engine_kinds",

@@ -183,6 +183,11 @@ class AsyncMonitoringService:
         size = batch_size if batch_size is not None else self.batch_size
         if size <= 0:
             raise ServiceError("batch_size must be positive")
+        #: log-before-ack: every batch is appended to the WAL *before* it
+        #: enters a shard lane, so no change ever delivered (acked) to a
+        #: subscriber can be lost to a crash -- the WAL order equals the
+        #: submission order, which the merge barrier preserves
+        durability = self.service._durability
         changes: List[ResultChange] = []
         #: batches submitted but not yet merged, oldest first
         inflight: Deque[Tuple[List[StreamedDocument], "asyncio.Future[BatchChanges]"]] = deque()
@@ -198,6 +203,9 @@ class AsyncMonitoringService:
         for streamed in self.service._as_stream(source, at):
             batch.append(streamed)
             if len(batch) >= size:
+                if durability is not None:
+                    self.service._check_durable_batch(batch)
+                    durability.log_ingest(batch)
                 inflight.append((batch, await pipeline.submit(batch)))
                 batch = []
                 # Deliver completed batches opportunistically so alert
@@ -205,9 +213,17 @@ class AsyncMonitoringService:
                 while inflight and inflight[0][1].done():
                     await flush(*inflight.popleft())
         if batch:
+            if durability is not None:
+                self.service._check_durable_batch(batch)
+                durability.log_ingest(batch)
             inflight.append((batch, await pipeline.submit(batch)))
         while inflight:
             await flush(*inflight.popleft())
+        if durability is not None and durability.checkpoint_due:
+            # Deferred past the merge barrier: a checkpoint snapshots the
+            # engine, which must not run while lanes still hold batches.
+            await self.drain()
+            durability.checkpoint()
         return changes
 
     async def advance_time(self, now: float) -> List[ResultChange]:
@@ -221,6 +237,12 @@ class AsyncMonitoringService:
         self.service._check_open()
         self.service._clock = max(self.service._clock, float(now))
         expiry_changes = await pipeline.advance_time(now)
+        durability = self.service._durability
+        if durability is not None:
+            # Logged once the engine accepted it; the pipeline has just
+            # drained, so a due checkpoint may run immediately.
+            durability.log_advance_time(float(now))
+            durability.maybe_checkpoint()
         if expiry_changes:
             self.service.dispatcher.dispatch_changes(expiry_changes, None)
         return expiry_changes
@@ -297,6 +319,21 @@ class AsyncMonitoringService:
         """
         await self.drain()
         return self.service.snapshot()
+
+    async def checkpoint(self) -> Any:
+        """Checkpoint the durable service after draining the pipeline.
+
+        Requires a service built with
+        :meth:`~repro.service.MonitoringService.open`; see its
+        ``checkpoint()`` for the synchronous semantics.
+        """
+        await self.drain()
+        return self.service.checkpoint()
+
+    @property
+    def durability(self):
+        """The wrapped service's :class:`~repro.durability.DurabilityLog`."""
+        return self.service.durability
 
     @classmethod
     async def restore(

@@ -51,7 +51,12 @@ from typing import (
 from repro.alerting import Alert, AlertDispatcher, AlertSubscriber
 from repro.core.base import MonitoringEngine, ResultChange, TopKResult
 from repro.documents.document import CompositionList, Document, StreamedDocument
-from repro.exceptions import ConfigurationError, ServiceError, UnknownQueryError
+from repro.exceptions import (
+    ConfigurationError,
+    ServiceError,
+    UnknownQueryError,
+    WindowError,
+)
 from repro.persistence import restore_engine, snapshot_engine
 from repro.query.query import ContinuousQuery
 from repro.service.spec import EngineSpec, spec_from_name
@@ -248,11 +253,130 @@ class MonitoringService:
             self._next_doc_id = max(self._next_doc_id, streamed.doc_id + 1)
         self._handles: Dict[int, QueryHandle] = {}
         self._handle_unsubscribers: Dict[int, Callable[[], None]] = {}
+        #: attached by MonitoringService.open() / crash recovery; when set,
+        #: every state-changing operation is written to the WAL first
+        self._durability: Optional["Any"] = None
         self._closed = False
 
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
+    @classmethod
+    def open(
+        cls,
+        path: Union[str, "Any"],
+        engine: Union[EngineSpec, MonitoringEngine, str, None] = None,
+        durability: Optional["Any"] = None,
+        analyzer: Optional[Analyzer] = None,
+        weighting: Optional[WeightingScheme] = None,
+        start_time: float = 0.0,
+        interarrival: float = 1.0,
+    ) -> "MonitoringService":
+        """A *durable* service persisted under the directory ``path``.
+
+        If ``path`` holds durable state (a manifest written by a previous
+        ``open``), the service is **recovered**: the last checkpoint is
+        restored and the write-ahead-log tail is replayed through the
+        normal event path, so on tie-free workloads the recovered state is
+        bit-identical to the uninterrupted run (``engine`` is then ignored
+        -- the persisted spec wins -- and the replay statistics are
+        available as ``service.last_recovery``).  Otherwise a fresh
+        service is built exactly like the constructor would, the
+        durability directory is initialised, and an initial checkpoint is
+        taken.
+
+        Either way the returned service logs every state-changing call
+        (``subscribe`` / ``unsubscribe`` / ``ingest`` / ``advance_time``)
+        to the WAL before acknowledging it, and checkpoints automatically
+        every ``durability.checkpoint_every`` records.
+
+        Parameters
+        ----------
+        path:
+            The durability directory (created if missing).
+        engine:
+            As for the constructor; only consulted when creating fresh.
+            An :class:`~repro.service.spec.EngineSpec` carrying a
+            ``durability`` policy supplies the policy implicitly.
+        durability:
+            A :class:`~repro.durability.DurabilityPolicy` overriding the
+            spec's (fresh) or the manifest's (recovery) policy.
+
+        Returns
+        -------
+        MonitoringService
+            The durable (fresh or recovered) service.
+
+        Raises
+        ------
+        DurabilityError
+            If ``path`` holds unrecoverable or malformed durable state.
+        """
+        # Imported lazily: repro.durability.log imports the cluster, whose
+        # cost-model placement imports repro.workloads (circular with the
+        # spec module this module imports).
+        from repro.durability.log import MANIFEST_NAME, DurabilityLog
+        from repro.durability.recovery import recover_service
+        from pathlib import Path
+
+        path = Path(path)
+        if (path / MANIFEST_NAME).is_file():
+            service, report = recover_service(
+                path,
+                analyzer=analyzer,
+                weighting=weighting,
+                interarrival=interarrival,
+                policy=durability,
+            )
+            service.last_recovery = report
+            return service
+
+        if engine is None:
+            engine = EngineSpec()
+        if isinstance(engine, str):
+            engine = spec_from_name(engine)
+        if durability is None and isinstance(engine, EngineSpec):
+            durability = engine.durability
+        service = cls(
+            engine,
+            analyzer=analyzer,
+            weighting=weighting,
+            start_time=start_time,
+            interarrival=interarrival,
+        )
+        service._durability = DurabilityLog.create(service, path, durability)
+        return service
+
+    #: the :class:`~repro.durability.RecoveryReport` of the recovery that
+    #: produced this service, when it was opened over existing state
+    last_recovery: Optional["Any"] = None
+
+    @property
+    def durability(self) -> Optional["Any"]:
+        """The attached :class:`~repro.durability.DurabilityLog` (or None)."""
+        return self._durability
+
+    def checkpoint(self) -> "Any":
+        """Checkpoint the durable service and truncate its WAL.
+
+        Returns
+        -------
+        pathlib.Path
+            The written checkpoint file.
+
+        Raises
+        ------
+        ServiceError
+            If the service is closed or has no durability attached.
+        """
+        self._check_open()
+        if self._durability is None:
+            raise ServiceError(
+                "this service has no durability log; build it with "
+                "MonitoringService.open(path) to enable checkpoints"
+            )
+        return self._durability.checkpoint()
+
     def __enter__(self) -> "MonitoringService":
         self._check_open()
         return self
@@ -275,6 +399,8 @@ class MonitoringService:
         for unsubscribe in self._handle_unsubscribers.values():
             unsubscribe()
         self._handle_unsubscribers.clear()
+        if self._durability is not None:
+            self._durability.close()
 
     @property
     def closed(self) -> bool:
@@ -341,7 +467,13 @@ class MonitoringService:
                 weighting=self.weighting,
             )
         self.engine.register_query(continuous)
-        return self._attach(continuous, on_change, max_pending)
+        handle = self._attach(continuous, on_change, max_pending)
+        if self._durability is not None:
+            self._durability.log_subscribe(
+                continuous, self._shard_of(continuous.query_id)
+            )
+            self._durability.maybe_checkpoint()
+        return handle
 
     def handle(
         self,
@@ -400,6 +532,18 @@ class MonitoringService:
         )
         return handle
 
+    def _shard_of(self, query_id: int) -> Optional[int]:
+        """The shard hosting ``query_id`` (None for single engines)."""
+        assignment = getattr(self.engine, "assignment", None)
+        if assignment is None:
+            return None
+        return assignment().get(query_id)
+
+    def _log_unsubscribe(self, query_id: int, shard: Optional[int]) -> None:
+        if self._durability is not None:
+            self._durability.log_unsubscribe(query_id, shard)
+            self._durability.maybe_checkpoint()
+
     def _unsubscribe(self, handle: QueryHandle) -> None:
         handle._active = False
         unsubscribe = self._handle_unsubscribers.pop(handle.query_id, None)
@@ -407,7 +551,9 @@ class MonitoringService:
             unsubscribe()
         self._handles.pop(handle.query_id, None)
         if handle.query_id in self.engine.registry:
+            shard = self._shard_of(handle.query_id)
             self.engine.unregister_query(handle.query_id)
+            self._log_unsubscribe(handle.query_id, shard)
 
     def unsubscribe(self, query_id: int) -> None:
         """Terminate ``query_id`` whether or not a handle exists for it.
@@ -421,7 +567,9 @@ class MonitoringService:
         if handle is not None:
             handle.unsubscribe()
             return
+        shard = self._shard_of(query_id)
         self.engine.unregister_query(query_id)
+        self._log_unsubscribe(query_id, shard)
 
     def on_change(self, callback: AlertSubscriber) -> Callable[[], None]:
         """Register a global subscriber for every query's result changes.
@@ -486,13 +634,51 @@ class MonitoringService:
             iterable ``source`` is not an ingestible type.
         """
         self._check_open()
+        if self._durability is not None:
+            # Write-ahead: materialise and stamp the whole chunk, append
+            # it to the WAL, and only then apply it -- no acknowledged
+            # document is ever lost, and a crash between the append and
+            # the apply is healed by replay.
+            batch = list(self._as_stream(source, at))
+            self._check_durable_batch(batch)
+            if batch:
+                self._durability.log_ingest(batch)
+            if self.dispatcher.has_subscribers:
+                changes: List[ResultChange] = []
+                for streamed in batch:
+                    changes.extend(self.dispatcher.process(streamed))
+            else:
+                changes = self.engine.process_batch(batch)
+            self._durability.maybe_checkpoint()
+            return changes
         single = isinstance(source, (str, Document, StreamedDocument))
         if not single and not self.dispatcher.has_subscribers:
             return self.engine.process_batch(self._as_stream(source, at))
-        changes: List[ResultChange] = []
+        changes = []
         for streamed in self._as_stream(source, at):
             changes.extend(self.dispatcher.process(streamed))
         return changes
+
+    def _check_durable_batch(self, batch: List[StreamedDocument]) -> None:
+        """Pre-check the window's acceptance rule before a batch is logged.
+
+        A batch the engine would reject (arrival time behind the observed
+        clock) must fail *before* it reaches the WAL -- a record that
+        raises on replay would make the log unrecoverable.  The floor is
+        the window clock or, if higher, the log's own high-water mark:
+        the async lanes may hold logged batches the engine has not
+        applied yet, and a new batch must respect those too.
+        """
+        floor = self.window.clock
+        logged = self._durability.logged_clock
+        if logged is not None and (floor is None or logged > floor):
+            floor = logged
+        for streamed in batch:
+            if floor is not None and streamed.arrival_time < floor:
+                raise WindowError(
+                    f"arrival time went backwards: {streamed.arrival_time} < {floor}"
+                )
+            floor = streamed.arrival_time
 
     def serve(
         self,
@@ -581,7 +767,13 @@ class MonitoringService:
         """
         self._check_open()
         self._clock = max(self._clock, float(now))
-        return self.dispatcher.advance_time(now)
+        changes = self.dispatcher.advance_time(now)
+        if self._durability is not None:
+            # Logged after the engine accepted it: a rejected advance
+            # (time going backwards) must not poison the replay.
+            self._durability.log_advance_time(float(now))
+            self._durability.maybe_checkpoint()
+        return changes
 
     def _as_stream(
         self,

@@ -42,11 +42,13 @@ from repro.core.base import MonitoringEngine
 from repro.core.descent import ProbeOrder
 from repro.core.engine import ITAEngine
 from repro.documents.window import SlidingWindow, WindowSpec
+from repro.durability.policy import DurabilityPolicy
 from repro.exceptions import ConfigurationError, UnknownEngineError
 
 __all__ = [
     "WindowSpec",
     "PlacementCalibration",
+    "DurabilityPolicy",
     "EngineSpec",
     "EngineKind",
     "register_engine_kind",
@@ -156,6 +158,12 @@ class EngineSpec:
     #: spec of the per-shard engine; defaults to ITA with this spec's
     #: window and change tracking
     inner: Optional["EngineSpec"] = None
+    # -- durability ------------------------------------------------------- #
+    #: write-ahead-log policy consumed by
+    #: :meth:`~repro.service.MonitoringService.open`; ``None`` (default)
+    #: describes a memory-only engine.  ``build()`` ignores it -- the
+    #: engine itself is identical either way.
+    durability: Optional[DurabilityPolicy] = None
 
     # ------------------------------------------------------------------ #
     # validation
@@ -215,6 +223,8 @@ class EngineSpec:
             )
         if self.calibration is not None:
             self.calibration.validate()
+        if self.durability is not None:
+            self.durability.validate()
         if self.inner is not None:
             if self.kind != "sharded":
                 raise ConfigurationError(
@@ -376,6 +386,8 @@ class EngineSpec:
             data["calibration"] = self.calibration.to_dict()
         if self.inner is not None:
             data["inner"] = self.inner.to_dict()
+        if self.durability is not None:
+            data["durability"] = self.durability.to_dict()
         return data
 
     @classmethod
@@ -387,6 +399,7 @@ class EngineSpec:
         """
         calibration = data.get("calibration")
         inner = data.get("inner")
+        durability = data.get("durability")
         defaults = cls()
         return cls(
             kind=str(data.get("kind", defaults.kind)),
@@ -408,6 +421,11 @@ class EngineSpec:
                 else None
             ),
             inner=cls.from_dict(inner) if inner is not None else None,
+            durability=(
+                DurabilityPolicy.from_dict(durability)
+                if durability is not None
+                else None
+            ),
         )
 
     def with_overrides(self, **kwargs: Any) -> "EngineSpec":

@@ -5,11 +5,12 @@ nothing produced an artifact a later PR could diff against.  This module
 runs a fixed suite of representative workloads -- the paper's Figure 3(a)
 and 3(b) settings, the query-count ablation, the sharded-cluster scale-out
 workload and a service-façade overhead check -- across several engine
-kinds and three processing modes (per-event ``process()``, the batched
-``process_batch()`` hot path, and the asynchronous ingestion pipeline of
-:mod:`repro.cluster.pipeline` at one and at several workers), and emits
-one JSON document (``BENCH_results.json`` by convention) with, per
-measurement:
+kinds and several processing modes (per-event ``process()``, the batched
+``process_batch()`` hot path, the asynchronous ingestion pipeline of
+:mod:`repro.cluster.pipeline` at one and at several workers, and the
+write-ahead-logged ``wal`` mode with its ``wal-recovery`` crash-replay
+companion), and emits one JSON document (``BENCH_results.json`` by
+convention) with, per measurement:
 
 * the workload and sweep-point label,
 * the engine kind and processing mode,
@@ -61,7 +62,7 @@ __all__ = [
 ]
 
 #: bump when a field of the emitted JSON changes meaning
-SCHEMA = "repro-bench/2"
+SCHEMA = "repro-bench/3"
 
 #: default chunk size of the batched measurement mode
 DEFAULT_BATCH_SIZE = 64
@@ -80,8 +81,11 @@ class BenchRecord:
     point: str
     engine: str
     #: "sequential" (one timed ``process()`` call per arrival), "batched"
-    #: (timed ``process_batch()`` chunks) or "async" (chunks through the
-    #: concurrent ingestion pipeline of :mod:`repro.cluster.pipeline`)
+    #: (timed ``process_batch()`` chunks), "async" (chunks through the
+    #: concurrent ingestion pipeline of :mod:`repro.cluster.pipeline`),
+    #: "wal" (batched chunks with write-ahead logging -- the logged-ingest
+    #: overhead cell) or "wal-recovery" (checkpoint restore + WAL replay;
+    #: ``events`` are the replayed documents)
     mode: str
     #: measured arrival events
     events: int
@@ -151,8 +155,12 @@ def default_suite(scale: str = "small") -> List[BenchCase]:
             workload="figure3a",
             definition=figure3a,
             point=_point_by_label(figure3a, "n=10"),
+            # "wal" rides the batched hot path with write-ahead logging and
+            # additionally emits the "wal-recovery" cell (checkpoint
+            # restore + log replay), so the logged-ingest overhead and the
+            # recovery time are part of every emitted file.
             modes={
-                "ita": ita_both,
+                "ita": ("sequential", "batched", "wal"),
                 "naive": sequential,
                 "naive-kmax": sequential,
             },
@@ -217,6 +225,13 @@ def run_case(
     records: List[BenchRecord] = []
     for engine_name, modes in case.modes.items():
         for mode in modes:
+            if mode == "wal":
+                if progress is not None:
+                    progress(f"[bench]   engine {engine_name} (wal + recovery)")
+                records.extend(
+                    _wal_records(case, workload, engine_name, batch_size, repeats)
+                )
+                continue
             worker_counts: Sequence[Optional[int]] = (None,)
             if mode == "async":
                 worker_counts = tuple(sorted({1, async_workers}))
@@ -254,6 +269,102 @@ def run_case(
                     )
                 )
     return records
+
+
+# --------------------------------------------------------------------------- #
+# the wal workload: logged ingest + crash recovery
+# --------------------------------------------------------------------------- #
+def _wal_records(
+    case: BenchCase,
+    workload,
+    engine_name: str,
+    batch_size: int,
+    repeats: int,
+) -> List[BenchRecord]:
+    """The durability cells: logged batched ingest, then crash recovery.
+
+    The ``"wal"`` cell repeats the batched measurement with every chunk
+    appended to a real segmented write-ahead log first (fsync policy
+    ``"interval"``, the durable service's default), so
+    ``wal.mean_ms / batched.mean_ms`` is the logged-ingest overhead.  The
+    ``"wal-recovery"`` cell then plays the crash: restore the pre-stream
+    checkpoint and replay the written log through the normal batched
+    path, timing the whole recovery.  Best-of-``repeats`` like every
+    other cell.
+    """
+    import shutil
+    import tempfile
+
+    # Imported lazily: repro.durability pulls in the persistence stack.
+    from repro.durability.wal import WriteAheadLog, read_wal_records
+    from repro.persistence import (
+        _document_from_record,
+        restore_engine,
+        snapshot_engine,
+    )
+    from repro.workloads.runner import measure_wal_ingest, prepare_engine
+
+    measured = workload.measured
+    best_ingest = None  # (total_ms, samples, counters)
+    best_recovery = None  # (recovery_ms, replayed_documents)
+    for _ in range(repeats):
+        engine = prepare_engine(engine_name, case.point, workload)
+        checkpoint = snapshot_engine(engine)
+        directory = tempfile.mkdtemp(prefix="repro-wal-bench-")
+        try:
+            wal = WriteAheadLog(directory, fsync="interval", fsync_interval=16)
+            total_ms, samples = measure_wal_ingest(engine, measured, batch_size, wal)
+            wal.close()
+            if best_ingest is None or total_ms < best_ingest[0]:
+                best_ingest = (total_ms, samples, engine.counters.copy())
+
+            began = time.perf_counter()
+            recovered = restore_engine(checkpoint)
+            replayed = 0
+            for record in read_wal_records(directory):
+                documents = [_document_from_record(entry) for entry in record["docs"]]
+                recovered.process_batch(documents)
+                replayed += len(documents)
+            recovery_ms = (time.perf_counter() - began) * 1000.0
+            if best_recovery is None or recovery_ms < best_recovery[0]:
+                best_recovery = (recovery_ms, replayed)
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+
+    total_ms, samples, counters = best_ingest
+    events = len(measured)
+    mean_ms = total_ms / events if events else 0.0
+    summary = PercentileSummary.from_samples(samples)
+    recovery_ms, replayed = best_recovery
+    recovery_mean = recovery_ms / replayed if replayed else 0.0
+    return [
+        BenchRecord(
+            workload=case.workload,
+            point=case.point.label,
+            engine=engine_name,
+            mode="wal",
+            events=events,
+            docs_per_sec=(1000.0 / mean_ms) if mean_ms > 0 else 0.0,
+            mean_ms=mean_ms,
+            p50_ms=summary.p50,
+            p99_ms=summary.p99,
+            scores_per_event=(counters.scores_computed / events) if events else 0.0,
+            batch_size=batch_size,
+        ),
+        BenchRecord(
+            workload=case.workload,
+            point=case.point.label,
+            engine=engine_name,
+            mode="wal-recovery",
+            events=replayed,
+            docs_per_sec=(1000.0 / recovery_mean) if recovery_mean > 0 else 0.0,
+            mean_ms=recovery_mean,
+            p50_ms=recovery_mean,
+            p99_ms=recovery_mean,
+            scores_per_event=0.0,
+            batch_size=batch_size,
+        ),
+    ]
 
 
 # --------------------------------------------------------------------------- #
@@ -398,6 +509,22 @@ def run_bench_suite(
     facade = by_key.get(("service-overhead", "ita", "facade", None))
     if direct and facade and direct.mean_ms > 0:
         summary["service_facade_over_direct"] = round(facade.mean_ms / direct.mean_ms, 4)
+    wal = by_key.get(("figure3a", "ita", "wal", None))
+    if wal and batched and batched.mean_ms > 0:
+        # The logged-ingest overhead the durability acceptance bound
+        # refers to: < 1.25 means logging costs less than 25% of the
+        # batched hot path on the headline workload.
+        summary["figure3a_ita_wal_over_batched"] = round(
+            wal.mean_ms / batched.mean_ms, 4
+        )
+    recovery = by_key.get(("figure3a", "ita", "wal-recovery", None))
+    if recovery:
+        summary["figure3a_wal_recovery_ms"] = round(
+            recovery.mean_ms * recovery.events, 4
+        )
+        summary["figure3a_wal_recovery_docs_per_sec"] = round(
+            recovery.docs_per_sec, 2
+        )
     naive_kmax = by_key.get(("figure3a", "naive-kmax", "sequential", None))
     if naive_kmax and batched and batched.mean_ms > 0:
         summary["figure3a_ita_batched_over_naive_kmax"] = round(

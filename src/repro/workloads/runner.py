@@ -42,6 +42,7 @@ __all__ = [
     "make_engine",
     "prepare_engine",
     "measure_async_ingest",
+    "measure_wal_ingest",
     "run_point",
     "run_experiment",
 ]
@@ -243,6 +244,54 @@ def measure_async_ingest(
         return total_ms, samples
 
     return asyncio.run(run())
+
+
+def measure_wal_ingest(
+    engine: MonitoringEngine,
+    measured: Sequence,
+    batch_size: int,
+    wal,
+) -> Tuple[float, List[float]]:
+    """Feed ``measured`` through the *logged* batched hot path.
+
+    Per chunk: append one ingest record (documents encoded with the
+    persistence codec, exactly as the durable service logs them) to
+    ``wal`` -- a :class:`~repro.durability.wal.WriteAheadLog` -- and then
+    process the chunk.  This is the durable service's ingest lane without
+    the façade, so comparing it against the plain batched mode isolates
+    the write-ahead-logging overhead itself.
+
+    Returns
+    -------
+    (total_ms, samples)
+        As in :func:`run_point`'s batched mode: the overall wall-clock
+        time and one mean per-document sample per chunk, both including
+        the log append.
+    """
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    # Imported lazily: repro.persistence pulls in the engine stack.
+    from repro.persistence import document_record
+
+    total_ms = 0.0
+    samples: List[float] = []
+    lsn = 0
+    for start in range(0, len(measured), batch_size):
+        chunk = measured[start : start + batch_size]
+        began = time.perf_counter()
+        lsn += 1
+        wal.append(
+            {
+                "lsn": lsn,
+                "op": "ingest",
+                "docs": [document_record(streamed) for streamed in chunk],
+            }
+        )
+        engine.process_batch(chunk)
+        elapsed_ms = (time.perf_counter() - began) * 1000.0
+        total_ms += elapsed_ms
+        samples.append(elapsed_ms / len(chunk))
+    return total_ms, samples
 
 
 def run_point(

@@ -128,3 +128,123 @@ class TestTimeBasedWindow:
             window.insert(make_document(i, {0: 0.5}, arrival_time=now))
             for document in window:
                 assert now - document.arrival_time < span
+
+
+class TestWindowClockRegression:
+    """advance_time must move the window clock, not just expire documents.
+
+    The historical bug: ``advance_time(T)`` never updated the tracked
+    clock, so an ``insert`` with ``arrival_time < T`` was accepted -- an
+    already-expired document entered a time-based window and stayed valid
+    until the next clock tick.
+    """
+
+    def test_insert_behind_advanced_clock_rejected(self):
+        window = TimeBasedWindow(span=10.0)
+        window.insert(make_document(0, {0: 0.5}, arrival_time=0.0))
+        window.advance_time(50.0)
+        with pytest.raises(WindowError):
+            window.insert(make_document(1, {0: 0.5}, arrival_time=20.0))
+
+    def test_insert_at_advanced_clock_accepted(self):
+        window = TimeBasedWindow(span=10.0)
+        window.advance_time(50.0)
+        window.insert(make_document(0, {0: 0.5}, arrival_time=50.0))
+        assert 0 in window
+
+    def test_count_based_window_also_tracks_advances(self):
+        window = CountBasedWindow(4)
+        window.insert(make_document(0, {0: 0.5}, arrival_time=1.0))
+        window.advance_time(9.0)
+        with pytest.raises(WindowError):
+            window.insert(make_document(1, {0: 0.5}, arrival_time=5.0))
+
+    def test_clock_property_tracks_both_event_kinds(self):
+        window = TimeBasedWindow(span=10.0)
+        assert window.clock is None
+        window.insert(make_document(0, {0: 0.5}, arrival_time=3.0))
+        assert window.clock == 3.0
+        window.advance_time(7.5)
+        assert window.clock == 7.5
+
+    def test_engine_snapshot_preserves_advanced_clock(self):
+        from repro.core.engine import ITAEngine
+        from repro.persistence import restore_engine, snapshot_engine
+
+        engine = ITAEngine(TimeBasedWindow(span=10.0))
+        engine.process(make_document(0, {0: 0.5}, arrival_time=0.0))
+        engine.process(make_document(1, {0: 0.5}, arrival_time=6.0))
+        engine.advance_time(12.0)  # expires doc 0, clock now 12
+        snapshot = snapshot_engine(engine)
+        assert snapshot["clock"] == 12.0
+
+        restored = restore_engine(snapshot)
+        assert restored.window.clock == 12.0
+        # Replay after restore must reject exactly what the original would.
+        with pytest.raises(WindowError):
+            restored.process(make_document(2, {0: 0.5}, arrival_time=8.0))
+
+    def test_legacy_snapshot_without_clock_still_restores(self):
+        from repro.core.engine import ITAEngine
+        from repro.persistence import restore_engine, snapshot_engine
+
+        engine = ITAEngine(CountBasedWindow(4))
+        engine.process(make_document(0, {0: 0.5}, arrival_time=2.0))
+        snapshot = snapshot_engine(engine)
+        del snapshot["clock"]
+        restored = restore_engine(snapshot)
+        assert restored.window.clock == 2.0  # from the replayed arrival
+
+
+class TestWindowMembership:
+    """__contains__ is backed by a doc-id map kept consistent by
+    insert/_pop_oldest (it used to be an O(n) scan of the deque)."""
+
+    def test_membership_follows_count_expiry(self):
+        window = CountBasedWindow(2)
+        for i in range(5):
+            window.insert(make_document(i, {0: 0.5}, arrival_time=float(i)))
+        assert 0 not in window and 2 not in window
+        assert 3 in window and 4 in window
+
+    def test_membership_follows_time_expiry(self):
+        window = TimeBasedWindow(span=5.0)
+        window.insert(make_document(0, {0: 0.5}, arrival_time=0.0))
+        window.insert(make_document(1, {0: 0.5}, arrival_time=3.0))
+        assert 0 in window
+        window.advance_time(6.0)
+        assert 0 not in window and 1 in window
+
+    def test_duplicate_ids_survive_single_expiry(self):
+        # The base window does not forbid duplicate ids; membership must
+        # stay true while at least one copy is valid.
+        window = CountBasedWindow(2)
+        window.insert(make_document(7, {0: 0.5}, arrival_time=0.0))
+        window.insert(make_document(7, {0: 0.5}, arrival_time=1.0))
+        window.insert(make_document(8, {0: 0.5}, arrival_time=2.0))  # expires one 7
+        assert 7 in window
+        window.insert(make_document(9, {0: 0.5}, arrival_time=3.0))  # expires the other
+        assert 7 not in window
+
+
+class TestWindowSpecErrorContract:
+    """Every from_dict failure is a ConfigurationError naming the problem
+    (WAL and checkpoint decoding rely on the single exception type)."""
+
+    def test_missing_size_raises_configuration_error(self):
+        from repro.documents.window import WindowSpec
+
+        with pytest.raises(ConfigurationError, match="size"):
+            WindowSpec.from_dict({"type": "count"})
+
+    def test_missing_span_raises_configuration_error(self):
+        from repro.documents.window import WindowSpec
+
+        with pytest.raises(ConfigurationError, match="span"):
+            WindowSpec.from_dict({"type": "time"})
+
+    def test_unknown_kind_raises_configuration_error(self):
+        from repro.documents.window import WindowSpec
+
+        with pytest.raises(ConfigurationError, match="unknown window kind"):
+            WindowSpec.from_dict({"type": "sliding?"})

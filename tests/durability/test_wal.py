@@ -1,0 +1,141 @@
+"""Unit tests of the segmented write-ahead log."""
+
+import json
+
+import pytest
+
+from repro.durability.wal import (
+    WriteAheadLog,
+    decode_record,
+    encode_record,
+    read_wal_records,
+    segment_paths,
+)
+from repro.exceptions import DurabilityError, WalCorruptionError
+
+
+def records_in(directory, after_lsn=-1):
+    return list(read_wal_records(directory, after_lsn=after_lsn))
+
+
+class TestRecordEnvelope:
+    def test_encode_decode_round_trip(self):
+        record = {"lsn": 3, "op": "ingest", "docs": [{"doc_id": 1}]}
+        assert decode_record(encode_record(record)) == record
+
+    def test_lsn_required(self):
+        with pytest.raises(DurabilityError):
+            encode_record({"op": "ingest"})
+
+    def test_crc_detects_tampering(self):
+        line = encode_record({"lsn": 1, "op": "ingest", "docs": []})
+        tampered = line.replace('"ingest"', '"digest"')
+        with pytest.raises(WalCorruptionError):
+            decode_record(tampered)
+
+    def test_not_json_rejected(self):
+        with pytest.raises(WalCorruptionError):
+            decode_record("{half a rec")
+
+    def test_missing_envelope_rejected(self):
+        with pytest.raises(WalCorruptionError):
+            decode_record(json.dumps({"op": "ingest"}))
+
+
+class TestWriteAheadLog:
+    def test_append_read_round_trip(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="never")
+        for lsn in range(1, 6):
+            wal.append({"lsn": lsn, "op": "ingest", "docs": []})
+        wal.close()
+        assert [r["lsn"] for r in records_in(tmp_path)] == [1, 2, 3, 4, 5]
+        assert [r["lsn"] for r in records_in(tmp_path, after_lsn=3)] == [4, 5]
+
+    def test_rotation_bounds_segment_size(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="never", segment_max_records=2)
+        for lsn in range(1, 8):
+            wal.append({"lsn": lsn, "op": "x"})
+        wal.close()
+        segments = segment_paths(tmp_path)
+        assert len(segments) == 4  # 2+2+2+1
+        assert [r["lsn"] for r in records_in(tmp_path)] == list(range(1, 8))
+
+    def test_explicit_rotate_returns_immutable_segments(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="never")
+        wal.append({"lsn": 1, "op": "x"})
+        old = wal.rotate()
+        assert len(old) == 1
+        wal.append({"lsn": 2, "op": "x"})
+        wal.close()
+        # Deleting the rotated segment drops only the records it held.
+        old[0].unlink()
+        assert [r["lsn"] for r in records_in(tmp_path)] == [2]
+
+    def test_reopen_starts_fresh_segment(self, tmp_path):
+        first = WriteAheadLog(tmp_path, fsync="never")
+        first.append({"lsn": 1, "op": "x"})
+        first.close()
+        second = WriteAheadLog(tmp_path, fsync="never")
+        second.append({"lsn": 2, "op": "x"})
+        second.close()
+        assert len(segment_paths(tmp_path)) == 2
+        assert [r["lsn"] for r in records_in(tmp_path)] == [1, 2]
+
+    def test_append_after_close_rejected(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="never")
+        wal.close()
+        with pytest.raises(DurabilityError):
+            wal.append({"lsn": 1, "op": "x"})
+
+    @pytest.mark.parametrize("fsync", ["always", "interval", "never"])
+    def test_every_fsync_mode_persists(self, tmp_path, fsync):
+        wal = WriteAheadLog(tmp_path / fsync, fsync=fsync, fsync_interval=2)
+        for lsn in range(1, 5):
+            wal.append({"lsn": lsn, "op": "x"})
+        wal.close()
+        assert [r["lsn"] for r in records_in(tmp_path / fsync)] == [1, 2, 3, 4]
+
+
+class TestTornTail:
+    def fill(self, tmp_path, count=4):
+        wal = WriteAheadLog(tmp_path, fsync="never")
+        for lsn in range(1, count + 1):
+            wal.append({"lsn": lsn, "op": "x"})
+        wal.close()
+        return segment_paths(tmp_path)[-1]
+
+    def test_truncated_final_record_dropped(self, tmp_path):
+        segment = self.fill(tmp_path)
+        data = segment.read_bytes()
+        segment.write_bytes(data[: len(data) - 7])  # tear the last record
+        assert [r["lsn"] for r in records_in(tmp_path)] == [1, 2, 3]
+
+    def test_garbage_tail_line_dropped(self, tmp_path):
+        segment = self.fill(tmp_path)
+        with open(segment, "a", encoding="utf-8") as handle:
+            handle.write('{"lsn": 5, "op"')  # crash mid-append, no newline
+        assert [r["lsn"] for r in records_in(tmp_path)] == [1, 2, 3, 4]
+
+    def test_corruption_before_tail_raises(self, tmp_path):
+        segment = self.fill(tmp_path)
+        lines = segment.read_text().splitlines()
+        lines[1] = lines[1][:-4] + 'xxx"'
+        segment.write_text("\n".join(lines) + "\n")
+        with pytest.raises(WalCorruptionError):
+            records_in(tmp_path)
+
+    def test_torn_tail_of_nonfinal_segment_raises(self, tmp_path):
+        wal = WriteAheadLog(tmp_path, fsync="never", segment_max_records=2)
+        for lsn in range(1, 5):
+            wal.append({"lsn": lsn, "op": "x"})
+        wal.close()
+        first, second = segment_paths(tmp_path)
+        data = first.read_bytes()
+        first.write_bytes(data[: len(data) - 5])
+        with pytest.raises(WalCorruptionError):
+            records_in(tmp_path)
+
+    def test_empty_trailing_segment_tolerated(self, tmp_path):
+        self.fill(tmp_path)
+        (tmp_path / "wal-0000000009.jsonl").write_text("")
+        assert [r["lsn"] for r in records_in(tmp_path)] == [1, 2, 3, 4]

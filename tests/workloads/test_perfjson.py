@@ -25,7 +25,7 @@ class TestSuiteDefinition:
     def test_headline_workload_measures_both_ita_modes(self):
         suite = default_suite("smoke")
         figure3a = next(case for case in suite if case.workload == "figure3a")
-        assert tuple(figure3a.modes["ita"]) == ("sequential", "batched")
+        assert tuple(figure3a.modes["ita"]) == ("sequential", "batched", "wal")
 
     def test_every_case_resolves_a_point(self):
         for case in default_suite("smoke"):
@@ -51,13 +51,18 @@ class TestRunCase:
     def test_records_have_consistent_metrics(self):
         case = default_suite("smoke")[0]
         records = run_case(case, batch_size=8, repeats=1)
-        assert {record.mode for record in records} == {"sequential", "batched"}
+        assert {record.mode for record in records} == {
+            "sequential",
+            "batched",
+            "wal",
+            "wal-recovery",
+        }
         for record in records:
             assert isinstance(record, BenchRecord)
             assert record.workload == case.workload
             assert record.events == case.point.config.measured_events
             assert record.docs_per_sec == pytest.approx(1000.0 / record.mean_ms)
-            if record.mode == "batched":
+            if record.mode in ("batched", "wal", "wal-recovery"):
                 assert record.batch_size == 8
             else:
                 assert record.batch_size is None
@@ -93,13 +98,16 @@ class TestRunBenchSuite:
         assert "figure3a_ita_batched_over_sequential" in document["summary"]
         assert "service_facade_over_direct" in document["summary"]
         assert "cluster_async_multi_over_single_worker" in document["summary"]
+        assert "figure3a_ita_wal_over_batched" in document["summary"]
+        assert "figure3a_wal_recovery_ms" in document["summary"]
         for record in document["results"]:
             assert record["events"] > 0
             assert record["docs_per_sec"] > 0.0
             assert record["mean_ms"] > 0.0
             assert record["p99_ms"] >= record["p50_ms"] >= 0.0
             assert record["mode"] in (
-                "sequential", "batched", "async", "direct", "facade"
+                "sequential", "batched", "async", "wal", "wal-recovery",
+                "direct", "facade",
             )
             if record["mode"] == "async":
                 assert record["concurrency"] >= 1

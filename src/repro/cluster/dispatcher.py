@@ -22,7 +22,7 @@ from typing import List, Sequence
 
 from repro.core.base import MonitoringEngine, ResultChange
 from repro.documents.document import StreamedDocument
-from repro.monitoring.metrics import Timer
+from repro.observability.timing import Timer
 
 __all__ = ["EventDispatcher"]
 

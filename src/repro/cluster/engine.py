@@ -29,7 +29,7 @@ from repro.core.engine import ITAEngine
 from repro.documents.document import StreamedDocument
 from repro.documents.window import CountBasedWindow, SlidingWindow
 from repro.exceptions import ConfigurationError, UnknownQueryError
-from repro.monitoring.metrics import AggregatedCounters
+from repro.observability.timing import AggregatedCounters
 from repro.query.query import ContinuousQuery
 from repro.query.registry import QueryRegistry
 

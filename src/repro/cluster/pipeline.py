@@ -47,13 +47,16 @@ the measured ratio in its ``concurrency`` column rather than assuming one
 from __future__ import annotations
 
 import asyncio
+import time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Callable, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.core.base import MonitoringEngine, ResultChange
 from repro.documents.document import StreamedDocument
 from repro.exceptions import ConfigurationError, ServiceError
-from repro.monitoring.metrics import Timer
+from repro.observability import runtime as obs
+from repro.observability.timing import Timer
+from repro.observability.trace import Span
 
 __all__ = ["ClusterPipeline", "EnginePipeline", "PipelineStats", "pipeline_for"]
 
@@ -88,6 +91,16 @@ class PipelineStats:
         self.max_inflight = 0
         self._inflight = 0
         self.lane_timers: List[Timer] = [Timer() for _ in range(num_lanes)]
+        #: producer time spent enqueueing batches, including blocking on a
+        #: full lane queue -- the pipeline's backpressure, made visible
+        self.submit_wait_ms = 0.0
+        #: merge-barrier time spent awaiting the slowest lane per batch --
+        #: high values mean one shard is the straggler holding deliveries
+        self.merge_wait_ms = 0.0
+        #: per-lane high-water mark of queued (unconsumed) batches
+        self.lane_queue_peaks: List[int] = [0] * num_lanes
+        self._started_at: Optional[float] = None
+        self._stopped_at: Optional[float] = None
 
     @property
     def shard_busy_ms(self) -> List[float]:
@@ -97,6 +110,42 @@ class PipelineStats:
     def max_shard_busy_ms(self) -> float:
         busy = self.shard_busy_ms
         return max(busy) if busy else 0.0
+
+    @property
+    def wall_ms(self) -> float:
+        """Wall-clock time the pipeline has been running, in milliseconds."""
+        if self._started_at is None:
+            return 0.0
+        end = self._stopped_at if self._stopped_at is not None else time.perf_counter()
+        return (end - self._started_at) * 1000.0
+
+    @property
+    def lane_utilization(self) -> List[float]:
+        """Per-lane busy-time fraction of the pipeline's wall-clock time.
+
+        Near-equal, low utilizations with high ``merge_wait_ms`` are the
+        signature of the GIL-bound ~1.0x async result: every lane spends
+        most of its wall time waiting for the interpreter, not for work.
+        """
+        wall = self.wall_ms
+        if wall <= 0.0:
+            return [0.0 for _ in self.lane_timers]
+        return [min(1.0, timer.total_ms / wall) for timer in self.lane_timers]
+
+    def as_dict(self) -> Dict[str, Any]:
+        """A JSON-compatible snapshot of every pipeline statistic."""
+        return {
+            "batches": self.batches,
+            "events": self.events,
+            "merged_batches": self.merged_batches,
+            "max_inflight": self.max_inflight,
+            "submit_wait_ms": round(self.submit_wait_ms, 3),
+            "merge_wait_ms": round(self.merge_wait_ms, 3),
+            "wall_ms": round(self.wall_ms, 3),
+            "lane_busy_ms": [round(ms, 3) for ms in self.shard_busy_ms],
+            "lane_utilization": [round(u, 4) for u in self.lane_utilization],
+            "lane_queue_peaks": list(self.lane_queue_peaks),
+        }
 
     def _submitted(self, events: int) -> None:
         self.batches += 1
@@ -156,6 +205,35 @@ class _BasePipeline:
         self._failure: Optional[BaseException] = None
         self._started = False
         self._closed = False
+        self._metrics_unregister: Optional[Callable[[], None]] = None
+
+    # ------------------------------------------------------------------ #
+    # metrics (scrape-time collector; nothing on the batch path)
+    # ------------------------------------------------------------------ #
+    def _collect_metrics(self) -> Dict[Any, float]:
+        stats = self.stats
+        samples: Dict[Any, float] = {
+            "repro_pipeline_batches_total": float(stats.batches),
+            "repro_pipeline_events_total": float(stats.events),
+            "repro_pipeline_merged_batches_total": float(stats.merged_batches),
+            "repro_pipeline_max_inflight": float(stats.max_inflight),
+            "repro_pipeline_submit_wait_ms_total": stats.submit_wait_ms,
+            "repro_pipeline_merge_wait_ms_total": stats.merge_wait_ms,
+        }
+        utilization = stats.lane_utilization
+        for lane, timer in enumerate(stats.lane_timers):
+            key = (("lane", str(lane)),)
+            samples[("repro_pipeline_lane_busy_ms_total", key)] = timer.total_ms
+            samples[("repro_pipeline_lane_batches_total", key)] = float(timer.count)
+            samples[("repro_pipeline_lane_queue_peak", key)] = float(
+                stats.lane_queue_peaks[lane]
+            )
+            samples[("repro_pipeline_lane_utilization", key)] = utilization[lane]
+        for lane, queue in enumerate(self._lane_queues):
+            samples[("repro_pipeline_lane_queue_depth", (("lane", str(lane)),))] = float(
+                queue.qsize()
+            )
+        return samples
 
     # ------------------------------------------------------------------ #
     # hooks implemented by subclasses
@@ -194,6 +272,11 @@ class _BasePipeline:
         ]
         self._tasks.append(asyncio.ensure_future(self._merge_loop()))
         self._started = True
+        self.stats._started_at = time.perf_counter()
+        if obs.active:
+            self._metrics_unregister = obs.metrics.register_collector(
+                self._collect_metrics
+            )
 
     async def aclose(self) -> None:
         """Flush every lane, stop the tasks and release the executor.
@@ -205,6 +288,10 @@ class _BasePipeline:
         if self._closed:
             return
         self._closed = True
+        self.stats._stopped_at = time.perf_counter()
+        if self._metrics_unregister is not None:
+            self._metrics_unregister()
+            self._metrics_unregister = None
         if not self._started:
             return
         for queue in self._lane_queues:
@@ -267,13 +354,28 @@ class _BasePipeline:
             result_future.set_result([])
             return result_future
         self._before_submit(batch)
+        # The parent span of this batch's lane spans: created here on the
+        # producer, finished after the enqueue, and handed to the worker
+        # threads explicitly through the queue items (a thread-local
+        # context could not follow the batch across the pool threads).
+        parent: Optional[Span] = None
+        if obs.active:
+            parent = Span(obs.tracer, "pipeline.submit", None, {"events": len(batch)})
+        wait_started = time.perf_counter()
+        stats = self.stats
         lane_futures = []
-        for queue in self._lane_queues:
+        for index, queue in enumerate(self._lane_queues):
             future: asyncio.Future = self._loop.create_future()
-            await queue.put((batch, future))
+            await queue.put((batch, future, parent))
             lane_futures.append(future)
+            depth = queue.qsize()
+            if depth > stats.lane_queue_peaks[index]:
+                stats.lane_queue_peaks[index] = depth
         await self._merge_queue.put((len(batch), lane_futures, result_future))
-        self.stats._submitted(len(batch))
+        stats.submit_wait_ms += (time.perf_counter() - wait_started) * 1000.0
+        if parent is not None:
+            parent.finish()
+        stats._submitted(len(batch))
         self._last_result = result_future
         return result_future
 
@@ -296,7 +398,18 @@ class _BasePipeline:
         consumer = self._lane_consumer(lane)
         timer = self.stats.lane_timers[lane]
 
-        def timed(batch: Sequence[StreamedDocument]) -> Any:
+        def timed(batch: Sequence[StreamedDocument], parent: Optional[Span]) -> Any:
+            # Runs on a pool thread: the submit-side span arrives through
+            # the queue item, so the lane span nests under it even though
+            # they live on different threads.
+            if parent is not None and obs.active:
+                span = Span(obs.tracer, "pipeline.lane", parent.span_id, {"lane": lane})
+                try:
+                    with timer:
+                        return consumer(batch)
+                finally:
+                    span.set(events=len(batch))
+                    span.finish()
             with timer:
                 return consumer(batch)
 
@@ -304,9 +417,9 @@ class _BasePipeline:
             item = await queue.get()
             if item is _CLOSE:
                 return
-            batch, future = item
+            batch, future, parent = item
             try:
-                result = await self._run_blocking(timed, batch)
+                result = await self._run_blocking(timed, batch, parent)
             except BaseException as exc:  # noqa: BLE001 - forwarded to the barrier
                 future.set_exception(exc)
             else:
@@ -320,7 +433,11 @@ class _BasePipeline:
                 return
             batch_size, lane_futures, result_future = item
             try:
+                barrier_started = time.perf_counter()
                 per_lane = await asyncio.gather(*lane_futures)
+                self.stats.merge_wait_ms += (
+                    time.perf_counter() - barrier_started
+                ) * 1000.0
                 merged = self._combine(batch_size, per_lane)
             except BaseException as exc:  # noqa: BLE001 - forwarded to the caller
                 if self._failure is None:

@@ -14,7 +14,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.documents.document import Document, StreamedDocument
 from repro.documents.window import SlidingWindow
-from repro.monitoring.instrumentation import OperationCounters
+from repro.observability.opcounters import OperationCounters
 from repro.query.query import ContinuousQuery
 from repro.query.result import ResultEntry
 

@@ -37,7 +37,7 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.index.inverted_index import InvertedIndex
 from repro.index.inverted_list import PostingEntry
-from repro.monitoring.instrumentation import OperationCounters
+from repro.observability.opcounters import OperationCounters
 from repro.query.query import ContinuousQuery
 from repro.query.result import ResultList
 

@@ -22,7 +22,10 @@ of ITA's advantage over the Naive baseline.
 from __future__ import annotations
 
 from bisect import bisect_right as _bisect_right
+from time import perf_counter as _perf_counter
 from typing import Dict, List, Optional, Sequence, Set
+
+from repro.observability import runtime as _obs
 
 from repro.core.base import MonitoringEngine, ResultChange, TopKResult
 from repro.core.descent import ProbeOrder
@@ -111,6 +114,8 @@ class ITAEngine(MonitoringEngine):
     # ------------------------------------------------------------------ #
     def process(self, document: StreamedDocument) -> List[ResultChange]:
         """Process one arrival and the expirations it causes."""
+        if _obs.active:
+            return self._process_observed(document)
         self.counters.arrivals += 1
         before: Dict[int, TopKResult] = {}
         expired = self.window.insert(document)
@@ -118,6 +123,26 @@ class ITAEngine(MonitoringEngine):
             self._process_expiration(expired_document, before)
         self._process_arrival(document, before)
         return self._collect_changes(before)
+
+    def _process_observed(self, document: StreamedDocument) -> List[ResultChange]:
+        """The stage-timed twin of :meth:`process` (observability enabled)."""
+        self.counters.arrivals += 1
+        before: Dict[int, TopKResult] = {}
+        started = _perf_counter()
+        expired = self.window.insert(document)
+        for expired_document in expired:
+            self._process_expiration(expired_document, before)
+        mid = _perf_counter()
+        self._process_arrival(document, before)
+        changes = self._collect_changes(before)
+        done = _perf_counter()
+        _obs.counter_child(
+            "repro_engine_stage_ms_total", "per-stage engine time", "stage", "expire"
+        ).add((mid - started) * 1000.0)
+        _obs.counter_child(
+            "repro_engine_stage_ms_total", "per-stage engine time", "stage", "arrival"
+        ).add((done - mid) * 1000.0)
+        return changes
 
     def process_batch_events(
         self, documents: Sequence[StreamedDocument]
@@ -157,10 +182,15 @@ class ITAEngine(MonitoringEngine):
         infinity = float("inf")
         arrivals = expirations = inserted = deleted = probes = candidates = 0
         per_event: List[List[ResultChange]] = []
+        # Stage timing: checked once per batch; when enabled the per-event
+        # cost is two perf_counter() calls accumulated into plain locals.
+        observed = _obs.active
+        expire_ms = arrival_ms = 0.0
 
         for document in documents:
             arrivals += 1
             before: Dict[int, TopKResult] = {}
+            stage_started = _perf_counter() if observed else 0.0
 
             # -- expirations caused by this arrival ---------------------- #
             for expired_document in window_insert(document):
@@ -200,6 +230,11 @@ class ITAEngine(MonitoringEngine):
                     for query_id in affected:
                         states[query_id].handle_expiration(doc_id)
 
+            if observed:
+                stage_now = _perf_counter()
+                expire_ms += (stage_now - stage_started) * 1000.0
+                stage_started = stage_now
+
             # -- the arrival itself -------------------------------------- #
             doc_id = document.doc_id
             store.add(document)
@@ -238,6 +273,8 @@ class ITAEngine(MonitoringEngine):
                 for query_id in affected:
                     states[query_id].handle_arrival(document)
                 per_event.append([])
+            if observed:
+                arrival_ms += (_perf_counter() - stage_started) * 1000.0
 
         counters.arrivals += arrivals
         counters.expirations += expirations
@@ -245,14 +282,28 @@ class ITAEngine(MonitoringEngine):
         counters.postings_deleted += deleted
         counters.threshold_probes += probes
         counters.candidate_matches += candidates
+        if observed:
+            _obs.counter_child(
+                "repro_engine_stage_ms_total", "per-stage engine time", "stage", "expire"
+            ).add(expire_ms)
+            _obs.counter_child(
+                "repro_engine_stage_ms_total", "per-stage engine time", "stage", "arrival"
+            ).add(arrival_ms)
         return per_event
 
     def advance_time(self, now: float) -> List[ResultChange]:
         """Expire documents by the passage of time (time-based windows)."""
+        observed = _obs.active
+        started = _perf_counter() if observed else 0.0
         before: Dict[int, TopKResult] = {}
         for expired_document in self.window.advance_time(now):
             self._process_expiration(expired_document, before)
-        return self._collect_changes(before)
+        changes = self._collect_changes(before)
+        if observed:
+            _obs.counter_child(
+                "repro_engine_stage_ms_total", "per-stage engine time", "stage", "expire"
+            ).add((_perf_counter() - started) * 1000.0)
+        return changes
 
     # ------------------------------------------------------------------ #
     # internals

@@ -40,7 +40,11 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
+from time import perf_counter as _perf_counter
 from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.observability import runtime as _obs
+from repro.observability.slowlog import note_slow
 
 from repro.documents.document import StreamedDocument
 from repro.durability.policy import DurabilityPolicy
@@ -350,6 +354,8 @@ class DurabilityLog:
         """
         if self._closed:
             raise DurabilityError("the durability log is closed")
+        observed = _obs.active
+        started = _perf_counter() if observed else 0.0
         snapshot = self._service.snapshot()
         lsn = self.last_lsn
         checkpoint_path = self.path / _checkpoint_name(lsn)
@@ -369,6 +375,15 @@ class DurabilityLog:
 
         self._records_since_checkpoint = 0
         self._logged_vocab = len(self._service.vocabulary)
+        if observed:
+            elapsed_ms = (_perf_counter() - started) * 1000.0
+            _obs.counter_child(
+                "repro_wal_checkpoints_total", "checkpoints taken"
+            ).inc()
+            _obs.histogram_child(
+                "repro_wal_checkpoint_ms", "checkpoint duration (snapshot to truncation)"
+            ).observe(elapsed_ms)
+            note_slow("durability.checkpoint", elapsed_ms, lsn=lsn)
         return checkpoint_path
 
     def maybe_checkpoint(self) -> Optional[Path]:

@@ -23,9 +23,11 @@ from __future__ import annotations
 
 import json
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.observability import runtime as _obs
 
 from repro.durability.log import (
     MANIFEST_NAME,
@@ -56,6 +58,23 @@ class RecoveryReport:
     replayed_documents: int
     #: wall-clock recovery time (checkpoint load + replay), milliseconds
     duration_ms: float
+    #: per-phase wall-clock breakdown: ``manifest`` (read + validate),
+    #: ``checkpoint_load`` (read the checkpoint JSON), ``restore``
+    #: (rebuild the service from it), ``replay`` (WAL tail through the
+    #: normal event path).  The phases sum to roughly ``duration_ms``.
+    phase_ms: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """A JSON-compatible rendering (what the smoke tooling publishes)."""
+        return {
+            "path": self.path,
+            "checkpoint_lsn": self.checkpoint_lsn,
+            "last_lsn": self.last_lsn,
+            "replayed_records": self.replayed_records,
+            "replayed_documents": self.replayed_documents,
+            "duration_ms": round(self.duration_ms, 3),
+            "phase_ms": {phase: round(ms, 3) for phase, ms in self.phase_ms.items()},
+        }
 
 
 def read_tail(
@@ -150,6 +169,7 @@ def recover_service(
     started = time.perf_counter()
     path = Path(path)
     manifest = read_manifest(path)
+    manifest_done = time.perf_counter()
 
     checkpoint_info = manifest.get("checkpoint")
     if not checkpoint_info or not checkpoint_info.get("file"):
@@ -162,6 +182,7 @@ def recover_service(
     with open(checkpoint_path, "r", encoding="utf-8") as handle:
         snapshot = json.load(handle)
     checkpoint_lsn = int(checkpoint_info.get("lsn", 0))
+    checkpoint_done = time.perf_counter()
 
     service = MonitoringService.restore(
         snapshot,
@@ -169,6 +190,7 @@ def recover_service(
         weighting=weighting,
         interarrival=interarrival,
     )
+    restore_done = time.perf_counter()
 
     tail = read_tail(path, manifest, after_lsn=checkpoint_lsn, repair=True)
     replayed_documents = 0
@@ -176,10 +198,26 @@ def recover_service(
     for record in tail:
         replayed_documents += _replay_record(service, record)
         last_lsn = int(record["lsn"])
+    replay_done = time.perf_counter()
 
     service._durability = DurabilityLog.resume(
         service, path, manifest, last_lsn, policy=policy
     )
+    phase_ms = {
+        "manifest": (manifest_done - started) * 1000.0,
+        "checkpoint_load": (checkpoint_done - manifest_done) * 1000.0,
+        "restore": (restore_done - checkpoint_done) * 1000.0,
+        "replay": (replay_done - restore_done) * 1000.0,
+    }
+    if _obs.active:
+        _obs.metrics.counter("repro_recovery_total", "crash recoveries performed").inc()
+        family = _obs.metrics.histogram(
+            "repro_recovery_phase_ms",
+            "recovery phase duration breakdown",
+            labels=("phase",),
+        )
+        for phase, elapsed in phase_ms.items():
+            family.labels(phase=phase).observe(elapsed)
     return service, RecoveryReport(
         path=str(path),
         checkpoint_lsn=checkpoint_lsn,
@@ -187,4 +225,5 @@ def recover_service(
         replayed_records=len(tail),
         replayed_documents=replayed_documents,
         duration_ms=(time.perf_counter() - started) * 1000.0,
+        phase_ms=phase_ms,
     )

@@ -20,9 +20,11 @@ import json
 import os
 import zlib
 from pathlib import Path
+from time import perf_counter as _perf_counter
 from typing import Any, Dict, Iterator, List, Optional, Union
 
 from repro.exceptions import DurabilityError, WalCorruptionError
+from repro.observability import runtime as _obs
 
 __all__ = [
     "WriteAheadLog",
@@ -170,8 +172,12 @@ class WriteAheadLog:
             raise DurabilityError("the write-ahead log is closed")
         if self._handle is None or self._records_in_segment >= self._segment_max_records:
             self._open_next_segment()
-        self._handle.write(encode_record(record) + "\n")
+        line = encode_record(record) + "\n"
+        self._handle.write(line)
         self._handle.flush()
+        if _obs.active:
+            _obs.counter_child("repro_wal_appends_total", "WAL records appended").inc()
+            _obs.counter_child("repro_wal_bytes_total", "WAL bytes written").inc(len(line))
         self._records_in_segment += 1
         self._appends_since_fsync += 1
         if self._fsync == "always" or (
@@ -183,8 +189,16 @@ class WriteAheadLog:
     def sync(self) -> None:
         """Force the current segment to stable storage."""
         if self._handle is not None:
+            observed = _obs.active
+            started = _perf_counter() if observed else 0.0
             self._handle.flush()
             os.fsync(self._handle.fileno())
+            if observed:
+                elapsed_ms = (_perf_counter() - started) * 1000.0
+                _obs.counter_child("repro_wal_fsync_total", "WAL fsync calls").inc()
+                _obs.histogram_child(
+                    "repro_wal_fsync_ms", "WAL fsync duration"
+                ).observe(elapsed_ms)
         self._appends_since_fsync = 0
 
     def rotate(self) -> List[Path]:
@@ -198,7 +212,14 @@ class WriteAheadLog:
         """
         if self._closed:
             raise DurabilityError("the write-ahead log is closed")
+        observed = _obs.active
+        started = _perf_counter() if observed else 0.0
         self._open_next_segment()
+        if observed:
+            _obs.counter_child("repro_wal_rotations_total", "WAL segment rotations").inc()
+            _obs.histogram_child(
+                "repro_wal_rotation_ms", "WAL segment rotation duration"
+            ).observe((_perf_counter() - started) * 1000.0)
         current = self.directory / _segment_name(self._sequence)
         return [path for path in self.segments if path != current]
 

@@ -1,20 +1,12 @@
-"""Instrumentation: timers, counters and summaries.
+"""Deprecated alias of :mod:`repro.observability`.
 
-The paper's evaluation metric is the *average processing time* per arrival
-event (the elapsed time between a document arrival -- which additionally
-causes an expiration -- and the point where all query results are up to
-date).  This package provides:
-
-* :class:`~repro.monitoring.metrics.Timer` and
-  :class:`~repro.monitoring.metrics.TimingSummary` for wall-clock style
-  measurements on the simulated server, and
-* :class:`~repro.monitoring.instrumentation.OperationCounters` for
-  hardware-independent cost proxies (scores computed, postings touched,
-  roll-ups, refills, threshold probes) that make the behaviour of the
-  algorithms inspectable in tests and benchmarks.
+The timers, counters and summaries moved into the observability package
+when it grew the metrics registry and tracer; these shims keep the old
+import paths working.  New code should import from
+:mod:`repro.observability` directly.
 """
 
-from repro.monitoring.instrumentation import OperationCounters
-from repro.monitoring.metrics import PercentileSummary, Timer, TimingSummary
+from repro.observability.opcounters import OperationCounters
+from repro.observability.timing import PercentileSummary, Timer, TimingSummary
 
 __all__ = ["Timer", "TimingSummary", "PercentileSummary", "OperationCounters"]

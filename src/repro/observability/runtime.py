@@ -1,0 +1,144 @@
+"""The process-wide observability switch and singletons.
+
+Instrumented code gates on one module-level boolean::
+
+    from repro.observability import runtime
+    ...
+    if runtime.active:
+        t0 = time.perf_counter()
+
+Disabled (the default) the cost is a single attribute load per
+instrumented *batch* -- the engines check once per ``process_batch_events``
+call, not per event -- which is what keeps the figure-3a overhead at ~0%
+with metrics off and within the 5% budget with them on.
+
+:func:`enable`/:func:`disable` flip the switch; :func:`observed` scopes it
+(used by tests and the ``repro obs`` CLI so one instrumented run cannot
+leak state into the next).  The three singletons -- ``metrics`` (the
+:class:`~repro.observability.registry.MetricsRegistry`), ``tracer`` and
+``slowlog`` -- are rebuilt fresh on every :func:`enable` unless
+``reuse=True`` is passed.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from repro.observability.registry import MetricsRegistry
+from repro.observability.slowlog import DEFAULT_THRESHOLD_MS, SlowOpLog
+from repro.observability.trace import Tracer
+
+__all__ = [
+    "active",
+    "metrics",
+    "tracer",
+    "slowlog",
+    "enable",
+    "disable",
+    "observed",
+    "counter_child",
+    "histogram_child",
+]
+
+#: the one flag every instrumented hot path checks
+active: bool = False
+
+metrics: MetricsRegistry = MetricsRegistry()
+tracer: Tracer = Tracer()
+slowlog: SlowOpLog = SlowOpLog()
+
+
+def enable(
+    slow_threshold_ms: Optional[float] = None,
+    trace_capacity: Optional[int] = None,
+    reuse: bool = False,
+) -> MetricsRegistry:
+    """Turn observability on; returns the active registry.
+
+    Fresh singletons are installed unless ``reuse=True`` (collectors
+    registered on the previous registry are dropped with it -- services
+    register theirs at construction and re-register on demand, see
+    ``MonitoringService.metrics()``).
+    """
+    global active, metrics, tracer, slowlog
+    if not reuse:
+        metrics = MetricsRegistry()
+        tracer = Tracer(trace_capacity) if trace_capacity else Tracer()
+        slowlog = SlowOpLog(
+            slow_threshold_ms if slow_threshold_ms is not None else DEFAULT_THRESHOLD_MS
+        )
+    else:
+        if slow_threshold_ms is not None:
+            slowlog.threshold_ms = slow_threshold_ms
+    active = True
+    return metrics
+
+
+def disable() -> None:
+    """Turn observability off (the singletons keep their recorded data)."""
+    global active
+    active = False
+
+
+# --------------------------------------------------------------------------- #
+# hot-path child-instrument cache
+# --------------------------------------------------------------------------- #
+# Declaring a family and resolving its labelled child costs ~1.5us (name
+# lookup, label validation); per-event flush sites cannot afford that.
+# The cache maps (name, label, value) straight to the raw instrument and
+# is invalidated by identity whenever enable()/observed() swaps the
+# registry.  Races are benign: concurrent fills resolve to the same child
+# (the registry's own lock dedups creation).
+_cached_children: Dict[Tuple[str, Optional[str], Optional[str]], Any] = {}
+_cached_registry: Optional[MetricsRegistry] = None
+
+
+def _child(kind: str, name: str, help_text: str, label: Optional[str], value: Optional[str]) -> Any:
+    global _cached_children, _cached_registry
+    if _cached_registry is not metrics:
+        _cached_children = {}
+        _cached_registry = metrics
+    key = (name, label, value)
+    child = _cached_children.get(key)
+    if child is None:
+        family = getattr(metrics, kind)(
+            name, help_text, labels=(label,) if label else ()
+        )
+        child = family.labels(**{label: value}) if label else family._single()
+        _cached_children[key] = child
+    return child
+
+
+def counter_child(
+    name: str, help_text: str = "", label: Optional[str] = None, value: Optional[str] = None
+) -> Any:
+    """The raw counter instrument, cached per (registry, name, label)."""
+    return _child("counter", name, help_text, label, value)
+
+
+def histogram_child(
+    name: str, help_text: str = "", label: Optional[str] = None, value: Optional[str] = None
+) -> Any:
+    """The raw histogram instrument, cached per (registry, name, label)."""
+    return _child("histogram", name, help_text, label, value)
+
+
+@contextmanager
+def observed(
+    slow_threshold_ms: Optional[float] = None,
+    trace_capacity: Optional[int] = None,
+) -> Iterator[MetricsRegistry]:
+    """Enable observability for a scope, restoring the prior state after.
+
+    >>> from repro.observability import runtime
+    >>> with runtime.observed() as reg:
+    ...     pass  # instrumented work
+    """
+    global active, metrics, tracer, slowlog
+    previous = (active, metrics, tracer, slowlog)
+    registry = enable(slow_threshold_ms=slow_threshold_ms, trace_capacity=trace_capacity)
+    try:
+        yield registry
+    finally:
+        active, metrics, tracer, slowlog = previous

@@ -1,0 +1,80 @@
+"""The slow-operation log.
+
+A bounded record of operations that exceeded a configurable threshold --
+the first place to look when a latency histogram grows a tail.  Hot paths
+report through :func:`note_slow`, which compares against the active
+threshold and appends a :class:`SlowOp` entry only on breach; while
+observability is disabled the call is never reached (the caller's
+``runtime.active`` guard short-circuits first).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+__all__ = ["SlowOp", "SlowOpLog", "note_slow"]
+
+DEFAULT_THRESHOLD_MS = 50.0
+DEFAULT_CAPACITY = 256
+
+
+@dataclass
+class SlowOp:
+    """One operation that breached the slow threshold."""
+
+    op: str
+    elapsed_ms: float
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {"op": self.op, "elapsed_ms": round(self.elapsed_ms, 3), **self.detail}
+
+
+class SlowOpLog:
+    """Bounded ring of :class:`SlowOp` entries above ``threshold_ms``."""
+
+    def __init__(
+        self,
+        threshold_ms: float = DEFAULT_THRESHOLD_MS,
+        capacity: int = DEFAULT_CAPACITY,
+    ) -> None:
+        self.threshold_ms = threshold_ms
+        self._ring: "deque[SlowOp]" = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self.total = 0
+
+    def note(self, op: str, elapsed_ms: float, **detail: Any) -> bool:
+        """Record the operation if it breached the threshold; return whether it did."""
+        if elapsed_ms < self.threshold_ms:
+            return False
+        with self._lock:
+            self._ring.append(SlowOp(op, elapsed_ms, detail))
+            self.total += 1
+        return True
+
+    def entries(self) -> List[SlowOp]:
+        with self._lock:
+            return list(self._ring)
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        return [entry.as_dict() for entry in self.entries()]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._ring.clear()
+            self.total = 0
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+
+def note_slow(op: str, elapsed_ms: float, **detail: Any) -> bool:
+    """Report to the process-wide slow-op log (no-op while disabled)."""
+    from repro.observability import runtime
+
+    if not runtime.active:
+        return False
+    return runtime.slowlog.note(op, elapsed_ms, **detail)

@@ -1,0 +1,205 @@
+"""Timing and aggregation utilities.
+
+All measurements use :func:`time.perf_counter` and are reported in
+milliseconds, the unit of the paper's Figure 3.  The aggregation helpers
+(:func:`aggregate_counters`, :class:`AggregatedCounters`) combine the
+operation counters of several engines -- the shards of a
+:class:`~repro.cluster.engine.ShardedEngine` -- into one cluster-wide view.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, fields
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.observability.opcounters import OperationCounters
+
+__all__ = [
+    "Timer",
+    "TimingSummary",
+    "PercentileSummary",
+    "aggregate_counters",
+    "AggregatedCounters",
+]
+
+
+class Timer:
+    """A context-manager stopwatch accumulating elapsed milliseconds.
+
+    Example
+    -------
+    >>> timer = Timer()
+    >>> with timer:
+    ...     pass
+    >>> timer.count
+    1
+    """
+
+    def __init__(self) -> None:
+        self.total_ms = 0.0
+        self.count = 0
+        self._started: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        if self._started is not None:
+            raise RuntimeError("timer already started")
+        self._started = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop the current measurement and return it in milliseconds."""
+        if self._started is None:
+            raise RuntimeError("timer was not started")
+        elapsed_ms = (time.perf_counter() - self._started) * 1000.0
+        self._started = None
+        self.total_ms += elapsed_ms
+        self.count += 1
+        return elapsed_ms
+
+    @property
+    def mean_ms(self) -> float:
+        """Average milliseconds per measurement (0.0 when never used)."""
+        if self.count == 0:
+            return 0.0
+        return self.total_ms / self.count
+
+    def reset(self) -> None:
+        self.total_ms = 0.0
+        self.count = 0
+        self._started = None
+
+
+@dataclass
+class PercentileSummary:
+    """Summary statistics over a sample of measurements."""
+
+    count: int
+    mean: float
+    minimum: float
+    maximum: float
+    p50: float
+    p90: float
+    p99: float
+
+    @classmethod
+    def from_samples(cls, samples: Sequence[float]) -> "PercentileSummary":
+        if not samples:
+            return cls(count=0, mean=0.0, minimum=0.0, maximum=0.0, p50=0.0, p90=0.0, p99=0.0)
+        ordered = sorted(samples)
+        return cls(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            minimum=ordered[0],
+            maximum=ordered[-1],
+            p50=_percentile(ordered, 0.50),
+            p90=_percentile(ordered, 0.90),
+            p99=_percentile(ordered, 0.99),
+        )
+
+
+def _percentile(ordered: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile over an already-sorted sample."""
+    if not ordered:
+        return 0.0
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    return ordered[rank - 1]
+
+
+class TimingSummary:
+    """Accumulates per-event processing times, grouped by label.
+
+    The experiment runner records one sample per arrival event, per engine
+    ("ita", "naive", ...), and reports means in milliseconds -- the metric
+    of the paper's figures.
+    """
+
+    def __init__(self) -> None:
+        self._samples: Dict[str, List[float]] = {}
+
+    def record(self, label: str, elapsed_ms: float) -> None:
+        self._samples.setdefault(label, []).append(elapsed_ms)
+
+    def extend(self, label: str, samples: Iterable[float]) -> None:
+        self._samples.setdefault(label, []).extend(samples)
+
+    def labels(self) -> List[str]:
+        return list(self._samples.keys())
+
+    def samples(self, label: str) -> List[float]:
+        return list(self._samples.get(label, []))
+
+    def mean_ms(self, label: str) -> float:
+        samples = self._samples.get(label, [])
+        if not samples:
+            return 0.0
+        return sum(samples) / len(samples)
+
+    def summary(self, label: str) -> PercentileSummary:
+        return PercentileSummary.from_samples(self._samples.get(label, []))
+
+    def merge(self, other: "TimingSummary") -> None:
+        for label in other.labels():
+            self.extend(label, other.samples(label))
+
+
+# --------------------------------------------------------------------------- #
+# counter aggregation (cluster support)
+# --------------------------------------------------------------------------- #
+def aggregate_counters(blocks: Iterable[OperationCounters]) -> OperationCounters:
+    """Per-field sum of several counter blocks into a fresh block.
+
+    Note that cluster-wide sums count the *total* work across all shards:
+    the replicated per-shard indexing (postings inserted/deleted, arrivals,
+    expirations) appears once per shard, whereas query-side work (scores,
+    refills) is partitioned and sums to roughly the single-engine amount.
+    """
+    total = OperationCounters()
+    for block in blocks:
+        total = total.merged_with(block)
+    return total
+
+
+class AggregatedCounters:
+    """A live, counter-compatible view over several engines' counter blocks.
+
+    A :class:`~repro.cluster.engine.ShardedEngine` exposes this as its
+    ``counters`` attribute so that code written against a single engine --
+    the experiment runner resets and copies ``engine.counters``, the
+    benchmarks read ``engine.counters.scores_computed`` -- works unchanged
+    on a cluster.  Reads sum over the underlying blocks at access time;
+    :meth:`reset` zeroes every underlying block.
+    """
+
+    _FIELD_NAMES = frozenset(f.name for f in fields(OperationCounters))
+
+    def __init__(self, blocks_provider: Callable[[], List[OperationCounters]]) -> None:
+        # A provider rather than a fixed list: the underlying engines own
+        # their blocks and may be rebuilt (e.g. on restore).
+        self._blocks_provider = blocks_provider
+
+    def __getattr__(self, name: str) -> int:
+        if name in AggregatedCounters._FIELD_NAMES:
+            return sum(getattr(block, name) for block in self._blocks_provider())
+        raise AttributeError(name)
+
+    def as_dict(self) -> Dict[str, int]:
+        return aggregate_counters(self._blocks_provider()).as_dict()
+
+    def copy(self) -> OperationCounters:
+        """A plain, detached :class:`OperationCounters` snapshot of the sums."""
+        return aggregate_counters(self._blocks_provider())
+
+    def reset(self) -> None:
+        for block in self._blocks_provider():
+            block.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.as_dict()})"

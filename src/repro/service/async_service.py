@@ -37,6 +37,7 @@ closing the async wrapper returns it to synchronous use.
 from __future__ import annotations
 
 import asyncio
+import time
 from collections import deque
 from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple, Union
 
@@ -44,6 +45,8 @@ from repro.alerting import Alert
 from repro.core.base import MonitoringEngine, ResultChange, TopKResult
 from repro.documents.document import StreamedDocument
 from repro.exceptions import ServiceError
+from repro.observability import runtime as obs
+from repro.observability.slowlog import note_slow
 from repro.query.query import ContinuousQuery
 from repro.service.service import Ingestible, MonitoringService, QueryHandle
 from repro.service.spec import EngineSpec
@@ -188,35 +191,53 @@ class AsyncMonitoringService:
         #: subscriber can be lost to a crash -- the WAL order equals the
         #: submission order, which the merge barrier preserves
         durability = self.service._durability
+        observed = obs.active
+        started = time.perf_counter() if observed else 0.0
+        documents = 0
         changes: List[ResultChange] = []
-        #: batches submitted but not yet merged, oldest first
-        inflight: Deque[Tuple[List[StreamedDocument], "asyncio.Future[BatchChanges]"]] = deque()
+        #: batches submitted but not yet merged, oldest first; each entry
+        #: carries its submission timestamp (0.0 while unobserved) so the
+        #: merge-to-delivery lag of the batch can be measured
+        inflight: Deque[
+            Tuple[List[StreamedDocument], "asyncio.Future[BatchChanges]", float]
+        ] = deque()
 
-        async def flush(future_batch: List[StreamedDocument], future) -> None:
+        async def flush(
+            future_batch: List[StreamedDocument], future, submitted: float
+        ) -> None:
             merged: BatchChanges = await future
             for document, event_changes in zip(future_batch, merged):
                 if event_changes:
                     self.service.dispatcher.dispatch_changes(event_changes, document)
                     changes.extend(event_changes)
+            if submitted:
+                # submission (pre-backpressure) to last alert callback:
+                # the end-to-end delivery lag of one pipeline batch
+                obs.metrics.histogram(
+                    "repro_async_batch_delivery_lag_ms",
+                    "pipeline batch submission to alert delivery",
+                ).observe((time.perf_counter() - submitted) * 1000.0)
+
+        async def submit(ready: List[StreamedDocument]) -> None:
+            if durability is not None:
+                self.service._check_durable_batch(ready)
+                durability.log_ingest(ready)
+            submitted = time.perf_counter() if observed else 0.0
+            inflight.append((ready, await pipeline.submit(ready), submitted))
 
         batch: List[StreamedDocument] = []
         for streamed in self.service._as_stream(source, at):
             batch.append(streamed)
+            documents += 1
             if len(batch) >= size:
-                if durability is not None:
-                    self.service._check_durable_batch(batch)
-                    durability.log_ingest(batch)
-                inflight.append((batch, await pipeline.submit(batch)))
+                await submit(batch)
                 batch = []
                 # Deliver completed batches opportunistically so alert
                 # latency stays bounded on long streams, still in order.
                 while inflight and inflight[0][1].done():
                     await flush(*inflight.popleft())
         if batch:
-            if durability is not None:
-                self.service._check_durable_batch(batch)
-                durability.log_ingest(batch)
-            inflight.append((batch, await pipeline.submit(batch)))
+            await submit(batch)
         while inflight:
             await flush(*inflight.popleft())
         if durability is not None and durability.checkpoint_due:
@@ -224,6 +245,20 @@ class AsyncMonitoringService:
             # engine, which must not run while lanes still hold batches.
             await self.drain()
             durability.checkpoint()
+        if observed:
+            self.service._ensure_collector()
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            metrics = obs.metrics
+            metrics.counter(
+                "repro_async_ingest_calls_total", "async ingest() calls"
+            ).inc()
+            metrics.counter(
+                "repro_async_ingest_documents_total", "documents through the pipeline"
+            ).inc(documents)
+            metrics.histogram(
+                "repro_async_ingest_ms", "async ingest() latency"
+            ).observe(elapsed_ms)
+            note_slow("async.ingest", elapsed_ms, documents=documents)
         return changes
 
     async def advance_time(self, now: float) -> List[ResultChange]:

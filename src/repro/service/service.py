@@ -35,6 +35,7 @@ ITA engine to a sharded cluster by changing the spec only.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from typing import (
     Any,
@@ -57,6 +58,10 @@ from repro.exceptions import (
     UnknownQueryError,
     WindowError,
 )
+from repro.observability import runtime as obs
+from repro.observability.opcounters import counters_collector
+from repro.observability.slowlog import note_slow
+from repro.observability.trace import trace_span
 from repro.persistence import restore_engine, snapshot_engine
 from repro.query.query import ContinuousQuery
 from repro.service.spec import EngineSpec, spec_from_name
@@ -257,6 +262,53 @@ class MonitoringService:
         #: every state-changing operation is written to the WAL first
         self._durability: Optional["Any"] = None
         self._closed = False
+        # Metrics: the engine's operation counters join the registry as a
+        # scrape-time collector (zero ingest-path cost).  The registry is
+        # swapped on every runtime.enable(), so registration is lazy and
+        # re-checked against the current registry (see _ensure_collector).
+        self._collector_registry: Optional[Any] = None
+        self._collector_unregister: Optional[Callable[[], None]] = None
+
+    # ------------------------------------------------------------------ #
+    # observability
+    # ------------------------------------------------------------------ #
+    def _ensure_collector(self) -> None:
+        """Register the engine-counters collector on the active registry."""
+        registry = obs.metrics
+        if self._collector_registry is registry:
+            return
+        if self._collector_unregister is not None:
+            self._collector_unregister()
+        self._collector_unregister = registry.register_collector(
+            counters_collector(lambda: [self.engine.counters.copy()])
+        )
+        self._collector_registry = registry
+
+    def metrics(self) -> Dict[str, Any]:
+        """A JSON snapshot of the process-wide metrics registry.
+
+        Includes this service's engine operation counters (exposed as
+        ``repro_engine_ops_total{op=...}``) next to every family recorded
+        while observability was enabled -- see
+        :func:`repro.observability.runtime.enable` and
+        ``docs/OBSERVABILITY.md`` for the catalog.
+
+        Returns
+        -------
+        dict
+            ``{"families": {...}, "collected": {...}}``, JSON-compatible.
+        """
+        self._ensure_collector()
+        return obs.metrics.snapshot()
+
+    def metrics_prometheus(self) -> str:
+        """The metrics registry in the Prometheus text exposition format."""
+        self._ensure_collector()
+        return obs.metrics.to_prometheus()
+
+    def slow_ops(self) -> List[Dict[str, Any]]:
+        """The slow-operation log entries, oldest first (JSON-compatible)."""
+        return obs.slowlog.as_dicts()
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -399,6 +451,10 @@ class MonitoringService:
         for unsubscribe in self._handle_unsubscribers.values():
             unsubscribe()
         self._handle_unsubscribers.clear()
+        if self._collector_unregister is not None:
+            self._collector_unregister()
+            self._collector_unregister = None
+            self._collector_registry = None
         if self._durability is not None:
             self._durability.close()
 
@@ -453,6 +509,7 @@ class MonitoringService:
             If the query is malformed (no terms, non-positive ``k``).
         """
         self._check_open()
+        started = time.perf_counter() if obs.active else 0.0
         if isinstance(query, ContinuousQuery):
             continuous = query
         else:
@@ -473,6 +530,16 @@ class MonitoringService:
                 continuous, self._shard_of(continuous.query_id)
             )
             self._durability.maybe_checkpoint()
+        if obs.active:
+            self._ensure_collector()
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            obs.metrics.counter(
+                "repro_service_subscribe_total", "standing queries installed"
+            ).inc()
+            obs.metrics.histogram(
+                "repro_service_subscribe_ms", "subscribe() latency"
+            ).observe(elapsed_ms)
+            note_slow("service.subscribe", elapsed_ms, query_id=handle.query_id)
         return handle
 
     def handle(
@@ -554,6 +621,10 @@ class MonitoringService:
             shard = self._shard_of(handle.query_id)
             self.engine.unregister_query(handle.query_id)
             self._log_unsubscribe(handle.query_id, shard)
+        if obs.active:
+            obs.metrics.counter(
+                "repro_service_unsubscribe_total", "standing queries removed"
+            ).inc()
 
     def unsubscribe(self, query_id: int) -> None:
         """Terminate ``query_id`` whether or not a handle exists for it.
@@ -634,6 +705,8 @@ class MonitoringService:
             iterable ``source`` is not an ingestible type.
         """
         self._check_open()
+        if obs.active:
+            return self._ingest_observed(source, at)
         if self._durability is not None:
             # Write-ahead: materialise and stamp the whole chunk, append
             # it to the WAL, and only then apply it -- no acknowledged
@@ -657,6 +730,63 @@ class MonitoringService:
         changes = []
         for streamed in self._as_stream(source, at):
             changes.extend(self.dispatcher.process(streamed))
+        return changes
+
+    def _ingest_observed(
+        self,
+        source: Union[Ingestible, Iterable[Ingestible]],
+        at: Optional[float],
+    ) -> List[ResultChange]:
+        """The instrumented twin of :meth:`ingest` (``obs.active`` only).
+
+        Same decision tree and same engine calls; the stream is
+        materialised up front so the document count is known, and each
+        dispatched document is timed for the alert-delivery-lag histogram
+        (arrival at the service to the last callback's return).
+        """
+        self._ensure_collector()
+        delivered_before = self.dispatcher.delivered
+        started = time.perf_counter()
+        with trace_span("service.ingest") as span:
+            batch = list(self._as_stream(source, at))
+            if self._durability is not None:
+                self._check_durable_batch(batch)
+                if batch:
+                    self._durability.log_ingest(batch)
+                use_dispatcher = self.dispatcher.has_subscribers
+            else:
+                single = isinstance(source, (str, Document, StreamedDocument))
+                use_dispatcher = single or self.dispatcher.has_subscribers
+            if use_dispatcher:
+                changes: List[ResultChange] = []
+                lag = obs.metrics.histogram(
+                    "repro_service_alert_delivery_lag_ms",
+                    "document arrival to last alert callback return",
+                )
+                for streamed in batch:
+                    doc_started = time.perf_counter()
+                    doc_changes = self.dispatcher.process(streamed)
+                    if doc_changes:
+                        lag.observe((time.perf_counter() - doc_started) * 1000.0)
+                    changes.extend(doc_changes)
+            else:
+                changes = self.engine.process_batch(batch)
+            if self._durability is not None:
+                self._durability.maybe_checkpoint()
+            span.set(documents=len(batch), changes=len(changes))
+        elapsed_ms = (time.perf_counter() - started) * 1000.0
+        metrics = obs.metrics
+        metrics.counter("repro_service_ingest_calls_total", "ingest() calls").inc()
+        metrics.counter(
+            "repro_service_ingest_documents_total", "documents ingested"
+        ).inc(len(batch))
+        metrics.histogram("repro_service_ingest_ms", "ingest() latency").observe(elapsed_ms)
+        delivered = self.dispatcher.delivered - delivered_before
+        if delivered:
+            metrics.counter(
+                "repro_service_alerts_delivered_total", "alert callbacks invoked"
+            ).inc(delivered)
+        note_slow("service.ingest", elapsed_ms, documents=len(batch))
         return changes
 
     def _check_durable_batch(self, batch: List[StreamedDocument]) -> None:
@@ -766,6 +896,7 @@ class MonitoringService:
             If ``now`` is before the last observed arrival time.
         """
         self._check_open()
+        started = time.perf_counter() if obs.active else 0.0
         self._clock = max(self._clock, float(now))
         changes = self.dispatcher.advance_time(now)
         if self._durability is not None:
@@ -773,6 +904,13 @@ class MonitoringService:
             # (time going backwards) must not poison the replay.
             self._durability.log_advance_time(float(now))
             self._durability.maybe_checkpoint()
+        if obs.active:
+            self._ensure_collector()
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            obs.metrics.histogram(
+                "repro_service_advance_time_ms", "advance_time() latency"
+            ).observe(elapsed_ms)
+            note_slow("service.advance_time", elapsed_ms, changes=len(changes))
         return changes
 
     def _as_stream(

@@ -15,6 +15,12 @@ Run the machine-readable performance harness and write the JSON artifact
 
     python -m repro.workloads.cli bench-all --out BENCH_results.json
 
+Run an instrumented workload and print its Prometheus exposition (see
+``docs/OBSERVABILITY.md`` for the metric catalog)::
+
+    python -m repro.workloads.cli obs
+    python -m repro.workloads.cli obs --format json --trace-out trace.json
+
 List the available experiments::
 
     python -m repro.workloads.cli list
@@ -73,10 +79,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS) + ["all", "bench-all", "list"],
+        choices=sorted(_EXPERIMENTS) + ["all", "bench-all", "obs", "list"],
         help=(
             "which experiment to run ('all' for every one, 'bench-all' for the "
-            "machine-readable performance harness, 'list' to enumerate them)"
+            "machine-readable performance harness, 'obs' for an instrumented "
+            "workload exposing the full telemetry surface, 'list' to enumerate "
+            "them)"
         ),
     )
     parser.add_argument(
@@ -118,6 +126,37 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--history-dir",
+        default="benchmarks/history",
+        help=(
+            "bench-all only: directory whose bench_history.jsonl trajectory "
+            "each run appends a condensed entry to "
+            "(default: benchmarks/history; --no-history disables)"
+        ),
+    )
+    parser.add_argument(
+        "--no-history",
+        action="store_true",
+        help="bench-all only: do not append this run to the history trajectory",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("prometheus", "json"),
+        default="prometheus",
+        help="obs only: exposition format printed to stdout (default: prometheus)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="obs only: also write the Chrome trace-event JSON to this file",
+    )
+    parser.add_argument(
+        "--slow-threshold-ms",
+        type=float,
+        default=None,
+        help="obs only: slow-operation log threshold in milliseconds",
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="suppress progress messages",
@@ -143,10 +182,43 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     progress = None if args.quiet else (lambda message: print(message, file=sys.stderr))
 
+    if args.experiment == "obs":
+        from repro.workloads.obsrun import run_observed_workload
+
+        if args.slow_threshold_ms is not None and args.slow_threshold_ms < 0:
+            parser.error("--slow-threshold-ms must be non-negative")
+        if progress is not None:
+            progress("[obs] running the instrumented durable + async workload")
+        out = run_observed_workload(slow_threshold_ms=args.slow_threshold_ms)
+        if args.trace_out:
+            with open(args.trace_out, "w", encoding="utf-8") as handle:
+                handle.write(out["chrome_trace"])
+                handle.write("\n")
+            if progress is not None:
+                progress(f"[obs] wrote {args.trace_out}")
+        if args.format == "json":
+            document = {
+                "snapshot": out["snapshot"],
+                "slow_ops": out["slow_ops"],
+                "durable": out["durable"],
+                "async": out["async"],
+            }
+            json.dump(document, sys.stdout, indent=2)
+            sys.stdout.write("\n")
+        else:
+            sys.stdout.write(out["prometheus"])
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                handle.write(out["prometheus"])
+            if progress is not None:
+                progress(f"[obs] wrote {args.output}")
+        return 0
+
     if args.experiment == "bench-all":
         from repro.workloads.perfjson import (
             DEFAULT_ASYNC_WORKERS,
             DEFAULT_BATCH_SIZE,
+            append_history,
             run_bench_suite,
         )
 
@@ -174,6 +246,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             handle.write("\n")
         if not args.quiet:
             print(f"wrote {args.out}", file=sys.stderr)
+        if not args.no_history:
+            history_path = append_history(document, args.history_dir)
+            if not args.quiet:
+                print(f"appended history entry to {history_path}", file=sys.stderr)
         for key, value in document["summary"].items():
             print(f"{key}: {value}")
         return 0

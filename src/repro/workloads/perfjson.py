@@ -7,7 +7,9 @@ and 3(b) settings, the query-count ablation, the sharded-cluster scale-out
 workload and a service-façade overhead check -- across several engine
 kinds and several processing modes (per-event ``process()``, the batched
 ``process_batch()`` hot path, the asynchronous ingestion pipeline of
-:mod:`repro.cluster.pipeline` at one and at several workers, and the
+:mod:`repro.cluster.pipeline` at one and at several workers, the
+``instrumented`` mode -- the batched hot path with the
+:mod:`repro.observability` telemetry enabled -- and the
 write-ahead-logged ``wal`` mode with its ``wal-recovery`` crash-replay
 companion), and emits one JSON document (``BENCH_results.json`` by
 convention) with, per measurement:
@@ -36,7 +38,8 @@ import time
 from dataclasses import asdict, dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from repro.monitoring.metrics import PercentileSummary
+from repro.observability import runtime as obs_runtime
+from repro.observability.timing import PercentileSummary
 from repro.query.query import ContinuousQuery
 from repro.workloads.experiments import (
     SCALES,
@@ -54,15 +57,19 @@ __all__ = [
     "SCHEMA",
     "DEFAULT_BATCH_SIZE",
     "DEFAULT_ASYNC_WORKERS",
+    "HISTORY_FILENAME",
     "BenchRecord",
     "BenchCase",
     "default_suite",
     "run_case",
     "run_bench_suite",
+    "history_entry",
+    "append_history",
+    "read_history",
 ]
 
 #: bump when a field of the emitted JSON changes meaning
-SCHEMA = "repro-bench/3"
+SCHEMA = "repro-bench/4"
 
 #: default chunk size of the batched measurement mode
 DEFAULT_BATCH_SIZE = 64
@@ -81,11 +88,13 @@ class BenchRecord:
     point: str
     engine: str
     #: "sequential" (one timed ``process()`` call per arrival), "batched"
-    #: (timed ``process_batch()`` chunks), "async" (chunks through the
-    #: concurrent ingestion pipeline of :mod:`repro.cluster.pipeline`),
-    #: "wal" (batched chunks with write-ahead logging -- the logged-ingest
-    #: overhead cell) or "wal-recovery" (checkpoint restore + WAL replay;
-    #: ``events`` are the replayed documents)
+    #: (timed ``process_batch()`` chunks), "instrumented" (the batched
+    #: hot path with :mod:`repro.observability` enabled -- the telemetry
+    #: overhead cell), "async" (chunks through the concurrent ingestion
+    #: pipeline of :mod:`repro.cluster.pipeline`), "wal" (batched chunks
+    #: with write-ahead logging -- the logged-ingest overhead cell) or
+    #: "wal-recovery" (checkpoint restore + WAL replay; ``events`` are
+    #: the replayed documents)
     mode: str
     #: measured arrival events
     events: int
@@ -158,9 +167,11 @@ def default_suite(scale: str = "small") -> List[BenchCase]:
             # "wal" rides the batched hot path with write-ahead logging and
             # additionally emits the "wal-recovery" cell (checkpoint
             # restore + log replay), so the logged-ingest overhead and the
-            # recovery time are part of every emitted file.
+            # recovery time are part of every emitted file.  "instrumented"
+            # repeats the batched cell with observability on, so the
+            # telemetry overhead bound is part of every emitted file too.
             modes={
-                "ita": ("sequential", "batched", "wal"),
+                "ita": ("sequential", "batched", "instrumented", "wal"),
                 "naive": sequential,
                 "naive-kmax": sequential,
             },
@@ -239,15 +250,28 @@ def run_case(
                 if progress is not None:
                     suffix = f", workers={workers}" if workers is not None else ""
                     progress(f"[bench]   engine {engine_name} ({mode}{suffix})")
+                chunked = mode in ("batched", "async", "instrumented")
                 measurement = None
                 for _ in range(repeats):
-                    result = run_point(
-                        case.point,
-                        [engine_name],
-                        workload=workload,
-                        batch_size=batch_size if mode in ("batched", "async") else None,
-                        concurrency=workers,
-                    )
+                    if mode == "instrumented":
+                        # The telemetry-overhead cell: the identical
+                        # batched measurement with metrics + tracing on.
+                        with obs_runtime.observed():
+                            result = run_point(
+                                case.point,
+                                [engine_name],
+                                workload=workload,
+                                batch_size=batch_size,
+                                concurrency=workers,
+                            )
+                    else:
+                        result = run_point(
+                            case.point,
+                            [engine_name],
+                            workload=workload,
+                            batch_size=batch_size if chunked else None,
+                            concurrency=workers,
+                        )
                     candidate = result.measurements[engine_name]
                     if measurement is None or candidate.mean_ms < measurement.mean_ms:
                         measurement = candidate
@@ -264,7 +288,7 @@ def run_case(
                         p50_ms=measurement.summary.p50,
                         p99_ms=measurement.summary.p99,
                         scores_per_event=measurement.scores_per_event,
-                        batch_size=batch_size if mode in ("batched", "async") else None,
+                        batch_size=batch_size if chunked else None,
                         concurrency=workers,
                     )
                 )
@@ -509,6 +533,14 @@ def run_bench_suite(
     facade = by_key.get(("service-overhead", "ita", "facade", None))
     if direct and facade and direct.mean_ms > 0:
         summary["service_facade_over_direct"] = round(facade.mean_ms / direct.mean_ms, 4)
+    instrumented = by_key.get(("figure3a", "ita", "instrumented", None))
+    if instrumented and batched and batched.mean_ms > 0:
+        # The telemetry-overhead bound the observability acceptance
+        # criterion refers to: <= 1.05 means metrics + tracing cost at
+        # most 5% of the batched hot path on the headline workload.
+        summary["figure3a_ita_instrumented_over_batched"] = round(
+            instrumented.mean_ms / batched.mean_ms, 4
+        )
     wal = by_key.get(("figure3a", "ita", "wal", None))
     if wal and batched and batched.mean_ms > 0:
         # The logged-ingest overhead the durability acceptance bound
@@ -559,3 +591,93 @@ def run_bench_suite(
         "results": [asdict(record) for record in records],
         "summary": summary,
     }
+
+
+# --------------------------------------------------------------------------- #
+# the benchmark trajectory: one JSONL line per bench-all run
+# --------------------------------------------------------------------------- #
+#: the trajectory file ``bench-all`` appends to under ``--history-dir``
+HISTORY_FILENAME = "bench_history.jsonl"
+
+
+def history_entry(
+    document: Dict[str, Any], timestamp: Optional[str] = None
+) -> Dict[str, Any]:
+    """Condense one bench-all document into one trajectory line.
+
+    The line keeps what trend analysis needs -- the summary ratios plus a
+    ``docs_per_sec`` map keyed ``workload/engine/mode`` (``@workers``
+    appended for async cells) -- and drops the per-cell latency detail,
+    so years of runs stay grep-able and cheap to parse.
+    """
+    import datetime
+
+    if timestamp is None:
+        timestamp = datetime.datetime.now(datetime.timezone.utc).isoformat(
+            timespec="seconds"
+        )
+    throughput: Dict[str, float] = {}
+    for record in document.get("results", []):
+        key = f"{record['workload']}/{record['engine']}/{record['mode']}"
+        if record.get("concurrency") is not None:
+            key += f"@{record['concurrency']}"
+        throughput[key] = round(float(record["docs_per_sec"]), 2)
+    return {
+        "ts": timestamp,
+        "schema": document.get("schema", SCHEMA),
+        "scale": document.get("scale"),
+        "batch_size": document.get("batch_size"),
+        "summary": dict(document.get("summary", {})),
+        "docs_per_sec": throughput,
+    }
+
+
+def append_history(
+    document: Dict[str, Any],
+    history_dir: Any,
+    timestamp: Optional[str] = None,
+) -> Any:
+    """Append the condensed entry for ``document`` to the trajectory file.
+
+    Returns the path appended to (``history_dir/bench_history.jsonl``;
+    the directory is created on first use).
+    """
+    import json
+    from pathlib import Path
+
+    path = Path(history_dir) / HISTORY_FILENAME
+    path.parent.mkdir(parents=True, exist_ok=True)
+    entry = history_entry(document, timestamp=timestamp)
+    with open(path, "a", encoding="utf-8") as handle:
+        json.dump(entry, handle, separators=(",", ":"))
+        handle.write("\n")
+    return path
+
+
+def read_history(history_dir: Any) -> List[Dict[str, Any]]:
+    """The trajectory entries of ``history_dir``, oldest first.
+
+    Blank lines are skipped; a malformed line raises ``ValueError`` with
+    its line number (the file is append-only, so corruption means a
+    half-written final line -- fail loudly rather than silently trimming
+    the trend).
+    """
+    import json
+    from pathlib import Path
+
+    path = Path(history_dir) / HISTORY_FILENAME
+    if not path.is_file():
+        return []
+    entries: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entries.append(json.loads(line))
+            except ValueError as error:
+                raise ValueError(
+                    f"{path}:{line_number}: malformed history line: {error}"
+                ) from error
+    return entries

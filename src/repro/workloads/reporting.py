@@ -9,11 +9,16 @@ engine, plus the ITA speedup over the competitor.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from repro.workloads.runner import ExperimentResult, PointResult
 
-__all__ = ["format_result_table", "format_speedup_summary", "result_rows"]
+__all__ = [
+    "format_result_table",
+    "format_speedup_summary",
+    "result_rows",
+    "render_perf_dashboard",
+]
 
 
 def result_rows(result: ExperimentResult) -> List[Dict[str, object]]:
@@ -102,3 +107,124 @@ def format_speedup_summary(result: ExperimentResult) -> str:
         f"{min(speedups):.1f}x and {max(speedups):.1f}x faster than {competitor} "
         f"across the sweep"
     )
+
+
+# --------------------------------------------------------------------------- #
+# the markdown perf dashboard (CI artifact)
+# --------------------------------------------------------------------------- #
+#: what each summary ratio means, for the dashboard's headline table
+_RATIO_NOTES = {
+    "figure3a_ita_batched_over_sequential": "batched hot-path speedup (higher is better)",
+    "figure3a_ita_instrumented_over_batched": "telemetry overhead (bound: <= 1.05)",
+    "figure3a_ita_wal_over_batched": "logged-ingest overhead (bound: < 1.25)",
+    "figure3a_ita_batched_over_naive_kmax": "ITA vs the paper's Naive-kmax competitor",
+    "service_facade_over_direct": "service facade tax over the raw engine",
+    "cluster_async_multi_over_single_worker": "async pipeline concurrency speedup",
+    "cluster_async_over_batched": "async pipeline vs synchronous batched",
+    "figure3a_wal_recovery_ms": "crash-recovery wall time (ms)",
+    "figure3a_wal_recovery_docs_per_sec": "crash-recovery replay throughput",
+}
+
+
+def _markdown_table(header: Sequence[str], rows: Iterable[Sequence[str]]) -> List[str]:
+    lines = ["| " + " | ".join(header) + " |"]
+    lines.append("|" + "|".join(" --- " for _ in header) + "|")
+    for row in rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return lines
+
+
+def render_perf_dashboard(
+    entries: Sequence[Dict[str, Any]],
+    metrics: Optional[Dict[str, Any]] = None,
+) -> str:
+    """Render the benchmark trajectory (plus an optional telemetry
+    snapshot) as the markdown dashboard CI publishes.
+
+    ``entries`` are trajectory lines as read by
+    :func:`repro.workloads.perfjson.read_history`, oldest first;
+    ``metrics`` is a registry snapshot as returned by
+    :meth:`~repro.observability.registry.MetricsRegistry.snapshot`.
+    """
+    lines: List[str] = ["# Performance dashboard", ""]
+    if not entries:
+        lines.append("No benchmark history yet -- run "
+                     "`python -m repro.workloads.cli bench-all` to record a first entry.")
+        return "\n".join(lines) + "\n"
+
+    latest = entries[-1]
+    first = entries[0]
+    lines.append(
+        f"{len(entries)} bench-all run(s) recorded, "
+        f"{first.get('ts', '?')} to {latest.get('ts', '?')} "
+        f"(latest at scale `{latest.get('scale', '?')}`, "
+        f"schema `{latest.get('schema', '?')}`)."
+    )
+    lines.append("")
+
+    summary = latest.get("summary", {})
+    if summary:
+        lines.append("## Headline ratios (latest run)")
+        lines.append("")
+        rows = [
+            (f"`{key}`", f"{value:.4f}" if isinstance(value, float) else str(value),
+             _RATIO_NOTES.get(key, ""))
+            for key, value in sorted(summary.items())
+        ]
+        lines.extend(_markdown_table(("ratio", "value", "meaning"), rows))
+        lines.append("")
+
+    if len(entries) >= 2:
+        lines.append("## Trend (first vs latest run)")
+        lines.append("")
+        rows = []
+        for key in sorted(summary):
+            then = first.get("summary", {}).get(key)
+            now = summary.get(key)
+            if not isinstance(then, (int, float)) or not isinstance(now, (int, float)):
+                continue
+            delta = ((now - then) / then * 100.0) if then else 0.0
+            rows.append((f"`{key}`", f"{then:.4f}", f"{now:.4f}", f"{delta:+.1f}%"))
+        if rows:
+            lines.extend(_markdown_table(("ratio", "first", "latest", "change"), rows))
+            lines.append("")
+
+    throughput = latest.get("docs_per_sec", {})
+    if throughput:
+        lines.append("## Throughput (docs/sec, latest run)")
+        lines.append("")
+        rows = [
+            (f"`{cell}`", f"{value:,.0f}")
+            for cell, value in sorted(throughput.items())
+        ]
+        lines.extend(_markdown_table(("cell", "docs/sec"), rows))
+        lines.append("")
+
+    if metrics:
+        lines.append("## Telemetry snapshot")
+        lines.append("")
+        rows = []
+        for name, family in sorted(metrics.get("families", {}).items()):
+            for sample in family.get("samples", []):
+                labels = sample.get("labels") or {}
+                label_text = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+                cell = f"`{name}{{{label_text}}}`" if label_text else f"`{name}`"
+                if family.get("kind") == "histogram":
+                    rows.append(
+                        (cell, family.get("kind", ""),
+                         f"count={sample.get('count')} sum={sample.get('sum'):.3f} "
+                         f"p50<={sample.get('p50')} p99<={sample.get('p99')}")
+                    )
+                else:
+                    rows.append((cell, family.get("kind", ""), f"{sample.get('value')}"))
+        for name, samples in sorted(metrics.get("collected", {}).items()):
+            for sample in samples:
+                labels = sample.get("labels") or {}
+                label_text = ",".join(f"{k}={v}" for k, v in sorted(labels.items()))
+                cell = f"`{name}{{{label_text}}}`" if label_text else f"`{name}`"
+                rows.append((cell, "collected", f"{sample.get('value')}"))
+        if rows:
+            lines.extend(_markdown_table(("metric", "kind", "value"), rows))
+            lines.append("")
+
+    return "\n".join(lines) + "\n"

@@ -22,8 +22,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.base import MonitoringEngine
-from repro.monitoring.instrumentation import OperationCounters
-from repro.monitoring.metrics import PercentileSummary
+from repro.observability.opcounters import OperationCounters
+from repro.observability.timing import PercentileSummary
 from repro.service.spec import (
     EngineSpec,
     PlacementCalibration,

@@ -1,0 +1,226 @@
+"""Per-layer instrumentation: the right families appear with real values."""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.observability import runtime
+from repro.service import (
+    AsyncMonitoringService,
+    EngineSpec,
+    MonitoringService,
+    WindowSpec,
+)
+
+DOCS = [
+    "market rally interest rates",
+    "storm warning coastal flood",
+    "tech earnings beat expectations",
+    "inflation data rate hike",
+    "coast bank defence towns",
+    "cuts cooling stream query",
+]
+
+
+def _family_value(snapshot, name, **labels):
+    for sample in snapshot["families"][name]["samples"]:
+        if sample["labels"] == labels:
+            return sample
+    raise AssertionError(f"no sample of {name} with labels {labels}")
+
+
+# --------------------------------------------------------------------------- #
+# the synchronous service
+# --------------------------------------------------------------------------- #
+def test_service_counters_and_alert_lag() -> None:
+    with runtime.observed():
+        with MonitoringService(
+            EngineSpec(kind="ita", window=WindowSpec.count(16))
+        ) as service:
+            alerts = []
+            service.subscribe("market rates rally", k=2, on_change=alerts.append)
+            service.ingest(DOCS)
+            service.ingest(DOCS)
+            snapshot = service.metrics()
+            prometheus = service.metrics_prometheus()
+
+        assert _family_value(snapshot, "repro_service_subscribe_total")["value"] == 1.0
+        assert (
+            _family_value(snapshot, "repro_service_ingest_calls_total")["value"] == 2.0
+        )
+        assert (
+            _family_value(snapshot, "repro_service_ingest_documents_total")["value"]
+            == float(2 * len(DOCS))
+        )
+        assert _family_value(snapshot, "repro_service_ingest_ms")["count"] == 2
+        assert alerts, "the standing query must have fired"
+        assert (
+            _family_value(snapshot, "repro_service_alerts_delivered_total")["value"]
+            == float(len(alerts))
+        )
+        assert _family_value(snapshot, "repro_service_alert_delivery_lag_ms")["count"] > 0
+
+        # The engine operation counters ride the scrape-time collector.
+        ops = {
+            tuple(sample["labels"].items()): sample["value"]
+            for sample in snapshot["collected"]["repro_engine_ops_total"]
+        }
+        assert ops[(("op", "arrivals"),)] == float(2 * len(DOCS))
+        assert "repro_service_ingest_ms_bucket" in prometheus
+        assert 'repro_engine_ops_total{op="arrivals"}' in prometheus
+
+
+def test_service_metrics_survive_registry_swap() -> None:
+    """enable() swaps the registry; the collector must re-register."""
+    with runtime.observed():
+        with MonitoringService(
+            EngineSpec(kind="ita", window=WindowSpec.count(16))
+        ) as service:
+            service.ingest(DOCS)
+            runtime.enable()  # fresh registry mid-flight
+            service.ingest(DOCS)
+            snapshot = service.metrics()
+            assert (
+                _family_value(snapshot, "repro_service_ingest_calls_total")["value"]
+                == 1.0
+            )
+            # The collector reports cumulative engine counters regardless.
+            ops = {
+                tuple(sample["labels"].items()): sample["value"]
+                for sample in snapshot["collected"]["repro_engine_ops_total"]
+            }
+            assert ops[(("op", "arrivals"),)] == float(2 * len(DOCS))
+
+
+def test_engine_stage_timers_cover_rare_paths_too() -> None:
+    with runtime.observed() as registry:
+        with MonitoringService(
+            EngineSpec(kind="ita", window=WindowSpec.count(4))
+        ) as service:
+            service.subscribe("market rates rally storm", k=3)
+            for _ in range(12):
+                service.ingest(DOCS)
+        stages = {
+            sample["labels"]["stage"]: sample["value"]
+            for sample in registry.snapshot()["families"][
+                "repro_engine_stage_ms_total"
+            ]["samples"]
+        }
+    # expire/arrival accrue on every batch; rollup fires once the window
+    # turns over with a registered query.
+    assert stages["expire"] >= 0.0
+    assert stages["arrival"] > 0.0
+    assert "rollup" in stages
+
+
+# --------------------------------------------------------------------------- #
+# the async service and pipeline
+# --------------------------------------------------------------------------- #
+def test_async_and_pipeline_families() -> None:
+    async def scenario():
+        async with AsyncMonitoringService(
+            EngineSpec(kind="sharded", num_shards=2, window=WindowSpec.count(16)),
+            max_workers=2,
+            queue_depth=2,
+            batch_size=2,
+        ) as service:
+            await service.subscribe("market rates rally", k=2)
+            for _ in range(4):
+                await service.ingest(DOCS)
+            await service.results()
+            # Captured inside: aclose unregisters the pipeline collector.
+            return runtime.metrics.snapshot()
+
+    with runtime.observed():
+        snapshot = asyncio.run(scenario())
+
+    assert (
+        _family_value(snapshot, "repro_async_ingest_documents_total")["value"]
+        == float(4 * len(DOCS))
+    )
+    assert _family_value(snapshot, "repro_async_ingest_calls_total")["value"] == 4.0
+    assert _family_value(snapshot, "repro_async_batch_delivery_lag_ms")["count"] > 0
+
+    collected = snapshot["collected"]
+    events = sum(entry["value"] for entry in collected["repro_pipeline_events_total"])
+    assert events == float(4 * len(DOCS))
+    lanes = {
+        entry["labels"]["lane"] for entry in collected["repro_pipeline_lane_batches_total"]
+    }
+    assert lanes == {"0", "1"}
+    for entry in collected["repro_pipeline_lane_utilization"]:
+        assert 0.0 <= entry["value"] <= 1.0
+
+
+def test_pipeline_trace_spans_cross_threads() -> None:
+    async def scenario():
+        async with AsyncMonitoringService(
+            EngineSpec(kind="sharded", num_shards=2, window=WindowSpec.count(16)),
+            max_workers=2,
+            batch_size=3,
+        ) as service:
+            await service.ingest(DOCS)
+            await service.results()
+
+    with runtime.observed():
+        asyncio.run(scenario())
+        spans = runtime.tracer.spans()
+
+    submits = [span for span in spans if span.name == "pipeline.submit"]
+    lanes = [span for span in spans if span.name == "pipeline.lane"]
+    assert submits and lanes
+    submit_ids = {span.span_id for span in submits}
+    # Every lane span carries its submitting batch as the parent, even
+    # though it ran on a pool thread -- explicit context propagation.
+    assert all(span.parent_id in submit_ids for span in lanes)
+
+
+# --------------------------------------------------------------------------- #
+# durability: WAL, checkpoint, recovery
+# --------------------------------------------------------------------------- #
+def test_wal_checkpoint_and_recovery_families(tmp_path) -> None:
+    from repro import DurabilityPolicy
+
+    spec = EngineSpec(
+        kind="ita",
+        window=WindowSpec.count(16),
+        durability=DurabilityPolicy(fsync="interval", fsync_interval=4, checkpoint_every=8),
+    )
+    with runtime.observed() as registry:
+        service = MonitoringService.open(tmp_path, spec)
+        service.subscribe("market rates rally", k=2)
+        for _ in range(4):
+            service.ingest(DOCS)
+        service.close()
+        recovered = MonitoringService.open(tmp_path)
+        report = recovered.last_recovery
+        recovered.close()
+        snapshot = registry.snapshot()
+
+    assert _family_value(snapshot, "repro_wal_appends_total")["value"] > 0
+    assert _family_value(snapshot, "repro_wal_bytes_total")["value"] > 0
+    assert _family_value(snapshot, "repro_wal_fsync_ms")["count"] > 0
+    assert _family_value(snapshot, "repro_wal_checkpoints_total")["value"] > 0
+    assert _family_value(snapshot, "repro_wal_checkpoint_ms")["count"] > 0
+    assert _family_value(snapshot, "repro_recovery_total")["value"] == 1.0
+    phases = {
+        sample["labels"]["phase"]
+        for sample in snapshot["families"]["repro_recovery_phase_ms"]["samples"]
+    }
+    assert phases == {"manifest", "checkpoint_load", "restore", "replay"}
+    # The report carries the same breakdown for offline consumers.
+    assert set(report.phase_ms) == phases
+    assert sum(report.phase_ms.values()) <= report.duration_ms + 1.0
+    assert report.as_dict()["phase_ms"].keys() == report.phase_ms.keys()
+
+
+def test_disabled_mode_records_nothing(tmp_path) -> None:
+    assert runtime.active is False
+    before_families = dict(runtime.metrics.snapshot()["families"])
+    with MonitoringService(
+        EngineSpec(kind="ita", window=WindowSpec.count(16))
+    ) as service:
+        service.subscribe("market rates rally", k=2)
+        service.ingest(DOCS)
+    assert runtime.metrics.snapshot()["families"].keys() == before_families.keys()
+    assert len(runtime.tracer) == 0

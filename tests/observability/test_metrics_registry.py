@@ -1,0 +1,158 @@
+"""The metrics registry: instruments, labels, collectors, exposition."""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.observability import (
+    DEFAULT_MS_BUCKETS,
+    MetricsRegistry,
+)
+
+
+# --------------------------------------------------------------------------- #
+# instruments
+# --------------------------------------------------------------------------- #
+def test_counter_increments_and_rejects_negative() -> None:
+    registry = MetricsRegistry()
+    counter = registry.counter("requests_total", "requests")
+    counter.inc()
+    counter.add(2.5)
+    assert counter.value == pytest.approx(3.5)
+    with pytest.raises(ValueError):
+        counter.add(-1.0)
+
+
+def test_gauge_moves_both_ways() -> None:
+    registry = MetricsRegistry()
+    gauge = registry.gauge("queue_depth")
+    gauge.set(7.0)
+    gauge.dec()
+    gauge.inc(3.0)
+    assert gauge.value == pytest.approx(9.0)
+
+
+def test_histogram_buckets_and_quantiles() -> None:
+    registry = MetricsRegistry()
+    histogram = registry.histogram("latency_ms", buckets=(1.0, 10.0, 100.0))
+    for value in (0.5, 5.0, 50.0, 500.0):
+        histogram.observe(value)
+    assert histogram.count == 4
+    assert histogram.sum == pytest.approx(555.5)
+    # The quantile is the upper bound of the covering bucket.
+    assert histogram.quantile(0.25) == pytest.approx(1.0)
+    assert histogram.quantile(0.5) == pytest.approx(10.0)
+    # Observations past the last bound clamp to the last finite bound.
+    assert histogram.quantile(1.0) == pytest.approx(100.0)
+
+
+def test_labelled_family_children_are_independent() -> None:
+    registry = MetricsRegistry()
+    family = registry.counter("ops_total", labels=("op",))
+    family.labels(op="insert").inc()
+    family.labels(op="insert").inc()
+    family.labels(op="delete").inc()
+    assert family.labels(op="insert").value == pytest.approx(2.0)
+    assert family.labels(op="delete").value == pytest.approx(1.0)
+
+
+def test_label_validation() -> None:
+    registry = MetricsRegistry()
+    family = registry.counter("ops_total", labels=("op",))
+    with pytest.raises(ValueError):
+        family.labels(wrong="x")
+    # An unlabelled proxy call on a labelled family is a usage bug.
+    with pytest.raises(ValueError):
+        family.inc()
+
+
+def test_redeclaration_is_idempotent_but_kind_conflicts_raise() -> None:
+    registry = MetricsRegistry()
+    first = registry.counter("ops_total")
+    second = registry.counter("ops_total")
+    assert first is second
+    with pytest.raises(ValueError):
+        registry.gauge("ops_total")
+
+
+# --------------------------------------------------------------------------- #
+# collectors
+# --------------------------------------------------------------------------- #
+def test_collector_samples_are_summed_across_collectors() -> None:
+    registry = MetricsRegistry()
+    registry.register_collector(lambda: {("ops", (("op", "a"),)): 1.0})
+    registry.register_collector(lambda: {("ops", (("op", "a"),)): 2.0, "plain": 5.0})
+    collected = registry.snapshot()["collected"]
+    assert collected["ops"] == [{"labels": {"op": "a"}, "value": 3.0}]
+    assert collected["plain"] == [{"labels": {}, "value": 5.0}]
+
+
+def test_collector_unregister() -> None:
+    registry = MetricsRegistry()
+    unregister = registry.register_collector(lambda: {"x": 1.0})
+    unregister()
+    assert registry.snapshot()["collected"] == {}
+
+
+# --------------------------------------------------------------------------- #
+# exposition
+# --------------------------------------------------------------------------- #
+def test_prometheus_rendering_is_cumulative_and_typed() -> None:
+    registry = MetricsRegistry()
+    registry.counter("requests_total", "requests", labels=("code",)).labels(
+        code="200"
+    ).add(3)
+    histogram = registry.histogram("latency_ms", "latency", buckets=(1.0, 10.0))
+    histogram.observe(0.5)
+    histogram.observe(5.0)
+    text = registry.to_prometheus()
+    assert "# TYPE requests_total counter" in text
+    assert 'requests_total{code="200"} 3' in text
+    assert '# TYPE latency_ms histogram' in text
+    assert 'latency_ms_bucket{le="1.0"} 1' in text
+    assert 'latency_ms_bucket{le="10.0"} 2' in text
+    assert 'latency_ms_bucket{le="+Inf"} 2' in text
+    assert "latency_ms_sum 5.5" in text
+    assert "latency_ms_count 2" in text
+
+
+def test_snapshot_is_json_compatible() -> None:
+    registry = MetricsRegistry()
+    registry.counter("c").inc()
+    registry.histogram("h").observe(2.0)
+    registry.register_collector(lambda: {("g", (("k", "v"),)): 1.0})
+    snapshot = registry.snapshot()
+    assert json.loads(json.dumps(snapshot)) == snapshot
+
+
+def test_reset_clears_every_family() -> None:
+    registry = MetricsRegistry()
+    registry.counter("c").inc()
+    registry.histogram("h").observe(1.0)
+    registry.reset()
+    assert registry.counter("c").value == 0.0
+    assert registry.histogram("h").count == 0
+
+
+def test_default_buckets_are_sorted_and_strictly_increasing() -> None:
+    assert list(DEFAULT_MS_BUCKETS) == sorted(DEFAULT_MS_BUCKETS)
+    assert len(set(DEFAULT_MS_BUCKETS)) == len(DEFAULT_MS_BUCKETS)
+
+
+def test_concurrent_increments_are_not_lost() -> None:
+    registry = MetricsRegistry()
+    counter = registry.counter("hits")
+
+    def worker() -> None:
+        for _ in range(1000):
+            counter.inc()
+
+    threads = [threading.Thread(target=worker) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert counter.value == pytest.approx(8000.0)

@@ -1,0 +1,157 @@
+"""Span tracing, the slow-op log, and the runtime on/off switch."""
+
+from __future__ import annotations
+
+import json
+
+from repro.observability import (
+    NULL_SPAN,
+    SlowOpLog,
+    Tracer,
+    note_slow,
+    runtime,
+    trace_span,
+)
+
+
+# --------------------------------------------------------------------------- #
+# the tracer
+# --------------------------------------------------------------------------- #
+def test_nested_spans_record_parentage() -> None:
+    tracer = Tracer()
+    with tracer.span("outer") as outer:
+        with tracer.span("inner", parent=outer) as inner:
+            pass
+    spans = tracer.spans()
+    assert [span.name for span in spans] == ["inner", "outer"]  # finish order
+    by_name = {span.name: span for span in spans}
+    assert by_name["inner"].parent_id == by_name["outer"].span_id
+    assert by_name["outer"].parent_id is None
+    assert all(span.duration_us is not None for span in spans)
+
+
+def test_explicit_cross_context_propagation() -> None:
+    """A span object can be handed across threads/queues as the parent."""
+    tracer = Tracer()
+    with tracer.span("submit") as parent:
+        pass
+    # The consumer side constructs its child from the carried parent.
+    with tracer.span("lane", parent=parent) as child:
+        pass
+    assert child.parent_id == parent.span_id
+
+
+def test_ring_buffer_drops_oldest_and_counts() -> None:
+    tracer = Tracer(capacity=4)
+    for index in range(10):
+        with tracer.span(f"s{index}"):
+            pass
+    assert len(tracer) == 4
+    assert [span.name for span in tracer.spans()] == ["s6", "s7", "s8", "s9"]
+    assert tracer.dropped == 6
+
+
+def test_chrome_trace_export_shape() -> None:
+    tracer = Tracer()
+    with tracer.span("outer", events=3) as outer:
+        with tracer.span("inner", parent=outer):
+            pass
+    document = json.loads(tracer.to_chrome_json())
+    events = document["traceEvents"]
+    assert len(events) == 2
+    assert all(event["ph"] == "X" for event in events)
+    # Sorted by start timestamp: outer began first.
+    assert [event["name"] for event in events] == ["outer", "inner"]
+    outer_event, inner_event = events
+    assert inner_event["args"]["parent_id"] == outer_event["args"]["span_id"]
+    assert outer_event["args"]["events"] == 3
+    for event in events:
+        assert set(event) >= {"name", "ph", "ts", "dur", "pid", "tid", "args"}
+
+
+def test_trace_span_is_inert_while_disabled() -> None:
+    assert runtime.active is False
+    with trace_span("ignored") as span:
+        assert span is NULL_SPAN
+    # The null span absorbs attribute setting without recording.
+    span.set(key="value")
+
+
+def test_trace_span_records_while_enabled() -> None:
+    with runtime.observed():
+        with trace_span("visible", batch=1) as span:
+            assert span is not NULL_SPAN
+        assert [s.name for s in runtime.tracer.spans()] == ["visible"]
+    assert runtime.active is False
+
+
+# --------------------------------------------------------------------------- #
+# the slow-op log
+# --------------------------------------------------------------------------- #
+def test_slowlog_threshold_and_capacity() -> None:
+    log = SlowOpLog(threshold_ms=10.0, capacity=2)
+    assert log.note("fast", 5.0) is False
+    assert log.note("slow-1", 15.0) is True
+    assert log.note("slow-2", 20.0, detail="x") is True
+    assert log.note("slow-3", 25.0) is True
+    entries = log.entries()
+    assert [entry.op for entry in entries] == ["slow-2", "slow-3"]
+    assert log.total == 3  # noted slow ops, including the evicted one
+    assert entries[0].detail == {"detail": "x"}
+
+
+def test_note_slow_is_inert_while_disabled() -> None:
+    assert note_slow("anything", 10_000.0) is False
+
+
+def test_note_slow_records_while_enabled() -> None:
+    with runtime.observed(slow_threshold_ms=1.0):
+        assert note_slow("op", 2.0, lsn=7) is True
+        entries = runtime.slowlog.as_dicts()
+    assert len(entries) == 1
+    assert entries[0]["op"] == "op"
+    assert entries[0]["lsn"] == 7  # detail keys are flattened into the dict
+
+
+# --------------------------------------------------------------------------- #
+# the runtime switch
+# --------------------------------------------------------------------------- #
+def test_enable_installs_fresh_singletons() -> None:
+    try:
+        first = runtime.enable()
+        first.counter("x").inc()
+        second = runtime.enable()
+        assert second is not first
+        assert second.counter("x").value == 0.0
+    finally:
+        runtime.disable()
+
+
+def test_enable_reuse_keeps_state() -> None:
+    try:
+        first = runtime.enable()
+        first.counter("x").inc()
+        second = runtime.enable(reuse=True)
+        assert second is first
+        assert second.counter("x").value == 1.0
+    finally:
+        runtime.disable()
+
+
+def test_observed_restores_previous_state() -> None:
+    before = (runtime.active, runtime.metrics, runtime.tracer, runtime.slowlog)
+    with runtime.observed() as registry:
+        assert runtime.active is True
+        assert runtime.metrics is registry
+    assert (runtime.active, runtime.metrics, runtime.tracer, runtime.slowlog) == before
+
+
+def test_observed_nests() -> None:
+    with runtime.observed() as outer_registry:
+        outer_registry.counter("depth").inc()
+        with runtime.observed() as inner_registry:
+            assert inner_registry is not outer_registry
+            assert runtime.metrics is inner_registry
+        assert runtime.metrics is outer_registry
+        assert outer_registry.counter("depth").value == 1.0
+    assert runtime.active is False

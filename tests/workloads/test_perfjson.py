@@ -25,7 +25,9 @@ class TestSuiteDefinition:
     def test_headline_workload_measures_both_ita_modes(self):
         suite = default_suite("smoke")
         figure3a = next(case for case in suite if case.workload == "figure3a")
-        assert tuple(figure3a.modes["ita"]) == ("sequential", "batched", "wal")
+        assert tuple(figure3a.modes["ita"]) == (
+            "sequential", "batched", "instrumented", "wal",
+        )
 
     def test_every_case_resolves_a_point(self):
         for case in default_suite("smoke"):
@@ -54,6 +56,7 @@ class TestRunCase:
         assert {record.mode for record in records} == {
             "sequential",
             "batched",
+            "instrumented",
             "wal",
             "wal-recovery",
         }
@@ -62,7 +65,7 @@ class TestRunCase:
             assert record.workload == case.workload
             assert record.events == case.point.config.measured_events
             assert record.docs_per_sec == pytest.approx(1000.0 / record.mean_ms)
-            if record.mode in ("batched", "wal", "wal-recovery"):
+            if record.mode in ("batched", "instrumented", "wal", "wal-recovery"):
                 assert record.batch_size == 8
             else:
                 assert record.batch_size is None
@@ -106,8 +109,8 @@ class TestRunBenchSuite:
             assert record["mean_ms"] > 0.0
             assert record["p99_ms"] >= record["p50_ms"] >= 0.0
             assert record["mode"] in (
-                "sequential", "batched", "async", "wal", "wal-recovery",
-                "direct", "facade",
+                "sequential", "batched", "instrumented", "async",
+                "wal", "wal-recovery", "direct", "facade",
             )
             if record["mode"] == "async":
                 assert record["concurrency"] >= 1

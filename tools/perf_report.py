@@ -1,0 +1,81 @@
+"""Render the benchmark trajectory into the markdown perf dashboard.
+
+CI's ``obs-smoke`` job runs this after ``bench-all`` to publish the
+dashboard artifact::
+
+    python tools/perf_report.py --history-dir benchmarks/history \
+        --out PERF_dashboard.md
+
+The dashboard summarises the ``bench_history.jsonl`` trajectory the
+``bench-all`` CLI appends to (headline ratios of the latest run, the
+first-vs-latest trend, per-cell throughput) and, with ``--metrics``, a
+telemetry snapshot as emitted by ``repro.workloads.cli obs --format
+json``.  Rendering lives in
+:func:`repro.workloads.reporting.render_perf_dashboard`; this file is
+only the command-line shell around it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--history-dir",
+        default=str(REPO_ROOT / "benchmarks" / "history"),
+        help="directory holding bench_history.jsonl (default: benchmarks/history)",
+    )
+    parser.add_argument(
+        "--bench",
+        default=None,
+        metavar="BENCH_results.json",
+        help=(
+            "also fold this bench-all document into the trajectory as its "
+            "newest entry (useful when the run did not append history itself)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics",
+        default=None,
+        metavar="SNAPSHOT.json",
+        help=(
+            "telemetry snapshot to append as a dashboard section -- either a "
+            "raw registry snapshot or the 'obs --format json' document"
+        ),
+    )
+    parser.add_argument("--out", default="PERF_dashboard.md")
+    args = parser.parse_args(argv)
+
+    from repro.workloads.perfjson import history_entry, read_history
+    from repro.workloads.reporting import render_perf_dashboard
+
+    entries = read_history(args.history_dir)
+    if args.bench:
+        with open(args.bench, "r", encoding="utf-8") as handle:
+            entries = list(entries) + [history_entry(json.load(handle))]
+
+    metrics = None
+    if args.metrics:
+        with open(args.metrics, "r", encoding="utf-8") as handle:
+            metrics = json.load(handle)
+        # Accept the whole `obs --format json` document too.
+        if "snapshot" in metrics and "families" not in metrics:
+            metrics = metrics["snapshot"]
+
+    dashboard = render_perf_dashboard(entries, metrics=metrics)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(dashboard)
+    print(f"wrote {args.out} ({len(entries)} history entries)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -120,6 +120,14 @@ def run_driver(out_path: str) -> int:
     failures = []
     if report is None or report.replayed_records <= 0:
         failures.append("recovery replayed no WAL records")
+    expected_phases = {"manifest", "checkpoint_load", "restore", "replay"}
+    phase_ms = dict(report.phase_ms) if report else {}
+    if set(phase_ms) != expected_phases:
+        failures.append(
+            f"recovery phase breakdown incomplete: {sorted(phase_ms)}"
+        )
+    elif report and sum(phase_ms.values()) > report.duration_ms + 1.0:
+        failures.append("recovery phases sum past the total duration")
     if len(results) != 8:
         failures.append(f"expected 8 recovered queries, got {len(results)}")
     if not all(len(result) == 5 for result in results.values()):
@@ -135,12 +143,15 @@ def run_driver(out_path: str) -> int:
     again.close()
 
     document = {
-        "schema": "repro-recovery-smoke/1",
+        "schema": "repro-recovery-smoke/2",
         "checkpoint_lsn": report.checkpoint_lsn if report else None,
         "last_lsn": report.last_lsn if report else None,
         "replayed_records": report.replayed_records if report else None,
         "replayed_documents": report.replayed_documents if report else None,
         "recovery_ms": round(report.duration_ms, 3) if report else None,
+        "recovery_phase_ms": {
+            phase: round(ms, 3) for phase, ms in sorted(phase_ms.items())
+        },
         "queries_recovered": len(results),
         "window_documents": len(snapshot["engine"].get("documents", [])),
         "ok": not failures,

@@ -100,3 +100,42 @@ class WalCorruptionError(DurabilityError):
     """A write-ahead-log record failed its integrity check somewhere other
     than the torn tail (a truncated final record is expected after a crash
     and silently dropped; corruption *before* the tail is not)."""
+
+
+class NetworkError(ReproError):
+    """An operation of the :mod:`repro.net` framed-RPC layer failed."""
+
+
+class RpcTransportError(NetworkError):
+    """The connection to the peer broke mid-call (reset, EOF, bad frame).
+
+    For calls into a :class:`~repro.net.cluster.ProcessClusterEngine`
+    worker this is the coordinator's cue to restart the worker and retry;
+    callers of the serving tier see it when the server goes away."""
+
+
+class RpcTimeoutError(NetworkError):
+    """A call's deadline elapsed before the response frame arrived (or,
+    for supervised worker calls, before a restarted worker could serve
+    the retry)."""
+
+
+class RpcRemoteError(NetworkError):
+    """The peer executed the call and answered with an error the client
+    could not map back onto a local exception type.
+
+    Known ``repro`` exception types raised inside the peer are re-raised
+    as themselves (an :class:`UnknownQueryError` on the server is an
+    :class:`UnknownQueryError` at the client); everything else arrives as
+    this class with the remote type name preserved."""
+
+    def __init__(self, message: str, remote_type: str = "") -> None:
+        super().__init__(message)
+        #: the exception class name raised on the remote side
+        self.remote_type = remote_type
+
+
+class WorkerCrashError(NetworkError):
+    """A shard worker process died and could not be brought back within
+    the call's restart budget (``max_restarts`` exceeded or the deadline
+    passed mid-recovery)."""

@@ -1,0 +1,294 @@
+"""The remote client facade: :class:`RemoteMonitoringClient`.
+
+Mirrors the :class:`~repro.service.MonitoringService` API over the framed
+RPC protocol, so moving a caller from in-process to a
+:class:`~repro.net.server.MonitoringServer` is a one-line change::
+
+    service = MonitoringService("ita")                    # in-process
+    service = RemoteMonitoringClient("127.0.0.1", 9911)   # remote
+
+``subscribe`` returns a :class:`RemoteQueryHandle` with the same surface
+as the local :class:`~repro.service.service.QueryHandle` -- ``result()``,
+``changes()``, ``pending_changes``, ``unsubscribe()`` -- except that
+alert delivery is poll-based: ``changes()`` drains the server-side
+buffer over one RPC (there is no callback push channel).
+
+Text analysis happens on the *server*: raw query strings and ingested
+texts ship as-is, so term ids are allocated by the one vocabulary the
+server owns and remote subscriptions agree with remotely ingested
+documents exactly like local ones do.  Scores and arrival times decode
+bit-identical to the in-process values (JSON ``float`` round-trips are
+exact).
+"""
+
+from __future__ import annotations
+
+import socket
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Union
+
+from repro.alerting import Alert
+from repro.core.base import ResultChange, TopKResult
+from repro.documents.document import StreamedDocument
+from repro.exceptions import RpcTransportError, UnknownQueryError
+from repro.net.codec import alert_from_wire, changes_from_wire, entries_from_wire
+from repro.net.protocol import RpcConnection
+from repro.persistence import document_record, query_record
+from repro.query.query import ContinuousQuery
+
+__all__ = ["RemoteMonitoringClient", "RemoteQueryHandle"]
+
+
+class RemoteQueryHandle:
+    """A live subscription held against a remote server.
+
+    The remote twin of :class:`~repro.service.service.QueryHandle`:
+    ``result()`` and ``changes()`` are RPCs; the change buffer lives on
+    the server and ``changes()`` drains it.
+    """
+
+    def __init__(self, client: "RemoteMonitoringClient", query_id: int) -> None:
+        self._client = client
+        self._query_id = query_id
+        self._active = True
+
+    # ------------------------------------------------------------------ #
+    @property
+    def query_id(self) -> int:
+        return self._query_id
+
+    @property
+    def active(self) -> bool:
+        """Whether the subscription is still installed."""
+        return self._active
+
+    # ------------------------------------------------------------------ #
+    def result(self) -> TopKResult:
+        """The query's current top-k result (one RPC).
+
+        Raises
+        ------
+        UnknownQueryError
+            If the handle has been unsubscribed (locally or remotely).
+        """
+        if not self._active:
+            raise UnknownQueryError(
+                f"query id {self._query_id} is no longer subscribed"
+            )
+        return self._client.result(self._query_id)
+
+    def changes(self) -> Iterator[Alert]:
+        """Drain the server-side change buffer, oldest first (one RPC).
+
+        Unlike the local handle the drain is a single round trip: the
+        server pops every buffered alert and ships them together, so an
+        alert yielded here is gone from the server whether or not the
+        iterator is consumed to the end.
+        """
+        response = self._client._call("changes", {"query_id": self._query_id})
+        for record in response["alerts"]:
+            yield alert_from_wire(record)
+
+    @property
+    def pending_changes(self) -> int:
+        """Number of alerts buffered on the server (one RPC)."""
+        return int(self._client._call("pending", {"query_id": self._query_id}))
+
+    def unsubscribe(self) -> None:
+        """Terminate the query on the server and detach (idempotent)."""
+        if not self._active:
+            return
+        self._active = False
+        self._client._handles.pop(self._query_id, None)
+        self._client._call("unsubscribe", {"query_id": self._query_id})
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "active" if self._active else "unsubscribed"
+        return f"{type(self).__name__}(query_id={self._query_id}, {state})"
+
+
+class RemoteMonitoringClient:
+    """Talk to a :class:`~repro.net.server.MonitoringServer` over TCP.
+
+    Parameters
+    ----------
+    host, port:
+        The server's listen address (the ``SERVING host:port`` line the
+        ``repro serve`` CLI prints).
+    timeout_ms:
+        Default per-call deadline; individual calls inherit it.
+
+    The client is a context manager; leaving the ``with`` block closes
+    the connection (server-side subscriptions survive -- reattach with
+    :meth:`handle` from a new client).
+    """
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 0, timeout_ms: float = 30_000.0
+    ) -> None:
+        sock = socket.create_connection((host, int(port)), timeout=timeout_ms / 1000.0)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._connection = RpcConnection(
+            sock, default_timeout_ms=timeout_ms, peer=f"{host}:{port}"
+        )
+        self._handles: Dict[int, RemoteQueryHandle] = {}
+
+    # ------------------------------------------------------------------ #
+    def _call(self, method: str, params: Optional[Dict[str, Any]] = None) -> Any:
+        return self._connection.call(method, params)
+
+    def ping(self) -> Dict[str, Any]:
+        """Round-trip liveness probe; returns the server's identity."""
+        return self._call("ping")
+
+    # ------------------------------------------------------------------ #
+    # subscriptions
+    # ------------------------------------------------------------------ #
+    def subscribe(
+        self,
+        query: Union[str, ContinuousQuery],
+        k: int = 10,
+        query_id: Optional[int] = None,
+        max_pending: Optional[int] = None,
+    ) -> RemoteQueryHandle:
+        """Install a standing query on the server; return its handle.
+
+        Raw strings are analysed server-side (the server owns the
+        vocabulary); a prebuilt
+        :class:`~repro.query.query.ContinuousQuery` ships its term
+        weights verbatim.  ``max_pending`` bounds the *server-side*
+        change buffer (the server applies its own default otherwise).
+        """
+        params: Dict[str, Any] = {"k": int(k), "max_pending": max_pending}
+        if isinstance(query, ContinuousQuery):
+            params["record"] = query_record(query)
+        else:
+            params["text"] = str(query)
+            if query_id is not None:
+                params["query_id"] = int(query_id)
+        result = self._call("subscribe", params)
+        handle = RemoteQueryHandle(self, int(result["query_id"]))
+        self._handles[handle.query_id] = handle
+        return handle
+
+    def handle(self, query_id: int) -> RemoteQueryHandle:
+        """A handle for a query already installed on the server."""
+        existing = self._handles.get(query_id)
+        if existing is not None:
+            return existing
+        if query_id not in self.query_ids():
+            raise UnknownQueryError(f"no query with id {query_id} is installed")
+        handle = RemoteQueryHandle(self, query_id)
+        self._handles[query_id] = handle
+        return handle
+
+    def unsubscribe(self, query_id: int) -> None:
+        """Terminate ``query_id`` whether or not a handle exists for it."""
+        handle = self._handles.get(query_id)
+        if handle is not None:
+            handle.unsubscribe()
+            return
+        self._call("unsubscribe", {"query_id": int(query_id)})
+
+    def query_ids(self) -> List[int]:
+        """The ids of every query installed on the server."""
+        return [int(query_id) for query_id in self._call("ping")["query_ids"]]
+
+    # ------------------------------------------------------------------ #
+    # ingestion
+    # ------------------------------------------------------------------ #
+    def ingest(
+        self,
+        source: Union[str, StreamedDocument, Iterable[Union[str, StreamedDocument]]],
+        at: Optional[float] = None,
+    ) -> List[ResultChange]:
+        """Feed documents to the server; return the result changes.
+
+        ``source`` is a raw text string, a
+        :class:`~repro.documents.document.StreamedDocument` (its arrival
+        time ships with it), or an iterable of either kind (homogeneous).
+        ``at`` stamps a single text exactly like the local facade.
+        """
+        if isinstance(source, str):
+            params: Dict[str, Any] = {"texts": [source]}
+            if at is not None:
+                params["at"] = float(at)
+            response = self._call("ingest", params)
+        elif isinstance(source, StreamedDocument):
+            response = self._call("ingest", {"documents": [document_record(source)]})
+        else:
+            elements = list(source)
+            if elements and isinstance(elements[0], StreamedDocument):
+                records = [document_record(element) for element in elements]
+                response = self._call("ingest", {"documents": records})
+            else:
+                texts = [str(element) for element in elements]
+                params = {"texts": texts}
+                if at is not None and len(texts) == 1:
+                    params["at"] = float(at)
+                response = self._call("ingest", params)
+        return changes_from_wire(response["changes"])
+
+    def advance_time(self, now: float) -> List[ResultChange]:
+        """Advance the server's clock without an arrival."""
+        response = self._call("advance_time", {"now": float(now)})
+        return changes_from_wire(response["changes"])
+
+    # ------------------------------------------------------------------ #
+    # results and introspection
+    # ------------------------------------------------------------------ #
+    def result(self, query_id: int) -> TopKResult:
+        """The current top-k result of ``query_id``."""
+        return entries_from_wire(self._call("result", {"query_id": int(query_id)}))
+
+    def results(self) -> Dict[int, TopKResult]:
+        """The current results of every installed query."""
+        return {
+            int(query_id): entries_from_wire(entries)
+            for query_id, entries in self._call("results").items()
+        }
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The server's full service snapshot (JSON-compatible)."""
+        return self._call("snapshot")
+
+    def metrics(self) -> Dict[str, Any]:
+        """The server's metrics registry snapshot (JSON-compatible)."""
+        return self._call("metrics")
+
+    def metrics_prometheus(self) -> str:
+        """The server's metrics in Prometheus text exposition format."""
+        return str(self._call("metrics", {"format": "prometheus"}))
+
+    def stats(self) -> Dict[str, Any]:
+        """Server/engine introspection: pid, clock, counters, and -- when
+        the engine is a process cluster -- worker pids and restart counts."""
+        return self._call("stats")
+
+    def shutdown_server(self) -> None:
+        """Ask the server to stop gracefully (drain, flush, checkpoint)."""
+        try:
+            self._call("shutdown")
+        except RpcTransportError:  # the server may win the race to close
+            pass
+
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Close the client connection (idempotent); the server keeps
+        running and its subscriptions stay installed."""
+        for handle in self._handles.values():
+            handle._active = False
+        self._handles.clear()
+        self._connection.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._connection.closed
+
+    def __enter__(self) -> "RemoteMonitoringClient":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, traceback: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(peer={self._connection.peer!r})"

@@ -1,0 +1,703 @@
+"""The out-of-process cluster coordinator (engine kind ``"sharded-proc"``).
+
+:class:`ProcessClusterEngine` is the :class:`~repro.cluster.engine.ShardedEngine`
+contract re-implemented over worker *processes*: it spawns one
+:class:`~repro.net.worker.ShardWorker` per shard, replicates the document
+stream to all of them over the framed RPC of :mod:`repro.net.protocol`,
+partitions the queries with the same placement policies, and merges the
+responses with the same :class:`~repro.cluster.merger.ResultMerger` -- so
+its results, change streams and counters are bit-identical to the
+in-process cluster (and therefore to a single engine).
+
+**Dispatch.**  A batch is fanned out *pipelined*: the coordinator writes
+the request frame to every worker before reading any response, so the
+workers compute concurrently while the coordinator is only ever blocked
+on the slowest of them.
+
+**Supervision.**  A broken worker connection
+(:class:`~repro.exceptions.RpcTransportError`) triggers a restart: the
+dead process is reaped, a replacement is spawned against the shard's
+surviving state directory (checkpoint + WAL tail replay), and the call is
+retried with exponential backoff under the original deadline.  Retried
+mutations are exactly-once -- every mutating RPC carries a coordinator
+lsn the worker deduplicates on.  Past ``max_restarts`` the call fails
+with :class:`~repro.exceptions.WorkerCrashError`; past its deadline,
+with :class:`~repro.exceptions.RpcTimeoutError`.
+
+**Metrics.**  With observability enabled the coordinator records worker
+restarts (``repro_worker_restarts_total{shard=}``) and in-flight fan-out
+depth (``repro_proc_inflight_rpcs``), and registers a scrape-time
+collector that pulls every worker's own registry over RPC and re-exposes
+its samples with a ``shard`` label.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import shutil
+import socket
+import tempfile
+import time
+import weakref
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.cluster.merger import ResultMerger
+from repro.cluster.placement import PlacementPolicy, make_placement
+from repro.core.base import MonitoringEngine, ResultChange, TopKResult
+from repro.documents.document import StreamedDocument
+from repro.documents.window import WindowSpec
+from repro.exceptions import (
+    ConfigurationError,
+    ReproError,
+    RpcTimeoutError,
+    RpcTransportError,
+    UnknownQueryError,
+    WorkerCrashError,
+)
+from repro.net.codec import (
+    changes_from_wire,
+    entries_from_wire,
+    event_changes_from_wire,
+)
+from repro.net.options import ProcOptions
+from repro.net.protocol import RpcConnection
+from repro.net.worker import worker_main
+from repro.observability import runtime as _obs
+from repro.observability.opcounters import OperationCounters
+from repro.observability.timing import aggregate_counters
+from repro.persistence import document_record, query_record
+from repro.query.query import ContinuousQuery
+from repro.query.registry import QueryRegistry
+
+__all__ = ["ProcessClusterEngine"]
+
+#: how long the coordinator gives a worker to exit after a shutdown RPC
+_SHUTDOWN_GRACE_SECONDS = 5.0
+
+
+class _Worker:
+    """One supervised worker: its process, connection and bookkeeping."""
+
+    __slots__ = ("process", "connection", "observing", "restarts")
+
+    def __init__(
+        self,
+        process: multiprocessing.process.BaseProcess,
+        connection: RpcConnection,
+        observing: bool,
+    ) -> None:
+        self.process = process
+        self.connection = connection
+        #: whether the worker's own metrics registry has been enabled
+        self.observing = observing
+        self.restarts = 0
+
+
+def _reap(process: multiprocessing.process.BaseProcess, grace: float = 2.0) -> None:
+    """Make sure ``process`` is gone (terminate, then kill)."""
+    if process.is_alive():
+        process.terminate()
+        process.join(grace)
+    if process.is_alive():  # pragma: no cover - terminate is normally enough
+        process.kill()
+        process.join(grace)
+    else:
+        process.join(0)
+
+
+def _finalize_cluster(processes: List[Any], data_dir: Optional[str]) -> None:
+    """GC/interpreter-exit backstop: no worker process may outlive us."""
+    for process in processes:
+        try:
+            _reap(process, grace=1.0)
+        except Exception:  # pragma: no cover - last-resort cleanup
+            pass
+    if data_dir is not None:
+        shutil.rmtree(data_dir, ignore_errors=True)
+
+
+class _RemoteCounters:
+    """The cluster's live counter view, summed over the workers via RPC.
+
+    Duck-types :class:`~repro.observability.timing.AggregatedCounters`
+    (attribute reads, ``as_dict``, ``copy``, ``reset``) -- but ``reset``
+    must RPC the workers: resetting a fetched copy would be a silent
+    no-op.
+    """
+
+    _FIELD_NAMES = frozenset(OperationCounters().as_dict())
+
+    def __init__(self, cluster: "ProcessClusterEngine") -> None:
+        self._cluster = cluster
+
+    def _blocks(self) -> List[OperationCounters]:
+        responses = self._cluster._fanout("counters")
+        blocks = []
+        for response in responses:
+            block = OperationCounters()
+            for name, value in response["counters"].items():
+                setattr(block, name, int(value))
+            blocks.append(block)
+        return blocks
+
+    def __getattr__(self, name: str) -> int:
+        if name in _RemoteCounters._FIELD_NAMES:
+            return sum(getattr(block, name) for block in self._blocks())
+        raise AttributeError(name)
+
+    def as_dict(self) -> Dict[str, int]:
+        return aggregate_counters(self._blocks()).as_dict()
+
+    def copy(self) -> OperationCounters:
+        """A plain, detached snapshot of the cluster-wide sums."""
+        return aggregate_counters(self._blocks())
+
+    def reset(self) -> None:
+        self._cluster._fanout("reset_counters")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.as_dict()})"
+
+
+class ProcessClusterEngine(MonitoringEngine):
+    """A multi-process monitoring cluster behind the single-engine interface.
+
+    Parameters
+    ----------
+    num_workers:
+        Number of worker processes (one engine shard each).
+    shard_spec:
+        The :class:`~repro.service.spec.EngineSpec` of each worker's inner
+        engine; defaults to ITA over ``window_spec``.  It must be
+        serialisable -- it crosses the process boundary as a dictionary.
+    window_spec:
+        The shared window configuration; also builds the coordinator's
+        *mirror* window, which pre-validates arrivals (so a bad document
+        is rejected before any worker logs it) and serves generic
+        ``engine.window`` introspection.
+    placement:
+        A placement policy instance or name, exactly as for
+        :class:`~repro.cluster.engine.ShardedEngine`.
+    track_changes:
+        Forwarded to the default shard spec.
+    options:
+        Transport and supervision knobs (:class:`~repro.net.options.ProcOptions`).
+    """
+
+    name = "sharded-proc"
+
+    def __init__(
+        self,
+        num_workers: int = 2,
+        shard_spec: Optional[Any] = None,
+        window_spec: Optional[WindowSpec] = None,
+        placement: Union[str, PlacementPolicy] = "cost",
+        track_changes: bool = True,
+        options: Optional[ProcOptions] = None,
+    ) -> None:
+        if num_workers <= 0:
+            raise ConfigurationError("a cluster needs at least one worker")
+        if window_spec is None:
+            window_spec = shard_spec.window if shard_spec is not None else WindowSpec()
+        if shard_spec is None:
+            from repro.service.spec import EngineSpec
+
+            shard_spec = EngineSpec(
+                kind="ita", window=window_spec, track_changes=track_changes
+            )
+        super().__init__(window_spec.build())
+        self.num_shards = int(num_workers)
+        self.window_spec = window_spec
+        self.shard_spec = shard_spec
+        self.track_changes = track_changes
+        self.options = options or ProcOptions()
+        self.options.validate()
+        self.merger = ResultMerger()
+        if isinstance(placement, PlacementPolicy):
+            if placement.num_shards != self.num_shards:
+                raise ConfigurationError(
+                    f"placement policy is sized for {placement.num_shards} shards, "
+                    f"cluster has {self.num_shards}"
+                )
+            self.placement = placement
+        else:
+            self.placement = make_placement(placement, self.num_shards)
+        self.registry = QueryRegistry()
+        self._assignment: Dict[int, int] = {}
+        self.counters = _RemoteCounters(self)
+        self._lsn = 0
+        self._closed = False
+        self.total_restarts = 0
+        self._collector_registry: Optional[Any] = None
+
+        transport = self.options.transport
+        if transport == "unix" and not hasattr(socket, "AF_UNIX"):
+            transport = "tcp"  # pragma: no cover - non-POSIX fallback
+        self._transport = transport
+        if self.options.data_dir is not None:
+            self._data_dir = Path(self.options.data_dir)
+            self._data_dir.mkdir(parents=True, exist_ok=True)
+            self._owns_data_dir = False
+        else:
+            self._data_dir = Path(tempfile.mkdtemp(prefix="repro-proc-"))
+            self._owns_data_dir = True
+        method = self.options.start_method
+        self._mp = (
+            multiprocessing.get_context()
+            if method == "default"
+            else multiprocessing.get_context(method)
+        )
+        #: mutated in place on restarts so the GC backstop always sees the
+        #: live process set
+        self._live_processes: List[Any] = []
+        self._finalizer = weakref.finalize(
+            self,
+            _finalize_cluster,
+            self._live_processes,
+            str(self._data_dir) if self._owns_data_dir else None,
+        )
+        self._workers: List[_Worker] = []
+        try:
+            for shard in range(self.num_shards):
+                self._workers.append(self._spawn(shard, fresh=True))
+        except Exception:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------ #
+    # spawning and supervision
+    # ------------------------------------------------------------------ #
+    def _shard_directory(self, shard: int) -> Path:
+        return self._data_dir / f"shard-{shard}"
+
+    def _spawn(self, shard: int, fresh: bool) -> _Worker:
+        """Start one worker and accept its connection.
+
+        The coordinator listens and the worker dials back: the listener is
+        bound *before* the process starts, so there is no connect race,
+        and it is closed right after the one accept.
+        """
+        if self._transport == "unix":
+            listen_path = str(self._data_dir / f"shard-{shard}.sock")
+            try:
+                os.unlink(listen_path)
+            except FileNotFoundError:
+                pass
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            listener.bind(listen_path)
+            address: Any = listen_path
+        else:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.bind(("127.0.0.1", 0))
+            address = list(listener.getsockname())
+        listener.listen(1)
+        config = {
+            "transport": self._transport,
+            "address": address,
+            "spec": self.shard_spec.to_dict(),
+            "shard_index": shard,
+            "directory": str(self._shard_directory(shard)),
+            "checkpoint_every": self.options.checkpoint_every,
+            "connect_timeout_ms": self.options.connect_timeout_ms,
+            "fresh": fresh,
+            "observe": _obs.active,
+        }
+        process = self._mp.Process(
+            target=worker_main, args=(config,), daemon=True, name=f"repro-shard-{shard}"
+        )
+        process.start()
+        self._live_processes.append(process)
+        listener.settimeout(self.options.connect_timeout_ms / 1000.0)
+        try:
+            sock, _ = listener.accept()
+        except socket.timeout:
+            _reap(process)
+            raise WorkerCrashError(
+                f"shard {shard} worker did not dial back within "
+                f"{self.options.connect_timeout_ms:.0f}ms"
+            ) from None
+        finally:
+            listener.close()
+            if self._transport == "unix":
+                try:
+                    os.unlink(listen_path)
+                except OSError:
+                    pass
+        connection = RpcConnection(
+            sock,
+            default_timeout_ms=self.options.request_timeout_ms,
+            peer=f"shard-{shard}",
+        )
+        return _Worker(process, connection, observing=_obs.active)
+
+    def _restart(self, shard: int, attempt: int, deadline: float) -> None:
+        """Replace a dead worker, enforcing the budget and the deadline."""
+        worker = self._workers[shard]
+        worker.connection.close()
+        _reap(worker.process)
+        try:
+            self._live_processes.remove(worker.process)
+        except ValueError:  # pragma: no cover - defensive
+            pass
+        if attempt > self.options.max_restarts:
+            raise WorkerCrashError(
+                f"shard {shard} worker died and exceeded its "
+                f"{self.options.max_restarts}-restart budget"
+            )
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise RpcTimeoutError(
+                f"the call's deadline elapsed while restarting shard {shard}"
+            )
+        backoff = (self.options.backoff_ms / 1000.0) * (2 ** (attempt - 1))
+        time.sleep(min(backoff, remaining))
+        replacement = self._spawn(shard, fresh=False)
+        replacement.restarts = worker.restarts + 1
+        self._workers[shard] = replacement
+        self.total_restarts += 1
+        if _obs.active:
+            _obs.counter_child(
+                "repro_worker_restarts_total",
+                "worker processes restarted by the coordinator",
+                "shard",
+                str(shard),
+            ).inc()
+
+    # ------------------------------------------------------------------ #
+    # RPC plumbing
+    # ------------------------------------------------------------------ #
+    def _deadline(self) -> float:
+        return time.monotonic() + self.options.request_timeout_ms / 1000.0
+
+    def _call(
+        self,
+        shard: int,
+        method: str,
+        params: Optional[Dict[str, Any]] = None,
+        deadline: Optional[float] = None,
+    ) -> Any:
+        """One supervised call: restart the worker and retry on transport
+        failure, under a single deadline.  Mutating retries are safe --
+        the worker deduplicates on the request's lsn."""
+        self._ensure_worker_collector()
+        if deadline is None:
+            deadline = self._deadline()
+        observed = _obs.active
+        started = time.perf_counter() if observed else 0.0
+        attempt = 0
+        while True:
+            connection = self._workers[shard].connection
+            try:
+                request_id = connection.send_request(method, params or {}, deadline)
+                result = connection.read_response(request_id, deadline)
+            except RpcTransportError:
+                attempt += 1
+                self._restart(shard, attempt, deadline)
+                continue
+            if observed:
+                _obs.counter_child(
+                    "repro_rpc_client_calls_total", "RPC calls issued", "method", method
+                ).inc()
+                _obs.histogram_child(
+                    "repro_rpc_client_latency_ms", "RPC round-trip latency", "method", method
+                ).observe((time.perf_counter() - started) * 1000.0)
+            return result
+
+    def _fanout(
+        self,
+        method: str,
+        params: Optional[Dict[str, Any]] = None,
+    ) -> List[Any]:
+        """Pipelined fan-out: write to every worker, then read in order.
+
+        Shards whose connection breaks anywhere in the exchange fall back
+        to the supervised :meth:`_call` retry path; remote (typed) errors
+        are drained from every shard before the first one is re-raised, so
+        the surviving connections stay request/response aligned.
+        """
+        self._ensure_worker_collector()
+        deadline = self._deadline()
+        observed = _obs.active
+        started = time.perf_counter() if observed else 0.0
+        pending: Dict[int, int] = {}
+        failed: List[int] = []
+        for shard in range(self.num_shards):
+            try:
+                pending[shard] = self._workers[shard].connection.send_request(
+                    method, params or {}, deadline
+                )
+            except RpcTransportError:
+                failed.append(shard)
+        observed = _obs.active
+        if observed:
+            _obs.metrics.gauge(
+                "repro_proc_inflight_rpcs", "worker RPCs awaiting a response"
+            ).set(float(len(pending)))
+        results: Dict[int, Any] = {}
+        errors: Dict[int, ReproError] = {}
+        for shard in range(self.num_shards):
+            request_id = pending.get(shard)
+            if request_id is None:
+                continue
+            try:
+                results[shard] = self._workers[shard].connection.read_response(
+                    request_id, deadline
+                )
+            except RpcTransportError:
+                failed.append(shard)
+            except ReproError as error:
+                errors[shard] = error
+            if observed:
+                _obs.metrics.gauge(
+                    "repro_proc_inflight_rpcs", "worker RPCs awaiting a response"
+                ).set(float(self.num_shards - shard - 1))
+        if errors:
+            raise errors[min(errors)]
+        for shard in failed:
+            results[shard] = self._call(shard, method, params, deadline)
+        if observed:
+            _obs.counter_child(
+                "repro_rpc_client_calls_total", "RPC calls issued", "method", method
+            ).inc(self.num_shards)
+            _obs.histogram_child(
+                "repro_proc_dispatch_ms", "pipelined fan-out latency", "method", method
+            ).observe((time.perf_counter() - started) * 1000.0)
+        return [results[shard] for shard in range(self.num_shards)]
+
+    def _ensure_worker_collector(self) -> None:
+        """Keep the worker-registry scrape collector on the live registry."""
+        if not _obs.active:
+            return
+        registry = _obs.metrics
+        if self._collector_registry is registry:
+            return
+        self._collector_registry = registry
+        registry.register_collector(self._scrape_workers)
+
+    def _scrape_workers(self) -> Dict[Any, float]:
+        """Aggregate every worker's registry into shard-labelled samples."""
+        samples: Dict[Any, float] = {("repro_proc_workers", ()): float(self.num_shards)}
+        if self._closed:
+            return samples
+        scrape_timeout = min(2_000.0, self.options.request_timeout_ms)
+        for shard in range(self.num_shards):
+            worker = self._workers[shard]
+            try:
+                if not worker.observing:
+                    worker.connection.call(
+                        "observe", {"enable": True}, timeout_ms=scrape_timeout
+                    )
+                    worker.observing = True
+                response = worker.connection.call("metrics", timeout_ms=scrape_timeout)
+            except ReproError:
+                continue  # a scrape must never take the ingest path down
+            for name, labels, value in response["samples"]:
+                key = (
+                    str(name),
+                    tuple(sorted(labels.items())) + (("shard", str(shard)),),
+                )
+                samples[key] = samples.get(key, 0.0) + float(value)
+        return samples
+
+    def _next_lsn(self) -> int:
+        self._lsn += 1
+        return self._lsn
+
+    # ------------------------------------------------------------------ #
+    # query management (mirrors ShardedEngine)
+    # ------------------------------------------------------------------ #
+    def register_query(self, query: ContinuousQuery, shard: Optional[int] = None) -> int:
+        """Install ``query`` on a worker and return the shard index."""
+        if shard is not None and not 0 <= shard < self.num_shards:
+            raise ConfigurationError(f"shard {shard} outside 0..{self.num_shards - 1}")
+        self.registry.register(query)
+        try:
+            if shard is None:
+                shard = self.placement.place(query)
+            else:
+                self.placement.record(query, shard)
+        except Exception:
+            self.registry.unregister(query.query_id)
+            raise
+        try:
+            self._call(
+                shard,
+                "subscribe",
+                {"lsn": self._next_lsn(), "query": query_record(query)},
+            )
+        except Exception:
+            self.placement.forget(query, shard)
+            self.registry.unregister(query.query_id)
+            raise
+        self._assignment[query.query_id] = shard
+        return shard
+
+    def unregister_query(self, query_id: int) -> None:
+        """Terminate ``query_id`` on whichever worker hosts it."""
+        query = self.registry.unregister(query_id)
+        shard = self._assignment.pop(query_id)
+        try:
+            self._call(
+                shard, "unsubscribe", {"lsn": self._next_lsn(), "query_id": query_id}
+            )
+        finally:
+            self.placement.forget(query, shard)
+
+    def query_ids(self) -> List[int]:
+        return self.registry.query_ids()
+
+    def shard_of(self, query_id: int) -> int:
+        """The index of the worker hosting ``query_id``."""
+        try:
+            return self._assignment[query_id]
+        except KeyError:
+            raise UnknownQueryError(f"query id {query_id} is not registered") from None
+
+    def assignment(self) -> Dict[int, int]:
+        """A copy of the ``{query_id: shard}`` placement map."""
+        return dict(self._assignment)
+
+    def shard_query_counts(self) -> List[int]:
+        """Number of hosted queries per worker."""
+        counts = [0] * self.num_shards
+        for shard in self._assignment.values():
+            counts[shard] += 1
+        return counts
+
+    # ------------------------------------------------------------------ #
+    # stream processing
+    # ------------------------------------------------------------------ #
+    def process(self, document: StreamedDocument) -> List[ResultChange]:
+        """Fan one arrival out to every worker; merged result changes."""
+        return self.process_batch_events([document])[0]
+
+    def process_batch_events(
+        self, documents: Iterable[StreamedDocument]
+    ) -> List[List[ResultChange]]:
+        """Replicate a batch to every worker; event-major merged changes.
+
+        The mirror window takes the batch *first*: it applies exactly the
+        validation the workers would (duplicate ids, stale arrivals), so
+        a rejected document never reaches a worker's WAL.
+        """
+        batch = list(documents)
+        for document in batch:
+            self.window.insert(document)
+        if not batch:
+            return []
+        records = [document_record(document) for document in batch]
+        responses = self._fanout(
+            "ingest", {"lsn": self._next_lsn(), "docs": records}
+        )
+        per_shard = [event_changes_from_wire(r["changes"]) for r in responses]
+        return [
+            self.merger.merge_changes(
+                shard_events[event_index] for shard_events in per_shard
+            )
+            for event_index in range(len(batch))
+        ]
+
+    def advance_time(self, now: float) -> List[ResultChange]:
+        """Advance every worker's clock consistently (time-based windows)."""
+        self.window.advance_time(now)
+        responses = self._fanout(
+            "advance_time", {"lsn": self._next_lsn(), "now": float(now)}
+        )
+        return self.merger.merge_changes(
+            changes_from_wire(r["changes"]) for r in responses
+        )
+
+    # ------------------------------------------------------------------ #
+    # results
+    # ------------------------------------------------------------------ #
+    def current_result(self, query_id: int) -> TopKResult:
+        response = self._call(
+            self.shard_of(query_id), "result", {"query_id": query_id}
+        )
+        return entries_from_wire(response["entries"])
+
+    def current_results(self) -> Dict[int, TopKResult]:
+        """The merged results of every installed query, across all workers."""
+        responses = self._fanout("results")
+        return self.merger.merge_results(
+            {int(query_id): entries_from_wire(entries) for query_id, entries in r["results"].items()}
+            for r in responses
+        )
+
+    def top_documents(self, limit: int) -> TopKResult:
+        """Cluster-wide best documents across all queries (dashboard view)."""
+        return self.merger.top_documents(self.current_results(), limit)
+
+    # ------------------------------------------------------------------ #
+    # durability and diagnostics
+    # ------------------------------------------------------------------ #
+    def checkpoint_workers(self) -> List[int]:
+        """Force every worker to checkpoint; returns their acked lsns."""
+        return [int(r["lsn"]) for r in self._fanout("checkpoint")]
+
+    def worker_pids(self) -> List[int]:
+        """The live worker process ids, by shard (kill-point tests)."""
+        return [worker.process.pid for worker in self._workers]
+
+    def restart_counts(self) -> List[int]:
+        """Per-shard restart counts since the cluster started."""
+        return [worker.restarts for worker in self._workers]
+
+    def check_invariants(self) -> None:
+        """Validate placement bookkeeping and every worker (tests only)."""
+        assert sorted(self._assignment) == sorted(self.registry.query_ids())
+        hosted: List[int] = []
+        for shard, ping in enumerate(self._fanout("ping")):
+            assert ping["window"] == len(self.window), (
+                f"shard {shard} window diverged from the coordinator mirror"
+            )
+            hosted.extend(ping["query_ids"])
+            for query_id in ping["query_ids"]:
+                assert self._assignment.get(query_id) == shard, (
+                    f"query {query_id} hosted on shard {shard} but assigned to "
+                    f"{self._assignment.get(query_id)}"
+                )
+        assert len(hosted) == len(set(hosted)), "a query is hosted by several workers"
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Gracefully stop every worker and release the state directory.
+
+        Each worker gets a ``shutdown`` RPC (drain + final checkpoint +
+        exit 0) and a grace period; stragglers are reaped.  Idempotent.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            try:
+                worker.connection.call(
+                    "shutdown", timeout_ms=_SHUTDOWN_GRACE_SECONDS * 1000.0
+                )
+            except ReproError:
+                pass
+            worker.connection.close()
+        for worker in self._workers:
+            worker.process.join(_SHUTDOWN_GRACE_SECONDS)
+            _reap(worker.process)
+        del self._live_processes[:]
+        self._finalizer.detach()
+        if self._owns_data_dir:
+            shutil.rmtree(self._data_dir, ignore_errors=True)
+
+    def __enter__(self) -> "ProcessClusterEngine":
+        return self
+
+    def __exit__(self, exc_type: Any, exc: Any, traceback: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else "open"
+        return (
+            f"{type(self).__name__}(num_workers={self.num_shards}, "
+            f"transport={self._transport!r}, {state})"
+        )

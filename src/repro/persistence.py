@@ -33,6 +33,7 @@ from repro.query.query import ContinuousQuery
 __all__ = [
     "snapshot_engine",
     "restore_engine",
+    "restore_into",
     "EngineSnapshot",
     "document_record",
     "query_record",
@@ -202,6 +203,16 @@ def restore_engine(
     over the full restored window -- reproducing the exact logical state of
     the snapshotted engine.
     """
+    _check_engine_snapshot(snapshot)
+
+    window = _window_from_dict(snapshot["window"])
+    config = snapshot.get("config", {})
+    factory = engine_factory or (lambda w: _default_engine(w, config))
+    engine = factory(window)
+    return restore_into(snapshot, engine)
+
+
+def _check_engine_snapshot(snapshot: EngineSnapshot) -> None:
     version = snapshot.get("version")
     if version != SNAPSHOT_VERSION:
         raise ConfigurationError(f"unsupported snapshot version {version!r}")
@@ -211,10 +222,16 @@ def restore_engine(
             "(or snapshot the cluster with snapshot_engine to collapse it)"
         )
 
-    window = _window_from_dict(snapshot["window"])
-    config = snapshot.get("config", {})
-    factory = engine_factory or (lambda w: _default_engine(w, config))
-    engine = factory(window)
+
+def restore_into(snapshot: EngineSnapshot, engine: MonitoringEngine) -> MonitoringEngine:
+    """Replay a snapshot's documents, clock and queries into ``engine``.
+
+    The seam for engines that build their own windows (the process
+    cluster): the caller constructs the engine -- its window configured
+    like the snapshotted one -- and this replays the logical state.
+    :func:`restore_engine` composes window construction with this.
+    """
+    _check_engine_snapshot(snapshot)
 
     for record in sorted(snapshot["documents"], key=lambda r: r["arrival_time"]):
         engine.process(_document_from_record(record))

@@ -29,6 +29,7 @@ from repro.service.spec import (
     EngineKind,
     EngineSpec,
     PlacementCalibration,
+    ProcOptions,
     WindowSpec,
     engine_kinds,
     register_engine_kind,
@@ -43,6 +44,7 @@ __all__ = [
     "WindowSpec",
     "PlacementCalibration",
     "DurabilityPolicy",
+    "ProcOptions",
     "EngineKind",
     "register_engine_kind",
     "engine_kinds",

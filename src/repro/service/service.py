@@ -62,7 +62,7 @@ from repro.observability import runtime as obs
 from repro.observability.opcounters import counters_collector
 from repro.observability.slowlog import note_slow
 from repro.observability.trace import trace_span
-from repro.persistence import restore_engine, snapshot_engine
+from repro.persistence import restore_engine, restore_into, snapshot_engine
 from repro.query.query import ContinuousQuery
 from repro.service.spec import EngineSpec, spec_from_name
 from repro.text.analyzer import Analyzer
@@ -439,11 +439,14 @@ class MonitoringService:
     def close(self) -> None:
         """Close the service: stop alert delivery and refuse new work.
 
-        Idempotent.  The engine, its results, and the existing handles
-        (``handle.result()``, draining ``handle.changes()``) stay
-        readable; only the mutating entry points (``ingest``,
-        ``subscribe``, ``advance_time``) are disabled, and no further
-        alerts are dispatched.
+        Idempotent.  For in-process engines the engine, its results, and
+        the existing handles (``handle.result()``, draining
+        ``handle.changes()``) stay readable; only the mutating entry
+        points (``ingest``, ``subscribe``, ``advance_time``) are disabled,
+        and no further alerts are dispatched.  An engine owning external
+        resources (the worker processes of a
+        :class:`~repro.net.cluster.ProcessClusterEngine`) is shut down
+        too -- its workers must not outlive the service.
         """
         if self._closed:
             return
@@ -457,6 +460,9 @@ class MonitoringService:
             self._collector_registry = None
         if self._durability is not None:
             self._durability.close()
+        engine_close = getattr(self.engine, "close", None)
+        if engine_close is not None:
+            engine_close()
 
     @property
     def closed(self) -> bool:
@@ -1134,6 +1140,19 @@ class MonitoringService:
             engine: MonitoringEngine = restore_cluster(
                 engine_snapshot, engine_factory=engine_factory, placement=placement
             )
+        elif spec is not None and spec.kind != "sharded" and spec.builds_own_windows():
+            # A kind that manages its own windows (the process cluster):
+            # build it from the spec, then replay the snapshot into it.
+            # If the replay fails the engine's resources (worker
+            # processes) must not leak.
+            engine = spec.build()
+            try:
+                restore_into(engine_snapshot, engine)
+            except Exception:
+                engine_close = getattr(engine, "close", None)
+                if engine_close is not None:
+                    engine_close()
+                raise
         else:
             engine_factory = None
             if spec is not None and spec.kind != "sharded":

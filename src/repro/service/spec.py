@@ -44,11 +44,13 @@ from repro.core.engine import ITAEngine
 from repro.documents.window import SlidingWindow, WindowSpec
 from repro.durability.policy import DurabilityPolicy
 from repro.exceptions import ConfigurationError, UnknownEngineError
+from repro.net.options import ProcOptions
 
 __all__ = [
     "WindowSpec",
     "PlacementCalibration",
     "DurabilityPolicy",
+    "ProcOptions",
     "EngineSpec",
     "EngineKind",
     "register_engine_kind",
@@ -63,6 +65,10 @@ _PLACEMENT_NAMES = ("round-robin", "hash", "cost")
 
 #: k_max policy names understood by "naive-kmax" specs
 _KMAX_POLICIES = ("fixed", "adaptive", "analytical")
+
+#: the kinds that partition queries over shards (in-process thread lanes
+#: or worker processes); they share the sharded field block below
+_CLUSTER_KINDS = ("sharded", "sharded-proc")
 
 
 # --------------------------------------------------------------------------- #
@@ -158,6 +164,9 @@ class EngineSpec:
     #: spec of the per-shard engine; defaults to ITA with this spec's
     #: window and change tracking
     inner: Optional["EngineSpec"] = None
+    #: transport/supervision knobs of the out-of-process cluster; only
+    #: valid on kind "sharded-proc" (``None`` there means the defaults)
+    proc: Optional[ProcOptions] = None
     # -- durability ------------------------------------------------------- #
     #: write-ahead-log policy consumed by
     #: :meth:`~repro.service.MonitoringService.open`; ``None`` (default)
@@ -225,12 +234,18 @@ class EngineSpec:
             self.calibration.validate()
         if self.durability is not None:
             self.durability.validate()
+        if self.proc is not None:
+            if self.kind != "sharded-proc":
+                raise ConfigurationError(
+                    f"proc options only apply to 'sharded-proc' engines, not {self.kind!r}"
+                )
+            self.proc.validate()
         if self.inner is not None:
-            if self.kind != "sharded":
+            if self.kind not in _CLUSTER_KINDS:
                 raise ConfigurationError(
                     f"inner specs only apply to sharded engines, not {self.kind!r}"
                 )
-            if self.inner.kind == "sharded":
+            if self.inner.kind in _CLUSTER_KINDS:
                 raise ConfigurationError("sharded engines cannot be nested")
             if self.inner.track_changes != self.track_changes:
                 # The cluster advertises the outer flag but the merged
@@ -300,6 +315,16 @@ class EngineSpec:
             )
         return lambda window: build_around(self, window)
 
+    def builds_own_windows(self) -> bool:
+        """Whether this kind manages its own windows (no ``build_around``).
+
+        Such kinds -- the sharded cluster, the process cluster -- cannot
+        be constructed via :meth:`engine_factory`; restore paths build the
+        engine with :meth:`build` and replay state into it instead.
+        """
+        self.validate()
+        return _KINDS[self.kind].build_around is None
+
     def shard_spec(self) -> "EngineSpec":
         """The effective per-shard spec of a sharded engine.
 
@@ -312,9 +337,10 @@ class EngineSpec:
         Raises
         ------
         ConfigurationError
-            If this spec is not of kind ``"sharded"``.
+            If this spec is not of a cluster kind (``"sharded"`` or
+            ``"sharded-proc"``).
         """
-        if self.kind != "sharded":
+        if self.kind not in _CLUSTER_KINDS:
             raise ConfigurationError(f"{self.kind!r} specs have no shards")
         if self.inner is not None:
             return self.inner
@@ -341,9 +367,9 @@ class EngineSpec:
         Raises
         ------
         ConfigurationError
-            If this spec is not of kind ``"sharded"``.
+            If this spec is not of a cluster kind.
         """
-        if self.kind != "sharded":
+        if self.kind not in _CLUSTER_KINDS:
             raise ConfigurationError(f"{self.kind!r} specs have no placement")
         if self.placement != "cost" or self.calibration is None:
             return self.placement
@@ -386,6 +412,8 @@ class EngineSpec:
             data["calibration"] = self.calibration.to_dict()
         if self.inner is not None:
             data["inner"] = self.inner.to_dict()
+        if self.proc is not None:
+            data["proc"] = self.proc.to_dict()
         if self.durability is not None:
             data["durability"] = self.durability.to_dict()
         return data
@@ -399,6 +427,7 @@ class EngineSpec:
         """
         calibration = data.get("calibration")
         inner = data.get("inner")
+        proc = data.get("proc")
         durability = data.get("durability")
         defaults = cls()
         return cls(
@@ -421,6 +450,7 @@ class EngineSpec:
                 else None
             ),
             inner=cls.from_dict(inner) if inner is not None else None,
+            proc=ProcOptions.from_dict(proc) if proc is not None else None,
             durability=(
                 DurabilityPolicy.from_dict(durability)
                 if durability is not None
@@ -547,10 +577,30 @@ register_engine_kind(
 register_engine_kind(
     "oracle", _build_oracle, description="recompute-from-scratch ground truth"
 )
+def _build_proc(spec: EngineSpec) -> MonitoringEngine:
+    # Imported lazily: the coordinator pulls in the whole net/cluster
+    # stack, which this module must not load at import time.
+    from repro.net.cluster import ProcessClusterEngine
+
+    return ProcessClusterEngine(
+        num_workers=spec.num_shards,
+        shard_spec=spec.shard_spec(),
+        window_spec=spec.window,
+        placement=spec.placement_policy(),
+        track_changes=spec.track_changes,
+        options=spec.proc,
+    )
+
+
 register_engine_kind(
     "sharded",
     build=_build_sharded,
     description="query-sharded cluster over any inner engine kind",
+)
+register_engine_kind(
+    "sharded-proc",
+    build=_build_proc,
+    description="query-sharded cluster of worker processes over framed RPC",
 )
 
 
@@ -592,6 +642,30 @@ def spec_from_name(
     options = dict(options or {})
     window = window if window is not None else WindowSpec()
 
+    # "sharded-proc[-N]" must be peeled off before the generic
+    # "sharded-<inner>" grammar, which would mis-read "proc" as an inner
+    # engine name.  Proc clusters always run ITA shards.
+    if name == "sharded-proc" or name.startswith("sharded-proc-"):
+        suffix = name[len("sharded-proc"):].lstrip("-")
+        if suffix and not suffix.isdigit():
+            raise UnknownEngineError(
+                f"unknown engine name {name!r}; proc clusters are named "
+                "sharded-proc or sharded-proc-<N>"
+            )
+        num_shards = int(suffix) if suffix else int(options.get("num_shards", 2))
+        inner = spec_from_name(
+            "ita", window=window, track_changes=track_changes, options=options
+        )
+        return EngineSpec(
+            kind="sharded-proc",
+            window=window,
+            track_changes=track_changes,
+            num_shards=num_shards,
+            placement=str(options.get("placement", "cost")),
+            calibration=calibration,
+            inner=inner,
+        )
+
     if name == "sharded" or name.startswith("sharded-"):
         parts = name.split("-")[1:]
         if parts and parts[-1].isdigit():
@@ -619,7 +693,8 @@ def spec_from_name(
     if overrides is None:
         raise UnknownEngineError(
             f"unknown engine name {name!r}; known names: "
-            f"{', '.join(sorted(_NAME_ALIASES))}, sharded-<inner>[-<N>]"
+            f"{', '.join(sorted(_NAME_ALIASES))}, sharded-<inner>[-<N>], "
+            "sharded-proc[-<N>]"
         )
     if "kmax_multiplier" in options:
         overrides = {**overrides, "kmax_multiplier": float(options["kmax_multiplier"])}

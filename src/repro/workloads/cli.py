@@ -21,6 +21,12 @@ Run an instrumented workload and print its Prometheus exposition (see
     python -m repro.workloads.cli obs
     python -m repro.workloads.cli obs --format json --trace-out trace.json
 
+Serve a monitoring service over TCP for remote clients (see
+``docs/ARCHITECTURE.md``, "The network tier"; stop it with SIGTERM or
+Ctrl-C -- both drain in-flight requests and flush state before exiting)::
+
+    python -m repro.workloads.cli serve --engine sharded-proc-2 --port 9911
+
 List the available experiments::
 
     python -m repro.workloads.cli list
@@ -79,12 +85,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(_EXPERIMENTS) + ["all", "bench-all", "obs", "list"],
+        choices=sorted(_EXPERIMENTS) + ["all", "bench-all", "obs", "serve", "list"],
         help=(
             "which experiment to run ('all' for every one, 'bench-all' for the "
             "machine-readable performance harness, 'obs' for an instrumented "
-            "workload exposing the full telemetry surface, 'list' to enumerate "
-            "them)"
+            "workload exposing the full telemetry surface, 'serve' to expose a "
+            "monitoring service over TCP, 'list' to enumerate them)"
         ),
     )
     parser.add_argument(
@@ -126,6 +132,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--proc-workers",
+        type=int,
+        default=None,
+        help=(
+            "bench-all only: worker-process count of the out-of-process "
+            "cluster measurement (default: 2; the single-worker baseline "
+            "is always measured alongside)"
+        ),
+    )
+    parser.add_argument(
         "--history-dir",
         default="benchmarks/history",
         help=(
@@ -161,7 +177,80 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress progress messages",
     )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="serve only: address to listen on (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="serve only: port to listen on (default: 0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--engine",
+        default="ita",
+        help=(
+            "serve only: engine spec name behind the service "
+            "('ita', 'sharded-4', 'sharded-proc-2', ...; default: ita)"
+        ),
+    )
+    parser.add_argument(
+        "--durable-dir",
+        default=None,
+        help="serve only: durability directory (WAL + checkpoints) for the service",
+    )
+    parser.add_argument(
+        "--observe",
+        action="store_true",
+        help="serve only: enable the observability runtime before serving",
+    )
     return parser
+
+
+def _run_serve(args: argparse.Namespace, progress) -> int:
+    """The ``serve`` mode: expose a MonitoringService over TCP.
+
+    Prints one machine-readable ``SERVING host:port`` line to stdout once
+    the listener is bound (the net-smoke harness parses it), then serves
+    until SIGTERM/SIGINT -- both trigger the graceful path: in-flight
+    requests drain, the WAL is flushed and a final checkpoint written
+    when durability is attached, worker processes shut down, exit 0.
+    """
+    import os
+    import signal
+
+    from repro.net.server import MonitoringServer
+    from repro.service import MonitoringService, spec_from_name
+
+    spec = spec_from_name(args.engine)
+    if args.observe:
+        from repro.observability import runtime as obs
+
+        obs.enable()
+    if args.durable_dir:
+        service = MonitoringService.open(args.durable_dir, spec)
+    else:
+        service = MonitoringService(spec)
+    server = MonitoringServer(service, host=args.host, port=args.port)
+
+    def _stop(signum, frame):  # pragma: no cover - signal path, covered by smoke
+        if progress is not None:
+            progress(f"[serve] received signal {signum}; draining")
+        server.shutdown()
+
+    signal.signal(signal.SIGTERM, _stop)
+    signal.signal(signal.SIGINT, _stop)
+
+    host, port = server.address
+    print(f"SERVING {host}:{port}", flush=True)
+    if progress is not None:
+        progress(f"[serve] engine={args.engine} pid={os.getpid()}")
+    server.serve_forever()
+    if progress is not None:
+        progress("[serve] stopped cleanly")
+    return 0
 
 
 def _selected_definitions(name: str, scale: str) -> List[ExperimentDefinition]:
@@ -181,6 +270,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     progress = None if args.quiet else (lambda message: print(message, file=sys.stderr))
+
+    if args.experiment == "serve":
+        return _run_serve(args, progress)
 
     if args.experiment == "obs":
         from repro.workloads.obsrun import run_observed_workload
@@ -218,6 +310,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         from repro.workloads.perfjson import (
             DEFAULT_ASYNC_WORKERS,
             DEFAULT_BATCH_SIZE,
+            DEFAULT_PROC_WORKERS,
             append_history,
             run_bench_suite,
         )
@@ -228,6 +321,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error("--repeats must be positive")
         if args.async_workers is not None and args.async_workers <= 0:
             parser.error("--async-workers must be positive")
+        if args.proc_workers is not None and args.proc_workers <= 0:
+            parser.error("--proc-workers must be positive")
         document = run_bench_suite(
             scale=args.scale,
             batch_size=(
@@ -239,6 +334,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 args.async_workers
                 if args.async_workers is not None
                 else DEFAULT_ASYNC_WORKERS
+            ),
+            proc_workers=(
+                args.proc_workers
+                if args.proc_workers is not None
+                else DEFAULT_PROC_WORKERS
             ),
         )
         with open(args.out, "w", encoding="utf-8") as handle:

@@ -57,6 +57,7 @@ __all__ = [
     "SCHEMA",
     "DEFAULT_BATCH_SIZE",
     "DEFAULT_ASYNC_WORKERS",
+    "DEFAULT_PROC_WORKERS",
     "HISTORY_FILENAME",
     "BenchRecord",
     "BenchCase",
@@ -69,13 +70,16 @@ __all__ = [
 ]
 
 #: bump when a field of the emitted JSON changes meaning
-SCHEMA = "repro-bench/4"
+SCHEMA = "repro-bench/5"
 
 #: default chunk size of the batched measurement mode
 DEFAULT_BATCH_SIZE = 64
 
 #: default thread-pool size of the async measurement mode's multi-worker run
 DEFAULT_ASYNC_WORKERS = 4
+
+#: default worker-process count of the proc measurement mode's multi-worker run
+DEFAULT_PROC_WORKERS = 2
 
 Progress = Optional[Callable[[str], None]]
 
@@ -95,6 +99,9 @@ class BenchRecord:
     #: with write-ahead logging -- the logged-ingest overhead cell) or
     #: "wal-recovery" (checkpoint restore + WAL replay; ``events`` are
     #: the replayed documents)
+    #: ... or "proc" (batched chunks through the out-of-process cluster of
+    #: :mod:`repro.net` -- worker processes behind framed RPC; measured at
+    #: one worker and at ``proc_workers``, the ``concurrency`` column)
     mode: str
     #: measured arrival events
     events: int
@@ -202,8 +209,14 @@ def default_suite(scale: str = "small") -> List[BenchCase]:
             point=_point_by_label(cluster, "shards=4"),
             # "async" measures the concurrent ingestion pipeline twice --
             # single-worker and multi-worker -- producing the concurrency
-            # column of the emitted document.
-            modes={"sharded-ita": ("sequential", "batched", "async")},
+            # column of the emitted document.  "proc" does the same with
+            # the out-of-process cluster: real worker processes behind
+            # framed RPC, so the emitted file also carries the
+            # cross-process dispatch overhead and its scale-out ratio.
+            modes={
+                "sharded-ita": ("sequential", "batched", "async"),
+                "sharded-proc": ("proc",),
+            },
         ),
     ]
 
@@ -214,6 +227,7 @@ def run_case(
     repeats: int = 1,
     progress: Progress = None,
     async_workers: int = DEFAULT_ASYNC_WORKERS,
+    proc_workers: int = DEFAULT_PROC_WORKERS,
 ) -> List[BenchRecord]:
     """Measure every (engine, mode) combination of one case.
 
@@ -230,6 +244,8 @@ def run_case(
         raise ValueError("repeats must be positive")
     if async_workers <= 0:
         raise ValueError("async_workers must be positive")
+    if proc_workers <= 0:
+        raise ValueError("proc_workers must be positive")
     if progress is not None:
         progress(f"[bench] workload {case.workload} ({case.point.label})")
     workload = build_workload(case.point.config)
@@ -241,6 +257,16 @@ def run_case(
                     progress(f"[bench]   engine {engine_name} (wal + recovery)")
                 records.extend(
                     _wal_records(case, workload, engine_name, batch_size, repeats)
+                )
+                continue
+            if mode == "proc":
+                if progress is not None:
+                    progress(
+                        f"[bench]   engine {engine_name} "
+                        f"(proc, workers=1 and {proc_workers})"
+                    )
+                records.extend(
+                    _proc_records(case, workload, batch_size, repeats, proc_workers)
                 )
                 continue
             worker_counts: Sequence[Optional[int]] = (None,)
@@ -392,6 +418,88 @@ def _wal_records(
 
 
 # --------------------------------------------------------------------------- #
+# the proc workload: the out-of-process cluster over framed RPC
+# --------------------------------------------------------------------------- #
+def _proc_records(
+    case: BenchCase,
+    workload,
+    batch_size: int,
+    repeats: int,
+    proc_workers: int,
+) -> List[BenchRecord]:
+    """The out-of-process cells: batched ingest through worker processes.
+
+    Each cell drives a :class:`~repro.net.cluster.ProcessClusterEngine` --
+    real worker processes, framed RPC over unix-domain sockets, per-shard
+    write-ahead logs -- through the identical batched chunks the
+    in-process cells use.  Measured at one worker and at ``proc_workers``
+    (the ``concurrency`` column), so the emitted document carries both
+    the RPC + WAL dispatch overhead against the in-process cluster and
+    the cross-process scale-out ratio
+    (``summary["cluster_proc_multi_over_single"]``).  On a single-core
+    host that ratio is honestly ~1.0 or below: the workers time-share one
+    CPU and the coordinator pipelines, so only multi-core hosts show the
+    scale-out.  Best-of-``repeats`` like every other cell.
+    """
+    # Imported lazily: repro.net pulls in the cluster/service stack.
+    from repro.net.cluster import ProcessClusterEngine
+    from repro.net.options import ProcOptions
+    from repro.service.spec import WindowSpec
+
+    measured = workload.measured
+    events = len(measured)
+    window_spec = WindowSpec.count(case.point.config.window_size)
+    records: List[BenchRecord] = []
+    for workers in sorted({1, proc_workers}):
+        best = None  # (total_ms, samples, scores_computed)
+        for _ in range(repeats):
+            cluster = ProcessClusterEngine(
+                num_workers=workers,
+                window_spec=window_spec,
+                placement="cost",
+                options=ProcOptions(),
+            )
+            try:
+                cluster.process_batch_events(workload.prefill)
+                for query in workload.queries:
+                    cluster.register_query(query)
+                samples: List[float] = []
+                total_ms = 0.0
+                for start in range(0, events, batch_size):
+                    chunk = measured[start : start + batch_size]
+                    began = time.perf_counter()
+                    cluster.process_batch_events(chunk)
+                    elapsed = (time.perf_counter() - began) * 1000.0
+                    total_ms += elapsed
+                    samples.append(elapsed / len(chunk))
+                scores = cluster.counters.scores_computed
+            finally:
+                cluster.close()
+            if best is None or total_ms < best[0]:
+                best = (total_ms, samples, scores)
+        total_ms, samples, scores = best
+        mean_ms = total_ms / events if events else 0.0
+        summary = PercentileSummary.from_samples(samples)
+        records.append(
+            BenchRecord(
+                workload=case.workload,
+                point=case.point.label,
+                engine="sharded-proc",
+                mode="proc",
+                events=events,
+                docs_per_sec=(1000.0 / mean_ms) if mean_ms > 0 else 0.0,
+                mean_ms=mean_ms,
+                p50_ms=summary.p50,
+                p99_ms=summary.p99,
+                scores_per_event=(scores / events) if events else 0.0,
+                batch_size=batch_size,
+                concurrency=workers,
+            )
+        )
+    return records
+
+
+# --------------------------------------------------------------------------- #
 # the service-overhead workload
 # --------------------------------------------------------------------------- #
 def _service_overhead_records(
@@ -495,15 +603,17 @@ def run_bench_suite(
     repeats: int = 3,
     progress: Progress = None,
     async_workers: int = DEFAULT_ASYNC_WORKERS,
+    proc_workers: int = DEFAULT_PROC_WORKERS,
 ) -> Dict[str, Any]:
     """Run the full suite and return the JSON-compatible result document.
 
     The ``summary`` block pre-computes the ratios later PRs care about:
     the batched-over-sequential ITA speedup on the headline figure-3a
-    workload, the façade-over-direct service overhead, and the async
+    workload, the façade-over-direct service overhead, the async
     pipeline's measured multi-worker-over-single-worker concurrency
-    speedup on the cluster workload.  Dump the returned dictionary with
-    ``json.dump`` to produce ``BENCH_results.json``.
+    speedup on the cluster workload, and the out-of-process cluster's
+    multi-worker-over-single-worker scale-out ratio.  Dump the returned
+    dictionary with ``json.dump`` to produce ``BENCH_results.json``.
     """
     records: List[BenchRecord] = []
     for case in default_suite(scale):
@@ -514,6 +624,7 @@ def run_bench_suite(
                 repeats=repeats,
                 progress=progress,
                 async_workers=async_workers,
+                proc_workers=proc_workers,
             )
         )
     records.extend(_service_overhead_records(scale, batch_size, progress=progress))
@@ -579,6 +690,24 @@ def run_bench_suite(
         summary["cluster_async_over_batched"] = round(
             async_multi.docs_per_sec / cluster_batched.docs_per_sec, 4
         )
+    proc_single = by_key.get(("cluster-scaling", "sharded-proc", "proc", 1))
+    # Same self-ratio guard as the async cell: with proc_workers == 1
+    # only the single-worker cell exists and there is nothing to compare.
+    proc_multi = (
+        by_key.get(("cluster-scaling", "sharded-proc", "proc", proc_workers))
+        if proc_workers != 1
+        else None
+    )
+    if proc_single and proc_multi and proc_single.docs_per_sec > 0:
+        summary["cluster_proc_multi_over_single"] = round(
+            proc_multi.docs_per_sec / proc_single.docs_per_sec, 4
+        )
+    if proc_single and cluster_batched and cluster_batched.docs_per_sec > 0:
+        # The RPC + per-shard WAL dispatch tax of leaving the process,
+        # measured against the in-process batched cluster cell.
+        summary["cluster_proc_over_batched"] = round(
+            proc_single.docs_per_sec / cluster_batched.docs_per_sec, 4
+        )
 
     return {
         "schema": SCHEMA,
@@ -586,6 +715,7 @@ def run_bench_suite(
         "scale": scale,
         "batch_size": batch_size,
         "async_workers": async_workers,
+        "proc_workers": proc_workers,
         "workloads": sorted({record.workload for record in records}),
         "engines": sorted({record.engine for record in records}),
         "results": [asdict(record) for record in records],

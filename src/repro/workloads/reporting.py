@@ -121,6 +121,8 @@ _RATIO_NOTES = {
     "service_facade_over_direct": "service facade tax over the raw engine",
     "cluster_async_multi_over_single_worker": "async pipeline concurrency speedup",
     "cluster_async_over_batched": "async pipeline vs synchronous batched",
+    "cluster_proc_multi_over_single": "worker-process scale-out (needs multi-core)",
+    "cluster_proc_over_batched": "out-of-process RPC + WAL dispatch tax",
     "figure3a_wal_recovery_ms": "crash-recovery wall time (ms)",
     "figure3a_wal_recovery_docs_per_sec": "crash-recovery replay throughput",
 }

@@ -48,6 +48,16 @@ class TestSuiteDefinition:
         with pytest.raises(ValueError):
             run_case(case, async_workers=0)
 
+    def test_rejects_non_positive_proc_workers(self):
+        case = default_suite("smoke")[0]
+        with pytest.raises(ValueError):
+            run_case(case, proc_workers=0)
+
+    def test_cluster_workload_measures_the_proc_cluster(self):
+        suite = default_suite("smoke")
+        cluster = next(case for case in suite if case.workload == "cluster-scaling")
+        assert tuple(cluster.modes["sharded-proc"]) == ("proc",)
+
 
 class TestRunCase:
     def test_records_have_consistent_metrics(self):
@@ -82,15 +92,34 @@ class TestRunCase:
             assert record.docs_per_sec > 0.0
             assert record.scores_per_event > 0.0
 
+    def test_proc_mode_measures_single_and_multi_worker(self):
+        suite = default_suite("smoke")
+        cluster = next(case for case in suite if case.workload == "cluster-scaling")
+        records = run_case(cluster, batch_size=8, repeats=1, proc_workers=2)
+        proc_records = [record for record in records if record.mode == "proc"]
+        assert sorted(record.concurrency for record in proc_records) == [1, 2]
+        for record in proc_records:
+            assert record.engine == "sharded-proc"
+            assert record.batch_size == 8
+            assert record.docs_per_sec > 0.0
+            assert record.scores_per_event > 0.0
+
 
 class TestRunBenchSuite:
     def test_single_worker_only_run_omits_the_speedup_ratio(self):
-        """--async-workers 1 measures only the baseline cell; the summary
-        must not fabricate a 1.0 self-ratio from it."""
-        document = run_bench_suite(scale="smoke", repeats=1, async_workers=1)
+        """--async-workers/--proc-workers 1 measure only the baseline
+        cells; the summary must not fabricate 1.0 self-ratios from them."""
+        document = run_bench_suite(
+            scale="smoke", repeats=1, async_workers=1, proc_workers=1
+        )
         async_cells = [r for r in document["results"] if r["mode"] == "async"]
         assert [r["concurrency"] for r in async_cells] == [1]
         assert "cluster_async_multi_over_single_worker" not in document["summary"]
+        proc_cells = [r for r in document["results"] if r["mode"] == "proc"]
+        assert [r["concurrency"] for r in proc_cells] == [1]
+        assert "cluster_proc_multi_over_single" not in document["summary"]
+        # The dispatch-tax ratio only needs the baseline cell, so it stays.
+        assert "cluster_proc_over_batched" in document["summary"]
 
     def test_smoke_suite_document_shape(self):
         document = run_bench_suite(scale="smoke", repeats=1)
@@ -103,16 +132,17 @@ class TestRunBenchSuite:
         assert "cluster_async_multi_over_single_worker" in document["summary"]
         assert "figure3a_ita_wal_over_batched" in document["summary"]
         assert "figure3a_wal_recovery_ms" in document["summary"]
+        assert "cluster_proc_multi_over_single" in document["summary"]
         for record in document["results"]:
             assert record["events"] > 0
             assert record["docs_per_sec"] > 0.0
             assert record["mean_ms"] > 0.0
             assert record["p99_ms"] >= record["p50_ms"] >= 0.0
             assert record["mode"] in (
-                "sequential", "batched", "instrumented", "async",
+                "sequential", "batched", "instrumented", "async", "proc",
                 "wal", "wal-recovery", "direct", "facade",
             )
-            if record["mode"] == "async":
+            if record["mode"] in ("async", "proc"):
                 assert record["concurrency"] >= 1
             else:
                 assert record["concurrency"] is None

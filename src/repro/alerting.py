@@ -81,6 +81,22 @@ class AlertDispatcher:
         self._global_subscribers: List[AlertSubscriber] = []
         self._query_subscribers: Dict[int, List[AlertSubscriber]] = defaultdict(list)
         self._delivered = 0
+        self._transform: Optional[
+            Callable[[List[ResultChange]], List[ResultChange]]
+        ] = None
+
+    def set_transform(
+        self,
+        transform: Optional[Callable[[List[ResultChange]], List[ResultChange]]],
+    ) -> None:
+        """Install a per-event change rewriter applied before dispatch.
+
+        The query-scale layer uses this seam to expand canonical
+        (deduplicated) changes into one re-labelled change per subscriber;
+        :meth:`dispatch_changes` returns the rewritten list so callers
+        collect the subscriber-visible stream, not the engine's.
+        """
+        self._transform = transform
 
     # ------------------------------------------------------------------ #
     # subscription management
@@ -131,8 +147,7 @@ class AlertDispatcher:
     def process(self, document: StreamedDocument) -> List[ResultChange]:
         """Forward ``document`` to the engine and dispatch any alerts."""
         changes = self.engine.process(document)
-        self.dispatch_changes(changes, document)
-        return changes
+        return self.dispatch_changes(changes, document)
 
     def process_many(self, documents: Iterable[StreamedDocument]) -> List[ResultChange]:
         all_changes: List[ResultChange] = []
@@ -147,14 +162,13 @@ class AlertDispatcher:
         ``document`` field is ``None``.
         """
         changes = self.engine.advance_time(now)
-        self.dispatch_changes(changes, None)
-        return changes
+        return self.dispatch_changes(changes, None)
 
     # ------------------------------------------------------------------ #
     def dispatch_changes(
         self, changes: List[ResultChange], document: Optional[StreamedDocument]
-    ) -> None:
-        """Deliver already-computed ``changes`` to the subscribers.
+    ) -> List[ResultChange]:
+        """Deliver one event's ``changes``; returns the dispatched list.
 
         This is the notification half of :meth:`process`, split out for
         callers that run the engine themselves -- the asynchronous
@@ -162,7 +176,12 @@ class AlertDispatcher:
         dispatches them here, in stream order, from the event loop.
         ``document`` is the triggering arrival (``None`` for pure-expiry
         changes), exactly as in :meth:`process`/:meth:`advance_time`.
+        The installed :meth:`set_transform` rewriter (if any) is applied
+        first; the *rewritten* changes are what subscribers see and what
+        this returns.
         """
+        if self._transform is not None and changes:
+            changes = self._transform(changes)
         for change in changes:
             alert = Alert(change=change, document=document)
             for callback in self._global_subscribers:
@@ -171,3 +190,4 @@ class AlertDispatcher:
             for callback in self._query_subscribers.get(change.query_id, ()):
                 callback(alert)
                 self._delivered += 1
+        return changes

@@ -333,6 +333,15 @@ class DurabilityLog:
         """Append an unsubscribe record to the owning shard's log."""
         return self._append({"op": "unsubscribe", "query_id": query_id}, shard=shard)
 
+    def log_queryscale(self, payload: Dict[str, Any]) -> int:
+        """Append a query-scale transition record (``hibernate``/``wake``).
+
+        Replicated to every shard log: hibernation state lives at the
+        service layer, above the shard partition, and recovery must see
+        the transition whichever shard log survives.
+        """
+        return self._append(dict(payload))
+
     def log_advance_time(self, now: float) -> int:
         """Append a clock-advance record (replicated to every shard log)."""
         lsn = self._append({"op": "advance_time", "now": now})

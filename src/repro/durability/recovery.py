@@ -121,16 +121,16 @@ def _replay_record(service: Any, record: Dict[str, Any]) -> int:
     if op == "subscribe":
         query = _query_from_record(record["query"])
         shard = record.get("shard")
-        if shard is not None:
-            service.engine.register_query(query, shard=int(shard))
-        else:
-            service.engine.register_query(query)
+        service._replay_subscribe(query, int(shard) if shard is not None else None)
         return 0
     if op == "unsubscribe":
-        service.engine.unregister_query(int(record["query_id"]))
+        service._replay_unsubscribe(int(record["query_id"]))
         return 0
     if op == "advance_time":
         service.advance_time(float(record["now"]))
+        return 0
+    if op in ("hibernate", "wake"):
+        service._replay_queryscale(record)
         return 0
     raise DurabilityError(f"unknown WAL op {op!r} at lsn {record.get('lsn')}")
 

@@ -62,7 +62,7 @@ from repro.net.codec import (
     event_changes_from_wire,
 )
 from repro.net.options import ProcOptions
-from repro.net.protocol import RpcConnection
+from repro.net.protocol import RpcConnection, encode_params
 from repro.net.worker import worker_main
 from repro.observability import runtime as _obs
 from repro.observability.opcounters import OperationCounters
@@ -416,17 +416,22 @@ class ProcessClusterEngine(MonitoringEngine):
         to the supervised :meth:`_call` retry path; remote (typed) errors
         are drained from every shard before the first one is re-raised, so
         the surviving connections stay request/response aligned.
+
+        The params are serialised **once** (:func:`encode_params`) and
+        spliced into each worker's envelope: for a replicated ingest
+        batch, JSON encoding no longer scales with the shard count.
         """
         self._ensure_worker_collector()
         deadline = self._deadline()
         observed = _obs.active
         started = time.perf_counter() if observed else 0.0
+        params_body = encode_params(params)
         pending: Dict[int, int] = {}
         failed: List[int] = []
         for shard in range(self.num_shards):
             try:
-                pending[shard] = self._workers[shard].connection.send_request(
-                    method, params or {}, deadline
+                pending[shard] = self._workers[shard].connection.send_request_encoded(
+                    method, params_body, deadline
                 )
             except RpcTransportError:
                 failed.append(shard)

@@ -51,6 +51,7 @@ from repro.observability import runtime as _obs
 __all__ = [
     "MAX_FRAME_BYTES",
     "encode_frame",
+    "encode_params",
     "decode_frame",
     "send_frame",
     "recv_frame",
@@ -69,14 +70,31 @@ _LENGTH = struct.Struct(">I")
 # --------------------------------------------------------------------------- #
 # framing
 # --------------------------------------------------------------------------- #
-def encode_frame(payload: Dict[str, Any]) -> bytes:
-    """Serialise one message to its wire form (length prefix + JSON)."""
-    body = json.dumps(payload, separators=(",", ":")).encode("utf-8")
+def _frame(body: bytes) -> bytes:
+    """Prefix an already-serialised message body with its length."""
     if len(body) > MAX_FRAME_BYTES:
         raise RpcTransportError(
             f"frame of {len(body)} bytes exceeds the {MAX_FRAME_BYTES}-byte limit"
         )
     return _LENGTH.pack(len(body)) + body
+
+
+def encode_frame(payload: Dict[str, Any]) -> bytes:
+    """Serialise one message to its wire form (length prefix + JSON)."""
+    return _frame(json.dumps(payload, separators=(",", ":")).encode("utf-8"))
+
+
+def encode_params(params: Optional[Dict[str, Any]] = None) -> bytes:
+    """Pre-serialise a request's ``params`` object, for reuse across peers.
+
+    A batch replicated to every worker is by far the largest payload the
+    coordinator sends, and serialising it once per *worker* made JSON
+    encoding scale with the shard count.  The coordinator encodes the
+    params once with this helper and hands the bytes to
+    :meth:`RpcConnection.send_request_encoded`, which splices them into
+    each connection's envelope without re-serialising.
+    """
+    return json.dumps(params or {}, separators=(",", ":")).encode("utf-8")
 
 
 def decode_frame(body: bytes) -> Dict[str, Any]:
@@ -114,7 +132,12 @@ def send_frame(
     RpcTransportError
         If the connection breaks.
     """
-    data = encode_frame(payload)
+    return _send_body(sock, json.dumps(payload, separators=(",", ":")).encode("utf-8"), deadline)
+
+
+def _send_body(sock: socket.socket, body: bytes, deadline: Optional[float]) -> int:
+    """Frame and send one already-serialised message body."""
+    data = _frame(body)
     try:
         sock.settimeout(_remaining(deadline))
         sock.sendall(data)
@@ -257,6 +280,36 @@ class RpcConnection:
             {"id": request_id, "method": method, "params": params or {}},
             deadline,
         )
+        if _obs.active:
+            _obs.counter_child(
+                "repro_rpc_bytes_total", "RPC bytes on the wire", "direction", "sent"
+            ).inc(sent)
+        return request_id
+
+    def send_request_encoded(
+        self,
+        method: str,
+        params_body: bytes,
+        deadline: Optional[float] = None,
+    ) -> int:
+        """Write one request whose params were encoded with :func:`encode_params`.
+
+        Byte-identical on the wire to ``send_request(method, params)``:
+        the envelope keys are emitted in the same order and with the same
+        compact separators, with the pre-encoded params spliced in.  This
+        is what lets the coordinator serialise a replicated batch once
+        instead of once per worker.
+        """
+        if self._closed:
+            raise RpcTransportError(f"connection to {self.peer or 'peer'} is closed")
+        self._next_id += 1
+        request_id = self._next_id
+        body = b'{"id":%d,"method":%s,"params":%s}' % (
+            request_id,
+            json.dumps(method, separators=(",", ":")).encode("utf-8"),
+            params_body,
+        )
+        sent = _send_body(self._sock, body, deadline)
         if _obs.active:
             _obs.counter_child(
                 "repro_rpc_bytes_total", "RPC bytes on the wire", "direction", "sent"

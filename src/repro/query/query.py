@@ -59,6 +59,13 @@ class ContinuousQuery:
             if weight == 0.0:
                 continue
             cleaned[int(term_id)] = weight
+        # Normalise the term order: weights always iterate in ascending
+        # term-id order, so the floating-point sum of a dot product is a
+        # function of the term *set*, never of the order the caller listed
+        # the terms in.  Query canonicalization (repro.queryscale) relies
+        # on this: "white tower" and "tower white" must score (and thus
+        # alert) bit-identically before they may share one scored entry.
+        cleaned = {term_id: cleaned[term_id] for term_id in sorted(cleaned)}
         if not cleaned:
             raise QueryError("a query must have at least one positively weighted term")
         self.query_id = query_id

@@ -30,6 +30,19 @@ class QueryRegistry:
         self._next_query_id += 1
         return query_id
 
+    def peek_next_id(self) -> int:
+        """The id :meth:`allocate_id` would return, without consuming it.
+
+        Checkpoints persist this so a recovered registry allocates the
+        same ids the original would have -- the counter never rewinds,
+        even past queries that have since been unregistered.
+        """
+        return self._next_query_id
+
+    def reserve_ids(self, next_query_id: int) -> None:
+        """Advance the allocator to at least ``next_query_id`` (restore path)."""
+        self._next_query_id = max(self._next_query_id, int(next_query_id))
+
     def register(self, query: ContinuousQuery) -> ContinuousQuery:
         """Install ``query``; its identifier must be unused."""
         if query.query_id in self._queries:

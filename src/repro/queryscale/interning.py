@@ -1,0 +1,164 @@
+"""Shared-vocabulary compaction of query weight tables.
+
+A million standing queries built from a vocabulary of a few tens of
+thousands of terms repeat the same term-id *sets* over and over.  A plain
+``{term_id: weight}`` dict costs ~100 bytes per entry; this module
+replaces it with two parallel ``array`` buffers -- a sorted ``array('q')``
+of term ids and an ``array('d')`` of weights -- and *interns* the id
+arrays in a :class:`TermTable`, so every canonical query over the same
+term set shares one id buffer.
+
+:class:`CompactWeights` is a read-only :class:`~collections.abc.Mapping`
+drop-in for the dict held by :class:`~repro.query.query.ContinuousQuery`:
+iteration order is ascending term id, exactly the order the query
+constructor normalises dicts to, so swapping the representation changes
+no score by even an ulp (floating-point sums see the same operand order).
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left
+from collections.abc import Mapping
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.query.query import ContinuousQuery
+
+__all__ = ["CompactWeights", "TermTable"]
+
+
+class CompactWeights(Mapping):
+    """An ``array``-backed, immutable ``{term_id: weight}`` mapping.
+
+    ``term_ids`` must be strictly ascending; lookups bisect it.  The id
+    array is typically shared (interned) between every query over the
+    same term set -- see :class:`TermTable`.
+    """
+
+    __slots__ = ("_term_ids", "_weights")
+
+    def __init__(self, term_ids: array, weights: array) -> None:
+        if len(term_ids) != len(weights):
+            raise ValueError("term_ids and weights must have equal length")
+        self._term_ids = term_ids
+        self._weights = weights
+
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._term_ids)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self._term_ids)
+
+    def __contains__(self, term_id: object) -> bool:
+        ids = self._term_ids
+        index = bisect_left(ids, term_id)
+        return index < len(ids) and ids[index] == term_id
+
+    def __getitem__(self, term_id: int) -> float:
+        ids = self._term_ids
+        index = bisect_left(ids, term_id)
+        if index < len(ids) and ids[index] == term_id:
+            return self._weights[index]
+        raise KeyError(term_id)
+
+    def get(self, term_id: int, default: Optional[float] = None) -> Optional[float]:
+        ids = self._term_ids
+        index = bisect_left(ids, term_id)
+        if index < len(ids) and ids[index] == term_id:
+            return self._weights[index]
+        return default
+
+    def items(self):  # noqa: D102 - Mapping supplies the docs
+        return list(zip(self._term_ids, self._weights))
+
+    def keys(self):  # noqa: D102
+        return list(self._term_ids)
+
+    def values(self):  # noqa: D102
+        return list(self._weights)
+
+    # Mapping's ItemsView-based __eq__ is replaced by a dict comparison so
+    # CompactWeights == dict (and the reflected dict == CompactWeights,
+    # which dict delegates back to us) both work.
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, CompactWeights):
+            return (
+                self._term_ids == other._term_ids and self._weights == other._weights
+            )
+        if isinstance(other, Mapping) or isinstance(other, dict):
+            return dict(self.items()) == dict(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((tuple(self._term_ids), tuple(self._weights)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompactWeights({dict(self.items())!r})"
+
+
+class TermTable:
+    """Interning pool of sorted term-id arrays.
+
+    ``intern(ids)`` returns a canonical ``array('q')`` for the tuple of
+    ids: queries over the same term set (whatever their weights) share
+    one buffer.  The pool holds strong references; :meth:`compact` drops
+    entries no longer referenced from outside the table.
+    """
+
+    __slots__ = ("_pool",)
+
+    def __init__(self) -> None:
+        self._pool: Dict[Tuple[int, ...], array] = {}
+
+    def __len__(self) -> int:
+        return len(self._pool)
+
+    def intern(self, term_ids: Tuple[int, ...]) -> array:
+        """The shared id array for ``term_ids`` (must be sorted ascending)."""
+        shared = self._pool.get(term_ids)
+        if shared is None:
+            shared = array("q", term_ids)
+            self._pool[term_ids] = shared
+        return shared
+
+    def compact_weights(self, weights: Mapping) -> CompactWeights:
+        """Build a :class:`CompactWeights` over an interned id array.
+
+        ``weights`` must already iterate in ascending term-id order (the
+        :class:`~repro.query.query.ContinuousQuery` constructor guarantees
+        this), so the value array lines up with the interned id array.
+        """
+        items = list(weights.items())
+        ids = tuple(term_id for term_id, _ in items)
+        return CompactWeights(
+            self.intern(ids), array("d", (weight for _, weight in items))
+        )
+
+    def compact_query(self, query: ContinuousQuery) -> bool:
+        """Swap ``query``'s weight dict for the interned representation.
+
+        Returns ``True`` if the query was converted, ``False`` if it
+        already held a :class:`CompactWeights`.  Values are bit-identical
+        and iteration order is unchanged, so engines holding the query
+        observe no behavioural difference.
+        """
+        if isinstance(query._weights, CompactWeights):
+            return False
+        query._weights = self.compact_weights(query._weights)
+        return True
+
+    def compact(self, live_ids: Optional[set] = None) -> int:
+        """Drop pool entries not in ``live_ids`` (tuples of term ids).
+
+        Returns the number of entries evicted.  With ``live_ids=None``
+        the pool is cleared entirely (future interns rebuild it).
+        """
+        if live_ids is None:
+            evicted = len(self._pool)
+            self._pool.clear()
+            return evicted
+        dead = [key for key in self._pool if key not in live_ids]
+        for key in dead:
+            del self._pool[key]
+        return len(dead)

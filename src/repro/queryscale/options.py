@@ -1,0 +1,127 @@
+"""Configuration of the query-scale subsystem.
+
+:class:`QueryScaleOptions` is the knob block that switches on query
+canonicalization/dedup, shared-vocabulary weight compaction, and
+cold-query hibernation for a service (see
+:mod:`repro.queryscale.manager`).  It plugs into
+:class:`~repro.service.spec.EngineSpec` exactly like the cluster and
+durability blocks: a frozen dataclass with ``validate``/``to_dict``/
+``from_dict`` and *strict* unknown-key rejection on decode, so a typo in
+a persisted spec fails loudly instead of silently running without dedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any, Dict, Mapping
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["QueryScaleOptions"]
+
+
+@dataclass(frozen=True)
+class QueryScaleOptions:
+    """Knobs of the query-scale layer (dedup, compaction, hibernation).
+
+    Parameters
+    ----------
+    dedup:
+        Share one scored canonical entry between subscriptions whose
+        normalised ``(k, term/weight set)`` coincide.  This is the switch
+        for the whole subsystem: with ``dedup=False`` the service behaves
+        exactly as without a queryscale block.
+    compact_weights:
+        Store canonical query weights in interned ``array``-based tables
+        (shared term-id arrays) instead of per-query dicts; see
+        :class:`repro.queryscale.interning.TermTable`.
+    hibernate_after:
+        Hibernate a canonical query after this many stream events without
+        a result change (``0`` disables hibernation).  The policy counts
+        *events*, not wall-clock time, so WAL replay re-derives the same
+        decisions deterministically.
+    max_resident:
+        Hard cap on engine-resident (awake) canonical queries; beyond it
+        the least-recently-changed queries are hibernated first (``0``
+        means unbounded).
+    """
+
+    dedup: bool = True
+    compact_weights: bool = True
+    hibernate_after: int = 0
+    max_resident: int = 0
+
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Check the option block.
+
+        Raises
+        ------
+        ConfigurationError
+            If a count field is negative or a flag is not boolean.
+        """
+        for flag in ("dedup", "compact_weights"):
+            if not isinstance(getattr(self, flag), bool):
+                raise ConfigurationError(f"queryscale option {flag!r} must be a bool")
+        for count in ("hibernate_after", "max_resident"):
+            value = getattr(self, count)
+            if not isinstance(value, int) or isinstance(value, bool) or value < 0:
+                raise ConfigurationError(
+                    f"queryscale option {count!r} must be a non-negative int, "
+                    f"got {value!r}"
+                )
+        if not self.dedup and (self.hibernate_after or self.max_resident):
+            raise ConfigurationError(
+                "hibernation requires dedup=True: the hibernation indexes "
+                "live on the canonical entries"
+            )
+
+    @property
+    def hibernation_enabled(self) -> bool:
+        """Whether any hibernation policy is active."""
+        return self.hibernate_after > 0 or self.max_resident > 0
+
+    def with_overrides(self, **kwargs: Any) -> "QueryScaleOptions":
+        """A copy of the options with the given fields replaced."""
+        return replace(self, **kwargs)
+
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[str, Any]:
+        """The options' dictionary encoding (inverse of :meth:`from_dict`)."""
+        return {
+            "dedup": self.dedup,
+            "compact_weights": self.compact_weights,
+            "hibernate_after": self.hibernate_after,
+            "max_resident": self.max_resident,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "QueryScaleOptions":
+        """Rebuild options from :meth:`to_dict` output.
+
+        Unknown keys are rejected (one misspelled knob in a persisted
+        spec must not silently disable dedup or hibernation).
+
+        Raises
+        ------
+        ConfigurationError
+            On unknown keys or invalid field values.
+        """
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"queryscale options must decode from a mapping, got {type(data).__name__}"
+            )
+        known = {"dedup", "compact_weights", "hibernate_after", "max_resident"}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ConfigurationError(
+                f"unknown queryscale option(s) {unknown}; known: {sorted(known)}"
+            )
+        options = cls(
+            dedup=data.get("dedup", True),
+            compact_weights=data.get("compact_weights", True),
+            hibernate_after=data.get("hibernate_after", 0),
+            max_resident=data.get("max_resident", 0),
+        )
+        options.validate()
+        return options

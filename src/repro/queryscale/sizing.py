@@ -1,0 +1,87 @@
+"""Deep-size accounting for query state.
+
+``sys.getsizeof`` reports only the *shallow* size of a Python object; the
+memory cost of a million standing queries is dominated by the dicts,
+arrays and strings hanging off them.  :func:`deep_size_of` walks an
+object graph (with a shared-object memo, so interned term tables are
+counted once no matter how many queries share them) and returns the total
+byte estimate.  The queryscale metrics (``repro_query_bytes_*``) and the
+memory-regression tests are built on it.
+
+The estimate is exactly that -- an estimate.  It is useful for *ratios*
+(deduped vs undeduped bytes/query) and trend tracking, not as an absolute
+allocator truth; on interpreters where ``sys.getsizeof`` is unreliable
+(e.g. PyPy) the dependent tests are skip-marked.
+"""
+
+from __future__ import annotations
+
+import sys
+from array import array
+from typing import Any, Iterable, Optional, Set
+
+__all__ = ["deep_size_of", "getsizeof_reliable"]
+
+
+def getsizeof_reliable() -> bool:
+    """Whether ``sys.getsizeof`` gives meaningful sizes on this interpreter.
+
+    CPython implements it for every object; PyPy raises ``TypeError`` for
+    most types and its numbers are not comparable anyway.
+    """
+    if sys.implementation.name != "cpython":
+        return False
+    try:
+        return sys.getsizeof({}) > 0
+    except TypeError:  # pragma: no cover - non-CPython fallback
+        return False
+
+
+_ATOMIC = (int, float, complex, bool, bytes, str, type(None), type(Ellipsis))
+
+
+def deep_size_of(obj: Any, memo: Optional[Set[int]] = None) -> int:
+    """Estimate the total bytes reachable from ``obj``.
+
+    Every distinct object (by ``id``) is counted once: pass the same
+    ``memo`` set across several calls to measure a *combined* footprint
+    without double-counting shared structure -- that is how interned term
+    tables show up as savings rather than per-query cost.
+    """
+    if memo is None:
+        memo = set()
+    total = 0
+    stack = [obj]
+    while stack:
+        current = stack.pop()
+        identity = id(current)
+        if identity in memo:
+            continue
+        memo.add(identity)
+        try:
+            total += sys.getsizeof(current)
+        except TypeError:  # pragma: no cover - exotic objects without a size
+            continue
+        if isinstance(current, _ATOMIC) or isinstance(current, array):
+            # getsizeof already covers an array's buffer; atoms have no refs
+            continue
+        if isinstance(current, dict):
+            stack.extend(current.keys())
+            stack.extend(current.values())
+            continue
+        if isinstance(current, (list, tuple, set, frozenset)):
+            stack.extend(current)
+            continue
+        # instance attributes: __dict__ and/or __slots__
+        instance_dict = getattr(current, "__dict__", None)
+        if instance_dict is not None:
+            stack.append(instance_dict)
+        slots: Iterable[str] = ()
+        for klass in type(current).__mro__:
+            slots = getattr(klass, "__slots__", ())
+            if isinstance(slots, str):
+                slots = (slots,)
+            for name in slots:
+                if hasattr(current, name):
+                    stack.append(getattr(current, name))
+    return total

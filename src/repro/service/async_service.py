@@ -44,7 +44,7 @@ from typing import Any, Callable, Deque, Dict, Iterable, List, Optional, Tuple, 
 from repro.alerting import Alert
 from repro.core.base import MonitoringEngine, ResultChange, TopKResult
 from repro.documents.document import StreamedDocument
-from repro.exceptions import ServiceError
+from repro.exceptions import ServiceError, WindowError
 from repro.observability import runtime as obs
 from repro.observability.slowlog import note_slow
 from repro.query.query import ContinuousQuery
@@ -191,6 +191,13 @@ class AsyncMonitoringService:
         #: subscriber can be lost to a crash -- the WAL order equals the
         #: submission order, which the merge barrier preserves
         durability = self.service._durability
+        manager = self.service._queryscale
+        #: hibernation transitions mutate engine registrations, so each
+        #: sub-batch must run begin -> process -> dispatch -> end as one
+        #: sequential unit (exactly like a replayed WAL record); plain
+        #: dedup keeps the full pipeline overlap -- its pre-batch hook
+        #: only advances the event clock
+        serialize = manager is not None and manager.options.hibernation_enabled
         observed = obs.active
         started = time.perf_counter() if observed else 0.0
         documents = 0
@@ -208,8 +215,15 @@ class AsyncMonitoringService:
             merged: BatchChanges = await future
             for document, event_changes in zip(future_batch, merged):
                 if event_changes:
-                    self.service.dispatcher.dispatch_changes(event_changes, document)
+                    # dispatch_changes returns the transform-rewritten
+                    # list (per-subscriber under dedup) -- that is the
+                    # stream the caller must see, not the engine's.
+                    event_changes = self.service.dispatcher.dispatch_changes(
+                        event_changes, document
+                    )
                     changes.extend(event_changes)
+            if manager is not None:
+                manager.end_batch()
             if submitted:
                 # submission (pre-backpressure) to last alert callback:
                 # the end-to-end delivery lag of one pipeline batch
@@ -219,11 +233,24 @@ class AsyncMonitoringService:
                 ).observe((time.perf_counter() - submitted) * 1000.0)
 
         async def submit(ready: List[StreamedDocument]) -> None:
+            if serialize and inflight:
+                while inflight:
+                    await flush(*inflight.popleft())
             if durability is not None:
                 self.service._check_durable_batch(ready)
+            if manager is not None:
+                # Wake-before-change: must run before the batch is logged
+                # (wake records precede the ingest record) and, under
+                # hibernation, only against an idle engine -- `serialize`
+                # guarantees no other batch is in flight here.
+                manager.begin_batch(ready)
+            if durability is not None:
                 durability.log_ingest(ready)
             submitted = time.perf_counter() if observed else 0.0
             inflight.append((ready, await pipeline.submit(ready), submitted))
+            if serialize:
+                while inflight:
+                    await flush(*inflight.popleft())
 
         batch: List[StreamedDocument] = []
         for streamed in self.service._as_stream(source, at):
@@ -271,15 +298,33 @@ class AsyncMonitoringService:
         pipeline = self._check_started()
         self.service._check_open()
         self.service._clock = max(self.service._clock, float(now))
+        manager = self.service._queryscale
+        if manager is not None:
+            # Wakes re-register queries on the engine, so the pipeline
+            # must be idle first; the clock pre-check mirrors the sync
+            # façade (a rejected advance must not move the event clock).
+            await self.drain()
+            floor = self.service.window.clock
+            if floor is not None and float(now) < floor:
+                raise WindowError(f"time cannot go backwards: {now} < {floor}")
+            manager.begin_advance(float(now))
         expiry_changes = await pipeline.advance_time(now)
         durability = self.service._durability
         if durability is not None:
-            # Logged once the engine accepted it; the pipeline has just
-            # drained, so a due checkpoint may run immediately.
+            # Logged once the engine accepted it; hibernate records from
+            # end_batch below must follow the advance record, so replay
+            # re-derives them at post-advance state.
             durability.log_advance_time(float(now))
-            durability.maybe_checkpoint()
         if expiry_changes:
-            self.service.dispatcher.dispatch_changes(expiry_changes, None)
+            expiry_changes = self.service.dispatcher.dispatch_changes(
+                expiry_changes, None
+            )
+        if manager is not None:
+            manager.end_batch()
+        if durability is not None:
+            # The pipeline has just drained, so a due checkpoint may run
+            # immediately.
+            durability.maybe_checkpoint()
         return expiry_changes
 
     async def drain(self) -> None:

@@ -64,6 +64,7 @@ from repro.observability.slowlog import note_slow
 from repro.observability.trace import trace_span
 from repro.persistence import restore_engine, restore_into, snapshot_engine
 from repro.query.query import ContinuousQuery
+from repro.queryscale.manager import QueryScaleManager
 from repro.service.spec import EngineSpec, spec_from_name
 from repro.text.analyzer import Analyzer
 from repro.text.vocabulary import Vocabulary
@@ -268,20 +269,59 @@ class MonitoringService:
         # re-checked against the current registry (see _ensure_collector).
         self._collector_registry: Optional[Any] = None
         self._collector_unregister: Optional[Callable[[], None]] = None
+        #: the query-scale layer (dedup/compaction/hibernation); built when
+        #: the spec carries a QueryScaleOptions block with dedup enabled
+        self._queryscale: Optional[QueryScaleManager] = None
+        self._setup_queryscale()
+
+    def _setup_queryscale(self) -> None:
+        """Build the query-scale layer when the spec asks for it.
+
+        With the layer active the engine only ever sees *canonical*
+        queries; subscriber-visible ids, results and change streams are
+        produced by the manager's fan-out, and the alert dispatcher's
+        transform hook re-labels every canonical change per subscriber
+        before delivery.
+        """
+        spec = self.spec
+        options = spec.queryscale if spec is not None else None
+        if options is None or not options.dedup:
+            return
+        self._queryscale = QueryScaleManager(
+            self.engine, options, wal_provider=lambda: self._durability
+        )
+        self.dispatcher.set_transform(self._queryscale.expand_changes)
+
+    @property
+    def queryscale(self) -> Optional[QueryScaleManager]:
+        """The active :class:`~repro.queryscale.QueryScaleManager` (or None)."""
+        return self._queryscale
 
     # ------------------------------------------------------------------ #
     # observability
     # ------------------------------------------------------------------ #
     def _ensure_collector(self) -> None:
-        """Register the engine-counters collector on the active registry."""
+        """Register the service's collectors on the active registry."""
         registry = obs.metrics
         if self._collector_registry is registry:
             return
         if self._collector_unregister is not None:
             self._collector_unregister()
-        self._collector_unregister = registry.register_collector(
-            counters_collector(lambda: [self.engine.counters.copy()])
-        )
+        unregisters = [
+            registry.register_collector(
+                counters_collector(lambda: [self.engine.counters.copy()])
+            )
+        ]
+        if self._queryscale is not None:
+            unregisters.append(
+                registry.register_collector(self._queryscale.metrics_samples)
+            )
+
+        def unregister_all() -> None:
+            for unregister in unregisters:
+                unregister()
+
+        self._collector_unregister = unregister_all
         self._collector_registry = registry
 
     def metrics(self) -> Dict[str, Any]:
@@ -520,7 +560,11 @@ class MonitoringService:
             continuous = query
         else:
             if query_id is None:
-                query_id = self.engine.registry.allocate_id()
+                query_id = (
+                    self._queryscale.allocate_subscriber_id()
+                    if self._queryscale is not None
+                    else self.engine.registry.allocate_id()
+                )
             continuous = ContinuousQuery.from_text(
                 query_id,
                 query,
@@ -529,12 +573,16 @@ class MonitoringService:
                 vocabulary=self.vocabulary,
                 weighting=self.weighting,
             )
-        self.engine.register_query(continuous)
+        if self._queryscale is not None:
+            # Dedup: the engine sees one canonical query per distinct
+            # normalised (k, weights); this subscription only fans out.
+            _, _, shard = self._queryscale.subscribe(continuous)
+        else:
+            self.engine.register_query(continuous)
+            shard = self._shard_of(continuous.query_id)
         handle = self._attach(continuous, on_change, max_pending)
         if self._durability is not None:
-            self._durability.log_subscribe(
-                continuous, self._shard_of(continuous.query_id)
-            )
+            self._durability.log_subscribe(continuous, shard)
             self._durability.maybe_checkpoint()
         if obs.active:
             self._ensure_collector()
@@ -589,7 +637,10 @@ class MonitoringService:
                     "for additional observers)"
                 )
             return existing
-        query = self.engine.registry.get(query_id)
+        if self._queryscale is not None:
+            query = self._queryscale.subscriber_query(query_id)
+        else:
+            query = self.engine.registry.get(query_id)
         return self._attach(query, on_change, max_pending)
 
     def _attach(
@@ -623,7 +674,12 @@ class MonitoringService:
         if unsubscribe is not None:
             unsubscribe()
         self._handles.pop(handle.query_id, None)
-        if handle.query_id in self.engine.registry:
+        if self._queryscale is not None:
+            if handle.query_id in self._queryscale:
+                shard = self._queryscale.subscriber_shard(handle.query_id)
+                self._queryscale.unsubscribe(handle.query_id)
+                self._log_unsubscribe(handle.query_id, shard)
+        elif handle.query_id in self.engine.registry:
             shard = self._shard_of(handle.query_id)
             self.engine.unregister_query(handle.query_id)
             self._log_unsubscribe(handle.query_id, shard)
@@ -643,6 +699,11 @@ class MonitoringService:
         handle = self._handles.get(query_id)
         if handle is not None:
             handle.unsubscribe()
+            return
+        if self._queryscale is not None:
+            shard = self._queryscale.subscriber_shard(query_id)
+            self._queryscale.unsubscribe(query_id)
+            self._log_unsubscribe(query_id, shard)
             return
         shard = self._shard_of(query_id)
         self.engine.unregister_query(query_id)
@@ -666,6 +727,8 @@ class MonitoringService:
 
     def query_ids(self) -> List[int]:
         """The ids of every installed query, in installation order."""
+        if self._queryscale is not None:
+            return self._queryscale.subscriber_ids()
         return self.engine.query_ids()
 
     # ------------------------------------------------------------------ #
@@ -713,6 +776,7 @@ class MonitoringService:
         self._check_open()
         if obs.active:
             return self._ingest_observed(source, at)
+        manager = self._queryscale
         if self._durability is not None:
             # Write-ahead: materialise and stamp the whole chunk, append
             # it to the WAL, and only then apply it -- no acknowledged
@@ -720,15 +784,33 @@ class MonitoringService:
             # the apply is healed by replay.
             batch = list(self._as_stream(source, at))
             self._check_durable_batch(batch)
+            if manager is not None:
+                # Wake-before-change: wake records must precede the
+                # batch's ingest record so replay re-registers a dormant
+                # query before re-applying the documents that affect it.
+                manager.begin_batch(batch)
             if batch:
                 self._durability.log_ingest(batch)
-            if self.dispatcher.has_subscribers:
+            if manager is not None or self.dispatcher.has_subscribers:
                 changes: List[ResultChange] = []
                 for streamed in batch:
                     changes.extend(self.dispatcher.process(streamed))
             else:
                 changes = self.engine.process_batch(batch)
+            if manager is not None:
+                manager.end_batch()
             self._durability.maybe_checkpoint()
+            return changes
+        if manager is not None:
+            # Dedup runs through the dispatcher per event: the transform
+            # expands each event's canonical changes into per-subscriber
+            # clones in the per-event order a dedup-off engine produces.
+            batch = list(self._as_stream(source, at))
+            manager.begin_batch(batch)
+            changes = []
+            for streamed in batch:
+                changes.extend(self.dispatcher.process(streamed))
+            manager.end_batch()
             return changes
         single = isinstance(source, (str, Document, StreamedDocument))
         if not single and not self.dispatcher.has_subscribers:
@@ -753,16 +835,27 @@ class MonitoringService:
         self._ensure_collector()
         delivered_before = self.dispatcher.delivered
         started = time.perf_counter()
+        manager = self._queryscale
         with trace_span("service.ingest") as span:
             batch = list(self._as_stream(source, at))
             if self._durability is not None:
                 self._check_durable_batch(batch)
+                if manager is not None:
+                    manager.begin_batch(batch)
                 if batch:
                     self._durability.log_ingest(batch)
-                use_dispatcher = self.dispatcher.has_subscribers
+                use_dispatcher = (
+                    manager is not None or self.dispatcher.has_subscribers
+                )
             else:
+                if manager is not None:
+                    manager.begin_batch(batch)
                 single = isinstance(source, (str, Document, StreamedDocument))
-                use_dispatcher = single or self.dispatcher.has_subscribers
+                use_dispatcher = (
+                    manager is not None
+                    or single
+                    or self.dispatcher.has_subscribers
+                )
             if use_dispatcher:
                 changes: List[ResultChange] = []
                 lag = obs.metrics.histogram(
@@ -777,6 +870,8 @@ class MonitoringService:
                     changes.extend(doc_changes)
             else:
                 changes = self.engine.process_batch(batch)
+            if manager is not None:
+                manager.end_batch()
             if self._durability is not None:
                 self._durability.maybe_checkpoint()
             span.set(documents=len(batch), changes=len(changes))
@@ -904,11 +999,25 @@ class MonitoringService:
         self._check_open()
         started = time.perf_counter() if obs.active else 0.0
         self._clock = max(self._clock, float(now))
+        manager = self._queryscale
+        if manager is not None:
+            # Pre-validate against the window clock before the hooks run:
+            # a rejected advance must not move the manager's event clock
+            # (replay would never see the failed call) or log wake records.
+            floor = self.window.clock
+            if floor is not None and float(now) < floor:
+                raise WindowError(f"time cannot go backwards: {now} < {floor}")
+            manager.begin_advance(float(now))
         changes = self.dispatcher.advance_time(now)
         if self._durability is not None:
             # Logged after the engine accepted it: a rejected advance
-            # (time going backwards) must not poison the replay.
+            # (time going backwards) must not poison the replay.  Logged
+            # *before* end_batch so hibernate records follow the advance
+            # record -- replay must re-derive them at post-advance state.
             self._durability.log_advance_time(float(now))
+        if manager is not None:
+            manager.end_batch()
+        if self._durability is not None:
             self._durability.maybe_checkpoint()
         if obs.active:
             self._ensure_collector()
@@ -999,6 +1108,8 @@ class MonitoringService:
         UnknownQueryError
             If no query with ``query_id`` is installed.
         """
+        if self._queryscale is not None:
+            return self._queryscale.result_for(query_id)
         return self.engine.current_result(query_id)
 
     def results(self) -> Dict[int, TopKResult]:
@@ -1009,6 +1120,8 @@ class MonitoringService:
         dict
             ``{query_id: top-k result}`` for every installed query.
         """
+        if self._queryscale is not None:
+            return self._queryscale.results()
         return self.engine.current_results()
 
     @property
@@ -1059,7 +1172,7 @@ class MonitoringService:
             engine_snapshot = snapshot_cluster(self.engine)
         else:
             engine_snapshot = snapshot_engine(self.engine)
-        return {
+        envelope = {
             "kind": "service",
             "version": SERVICE_SNAPSHOT_VERSION,
             "vocabulary": list(self.vocabulary),
@@ -1068,6 +1181,12 @@ class MonitoringService:
             "spec": self.spec.to_dict() if self.spec is not None else None,
             "engine": engine_snapshot,
         }
+        if self._queryscale is not None:
+            # The engine snapshot holds the *awake* canonical queries; the
+            # manager envelope adds the fan-out map, the event clock, and
+            # every hibernated canonical (query + shard + stored top-k).
+            envelope["queryscale"] = self._queryscale.snapshot_state()
+        return envelope
 
     @classmethod
     def restore(
@@ -1112,6 +1231,7 @@ class MonitoringService:
         spec: Optional[EngineSpec] = None
         clock: Optional[float] = None
         next_doc_id: Optional[int] = None
+        queryscale_state: Optional[Dict[str, Any]] = None
         engine_snapshot = snapshot
         if snapshot.get("kind") == "service":
             version = snapshot.get("version")
@@ -1129,6 +1249,7 @@ class MonitoringService:
             next_doc_id = int(snapshot["next_doc_id"])
             if snapshot.get("spec") is not None:
                 spec = EngineSpec.from_dict(snapshot["spec"])
+            queryscale_state = snapshot.get("queryscale")
             engine_snapshot = snapshot["engine"]
 
         if engine_snapshot.get("kind") == "cluster":
@@ -1171,7 +1292,60 @@ class MonitoringService:
             service._clock = max(service._clock, clock)
         if next_doc_id is not None:
             service._next_doc_id = max(service._next_doc_id, next_doc_id)
+        # The constructor saw no spec (the engine came prebuilt), so the
+        # query-scale layer is set up here, then refilled from its envelope.
+        service._setup_queryscale()
+        if queryscale_state is not None:
+            if service._queryscale is None:
+                raise ConfigurationError(
+                    "the snapshot carries query-scale state but its spec has "
+                    "no queryscale block; the subscriber fan-out cannot be "
+                    "restored without one"
+                )
+            service._queryscale.restore_state(queryscale_state)
         return service
+
+    # ------------------------------------------------------------------ #
+    # WAL replay hooks (crash recovery)
+    # ------------------------------------------------------------------ #
+    def _replay_subscribe(self, query: ContinuousQuery, shard: Optional[int]) -> None:
+        """Re-apply one ``subscribe`` WAL record (no handles, no logging).
+
+        With the query-scale layer active the record's query id is a
+        *subscriber* id and the recorded shard pins the canonical's
+        placement; otherwise the query is registered on the engine
+        directly, pinned to its recorded shard.
+        """
+        if self._queryscale is not None:
+            self._queryscale.subscribe(query, shard=shard)
+        elif shard is not None:
+            self.engine.register_query(query, shard=int(shard))
+        else:
+            self.engine.register_query(query)
+
+    def _replay_unsubscribe(self, query_id: int) -> None:
+        """Re-apply one ``unsubscribe`` WAL record."""
+        if self._queryscale is not None:
+            self._queryscale.unsubscribe(query_id)
+        else:
+            self.engine.unregister_query(query_id)
+
+    def _replay_queryscale(self, record: Dict[str, Any]) -> None:
+        """Re-apply one ``hibernate``/``wake`` WAL record (idempotent).
+
+        Replayed ingest records re-derive most transitions through the
+        normal policy; these explicit records close the gaps -- notably
+        wake-on-read, which no other record reproduces.
+        """
+        if self._queryscale is None:
+            raise ConfigurationError(
+                f"WAL record {record.get('op')!r} needs an active query-scale "
+                "layer, but the recovered spec has none"
+            )
+        if record["op"] == "hibernate":
+            self._queryscale.apply_hibernate_record(int(record["query_id"]))
+        else:
+            self._queryscale.apply_wake_record(int(record["query_id"]))
 
     # ------------------------------------------------------------------ #
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -45,12 +45,14 @@ from repro.documents.window import SlidingWindow, WindowSpec
 from repro.durability.policy import DurabilityPolicy
 from repro.exceptions import ConfigurationError, UnknownEngineError
 from repro.net.options import ProcOptions
+from repro.queryscale.options import QueryScaleOptions
 
 __all__ = [
     "WindowSpec",
     "PlacementCalibration",
     "DurabilityPolicy",
     "ProcOptions",
+    "QueryScaleOptions",
     "EngineSpec",
     "EngineKind",
     "register_engine_kind",
@@ -167,6 +169,11 @@ class EngineSpec:
     #: transport/supervision knobs of the out-of-process cluster; only
     #: valid on kind "sharded-proc" (``None`` there means the defaults)
     proc: Optional[ProcOptions] = None
+    #: query canonicalization / compaction / hibernation knobs consumed by
+    #: the service façade (:mod:`repro.queryscale`); ``None`` (default)
+    #: means the feature is off.  Valid on every kind -- the layer sits
+    #: above the engine, which only ever sees canonical queries.
+    queryscale: Optional[QueryScaleOptions] = None
     # -- durability ------------------------------------------------------- #
     #: write-ahead-log policy consumed by
     #: :meth:`~repro.service.MonitoringService.open`; ``None`` (default)
@@ -240,6 +247,8 @@ class EngineSpec:
                     f"proc options only apply to 'sharded-proc' engines, not {self.kind!r}"
                 )
             self.proc.validate()
+        if self.queryscale is not None:
+            self.queryscale.validate()
         if self.inner is not None:
             if self.kind not in _CLUSTER_KINDS:
                 raise ConfigurationError(
@@ -414,6 +423,8 @@ class EngineSpec:
             data["inner"] = self.inner.to_dict()
         if self.proc is not None:
             data["proc"] = self.proc.to_dict()
+        if self.queryscale is not None:
+            data["queryscale"] = self.queryscale.to_dict()
         if self.durability is not None:
             data["durability"] = self.durability.to_dict()
         return data
@@ -428,6 +439,7 @@ class EngineSpec:
         calibration = data.get("calibration")
         inner = data.get("inner")
         proc = data.get("proc")
+        queryscale = data.get("queryscale")
         durability = data.get("durability")
         defaults = cls()
         return cls(
@@ -451,6 +463,11 @@ class EngineSpec:
             ),
             inner=cls.from_dict(inner) if inner is not None else None,
             proc=ProcOptions.from_dict(proc) if proc is not None else None,
+            queryscale=(
+                QueryScaleOptions.from_dict(queryscale)
+                if queryscale is not None
+                else None
+            ),
             durability=(
                 DurabilityPolicy.from_dict(durability)
                 if durability is not None

@@ -142,6 +142,16 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--queries-max",
+        type=int,
+        default=None,
+        help=(
+            "bench-all only: largest subscription count of the query-scale "
+            "workload (default: 100000; set 1000000 to include the 1M cell, "
+            "0 to skip the workload)"
+        ),
+    )
+    parser.add_argument(
         "--history-dir",
         default="benchmarks/history",
         help=(
@@ -311,6 +321,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             DEFAULT_ASYNC_WORKERS,
             DEFAULT_BATCH_SIZE,
             DEFAULT_PROC_WORKERS,
+            DEFAULT_QUERIES_MAX,
             append_history,
             run_bench_suite,
         )
@@ -323,6 +334,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error("--async-workers must be positive")
         if args.proc_workers is not None and args.proc_workers <= 0:
             parser.error("--proc-workers must be positive")
+        if args.queries_max is not None and args.queries_max < 0:
+            parser.error("--queries-max must be non-negative")
         document = run_bench_suite(
             scale=args.scale,
             batch_size=(
@@ -339,6 +352,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 args.proc_workers
                 if args.proc_workers is not None
                 else DEFAULT_PROC_WORKERS
+            ),
+            queries_max=(
+                args.queries_max
+                if args.queries_max is not None
+                else DEFAULT_QUERIES_MAX
             ),
         )
         with open(args.out, "w", encoding="utf-8") as handle:

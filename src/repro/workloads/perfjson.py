@@ -4,7 +4,10 @@ Every earlier benchmark in this repository printed human-oriented tables;
 nothing produced an artifact a later PR could diff against.  This module
 runs a fixed suite of representative workloads -- the paper's Figure 3(a)
 and 3(b) settings, the query-count ablation, the sharded-cluster scale-out
-workload and a service-façade overhead check -- across several engine
+workload, a service-façade overhead check and the duplicate-heavy
+``query-scale`` subscription workload (bytes/query and docs/sec at 10k
+and 100k standing subscriptions, dedup on and off; the 1M cell sits
+behind ``--queries-max``) -- across several engine
 kinds and several processing modes (per-event ``process()``, the batched
 ``process_batch()`` hot path, the asynchronous ingestion pipeline of
 :mod:`repro.cluster.pipeline` at one and at several workers, the
@@ -58,6 +61,9 @@ __all__ = [
     "DEFAULT_BATCH_SIZE",
     "DEFAULT_ASYNC_WORKERS",
     "DEFAULT_PROC_WORKERS",
+    "DEFAULT_QUERIES_MAX",
+    "QUERY_SCALE_SUBSCRIPTIONS",
+    "QUERY_SCALE_FANOUT",
     "HISTORY_FILENAME",
     "BenchRecord",
     "BenchCase",
@@ -70,7 +76,7 @@ __all__ = [
 ]
 
 #: bump when a field of the emitted JSON changes meaning
-SCHEMA = "repro-bench/5"
+SCHEMA = "repro-bench/6"
 
 #: default chunk size of the batched measurement mode
 DEFAULT_BATCH_SIZE = 64
@@ -80,6 +86,17 @@ DEFAULT_ASYNC_WORKERS = 4
 
 #: default worker-process count of the proc measurement mode's multi-worker run
 DEFAULT_PROC_WORKERS = 2
+
+#: largest subscription count the query-scale cells run at by default; the
+#: 1M cell only runs when ``--queries-max`` raises this (0 disables the
+#: query-scale workload entirely)
+DEFAULT_QUERIES_MAX = 100_000
+
+#: the subscription sweep of the query-scale workload
+QUERY_SCALE_SUBSCRIPTIONS = (10_000, 100_000, 1_000_000)
+
+#: subscriptions per distinct query text in the duplicate-heavy workload
+QUERY_SCALE_FANOUT = 10
 
 Progress = Optional[Callable[[str], None]]
 
@@ -121,6 +138,14 @@ class BenchRecord:
     #: async records at 1 and N workers form the measured concurrency
     #: speedup -- see ``summary["cluster_async_multi_over_single_worker"]``
     concurrency: Optional[int] = None
+    #: standing subscriptions installed for a query-scale cell (None for
+    #: every stream-throughput cell)
+    subscriptions: Optional[int] = None
+    #: deep-size bytes of standing-query state per subscription (engine +
+    #: query-scale layer, minus a zero-subscription baseline); the
+    #: dedup-on/off pair at the same subscription count forms
+    #: ``summary["queries_dedup_bytes_ratio"]``
+    bytes_per_query: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -500,6 +525,124 @@ def _proc_records(
 
 
 # --------------------------------------------------------------------------- #
+# the query-scale workload: duplicate-heavy standing subscriptions
+# --------------------------------------------------------------------------- #
+def _query_scale_records(
+    batch_size: int,
+    progress: Progress = None,
+    queries_max: int = DEFAULT_QUERIES_MAX,
+) -> List[BenchRecord]:
+    """The standing-query scaling cells: bytes/query and docs/sec by count.
+
+    A duplicate-heavy subscription workload (:data:`QUERY_SCALE_FANOUT`
+    subscribers per distinct term/weight set, the redundancy real alerting
+    workloads show) is installed at each count of
+    :data:`QUERY_SCALE_SUBSCRIPTIONS` up to ``queries_max``, once through
+    the query-scale layer (``dedup-on``) and once directly on the engine
+    (``dedup-off``; skipped at 1M, where an undeduped registry alone is
+    gigabytes).  Each cell reports
+
+    * ``bytes_per_query`` -- the deep-size bytes of standing-query state
+      per subscription: engine plus query-scale layer under a shared
+      memo, minus a zero-subscription baseline run over the identical
+      document stream (so window/document state cancels out), and
+    * ``docs_per_sec`` over a short measured stream, with
+      ``scores_per_event`` showing the O(distinct) scoring cost directly.
+
+    Cells are measured once (the byte measurement is deterministic and
+    dominates the runtime; best-of-N would re-subscribe 100k queries per
+    repeat for no extra signal).
+    """
+    import random
+
+    # Imported lazily: repro.service imports this package's runner.
+    from repro.queryscale import QueryScaleOptions, deep_size_of
+    from repro.service import EngineSpec, MonitoringService, WindowSpec
+
+    counts = [count for count in QUERY_SCALE_SUBSCRIPTIONS if count <= queries_max]
+    if not counts:
+        return []
+
+    vocabulary = [f"qterm{index}" for index in range(2_000)]
+    rng = random.Random(29)
+    distinct_texts = [
+        " ".join(rng.sample(vocabulary, 6))
+        for _ in range(max(counts) // QUERY_SCALE_FANOUT)
+    ]
+    doc_rng = random.Random(31)
+    prefill = [" ".join(doc_rng.sample(vocabulary, 8)) for _ in range(64)]
+    measured = [" ".join(doc_rng.sample(vocabulary, 8)) for _ in range(128)]
+    spec = EngineSpec(kind="ita", window=WindowSpec.count(256))
+
+    def run_cell(subscriptions: Optional[int], dedup: bool):
+        cell_spec = spec
+        if dedup:
+            cell_spec = spec.with_overrides(queryscale=QueryScaleOptions(dedup=True))
+        service = MonitoringService(cell_spec)
+        try:
+            if subscriptions:
+                distinct = subscriptions // QUERY_SCALE_FANOUT
+                for index in range(subscriptions):
+                    service.subscribe(distinct_texts[index % distinct], k=5)
+            for start in range(0, len(prefill), batch_size):
+                service.ingest(prefill[start : start + batch_size])
+            scores_before = service.engine.counters.scores_computed
+            samples: List[float] = []
+            total_ms = 0.0
+            for start in range(0, len(measured), batch_size):
+                chunk = measured[start : start + batch_size]
+                began = time.perf_counter()
+                service.ingest(chunk)
+                elapsed = (time.perf_counter() - began) * 1000.0
+                total_ms += elapsed
+                samples.append(elapsed / len(chunk))
+            scores = service.engine.counters.scores_computed - scores_before
+            memo: set = set()
+            total_bytes = deep_size_of(service.engine, memo)
+            if service.queryscale is not None:
+                total_bytes += service.queryscale.bytes_resident(memo)
+        finally:
+            service.close()
+        return total_ms, samples, scores, total_bytes
+
+    # The zero-subscription baseline over the identical stream: what the
+    # window/document side costs regardless of any standing query.
+    _, _, _, baseline_bytes = run_cell(None, dedup=False)
+
+    records: List[BenchRecord] = []
+    events = len(measured)
+    for subscriptions in counts:
+        variants = ["dedup-on"] if subscriptions > 100_000 else ["dedup-off", "dedup-on"]
+        for mode in variants:
+            if progress is not None:
+                progress(f"[bench]   query-scale S={subscriptions} ({mode})")
+            total_ms, samples, scores, total_bytes = run_cell(
+                subscriptions, dedup=(mode == "dedup-on")
+            )
+            mean_ms = total_ms / events if events else 0.0
+            summary = PercentileSummary.from_samples(samples)
+            per_query = max(total_bytes - baseline_bytes, 0) / subscriptions
+            records.append(
+                BenchRecord(
+                    workload="query-scale",
+                    point=f"S={subscriptions}",
+                    engine="ita",
+                    mode=mode,
+                    events=events,
+                    docs_per_sec=(1000.0 / mean_ms) if mean_ms > 0 else 0.0,
+                    mean_ms=mean_ms,
+                    p50_ms=summary.p50,
+                    p99_ms=summary.p99,
+                    scores_per_event=(scores / events) if events else 0.0,
+                    batch_size=batch_size,
+                    subscriptions=subscriptions,
+                    bytes_per_query=round(per_query, 2),
+                )
+            )
+    return records
+
+
+# --------------------------------------------------------------------------- #
 # the service-overhead workload
 # --------------------------------------------------------------------------- #
 def _service_overhead_records(
@@ -604,6 +747,7 @@ def run_bench_suite(
     progress: Progress = None,
     async_workers: int = DEFAULT_ASYNC_WORKERS,
     proc_workers: int = DEFAULT_PROC_WORKERS,
+    queries_max: int = DEFAULT_QUERIES_MAX,
 ) -> Dict[str, Any]:
     """Run the full suite and return the JSON-compatible result document.
 
@@ -611,9 +755,13 @@ def run_bench_suite(
     the batched-over-sequential ITA speedup on the headline figure-3a
     workload, the façade-over-direct service overhead, the async
     pipeline's measured multi-worker-over-single-worker concurrency
-    speedup on the cluster workload, and the out-of-process cluster's
-    multi-worker-over-single-worker scale-out ratio.  Dump the returned
+    speedup on the cluster workload, the out-of-process cluster's
+    multi-worker-over-single-worker scale-out ratio, and the query-scale
+    layer's deduped-over-undeduped bytes/query ratio.  Dump the returned
     dictionary with ``json.dump`` to produce ``BENCH_results.json``.
+
+    ``queries_max`` caps the query-scale subscription sweep (default
+    100k; raise to 1_000_000 for the 1M cell, set 0 to skip the workload).
     """
     records: List[BenchRecord] = []
     for case in default_suite(scale):
@@ -628,6 +776,9 @@ def run_bench_suite(
             )
         )
     records.extend(_service_overhead_records(scale, batch_size, progress=progress))
+    records.extend(
+        _query_scale_records(batch_size, progress=progress, queries_max=queries_max)
+    )
 
     by_key = {
         (record.workload, record.engine, record.mode, record.concurrency): record
@@ -708,6 +859,32 @@ def run_bench_suite(
         summary["cluster_proc_over_batched"] = round(
             proc_single.docs_per_sec / cluster_batched.docs_per_sec, 4
         )
+    on_cells = {
+        record.subscriptions: record
+        for record in records
+        if record.workload == "query-scale" and record.mode == "dedup-on"
+    }
+    off_cells = {
+        record.subscriptions: record
+        for record in records
+        if record.workload == "query-scale" and record.mode == "dedup-off"
+    }
+    shared_counts = sorted(set(on_cells) & set(off_cells))
+    if shared_counts:
+        # The headline dedup claim, at the largest count measured both
+        # ways: bytes of standing-query state per subscription, undeduped
+        # over deduped (the memory-regression test pins this >= 3).
+        at = shared_counts[-1]
+        on_cell, off_cell = on_cells[at], off_cells[at]
+        if on_cell.bytes_per_query and off_cell.bytes_per_query is not None:
+            summary["queries_dedup_bytes_ratio"] = round(
+                off_cell.bytes_per_query / on_cell.bytes_per_query, 4
+            )
+            summary["queries_dedup_bytes_ratio_at"] = at
+        if off_cell.docs_per_sec > 0:
+            summary["queries_dedup_throughput_ratio"] = round(
+                on_cell.docs_per_sec / off_cell.docs_per_sec, 4
+            )
 
     return {
         "schema": SCHEMA,
@@ -716,6 +893,7 @@ def run_bench_suite(
         "batch_size": batch_size,
         "async_workers": async_workers,
         "proc_workers": proc_workers,
+        "queries_max": queries_max,
         "workloads": sorted({record.workload for record in records}),
         "engines": sorted({record.engine for record in records}),
         "results": [asdict(record) for record in records],

@@ -354,3 +354,150 @@ def test_async_ingest_lane_logs_before_ack(workers, tmp_path):
             f"async kill point lsn={lsn} (workers={workers}) diverged"
         )
         recovered.close()
+
+
+# --------------------------------------------------------------------------- #
+# hibernation kill points (the query-scale layer's WAL records)
+# --------------------------------------------------------------------------- #
+@pytest.mark.parametrize("engine_name", ["ita", "sharded-ita-2"])
+def test_hibernation_kill_points_recover_bit_identically(
+    engine_name, tmp_path, monkeypatch
+):
+    """Crashing at *every* WAL record boundary of a hibernating service --
+    including the boundaries between a single op's ``wake``, main and
+    ``hibernate`` records -- must recover deterministically.
+
+    With hibernation one op can log several records ([wakes][main op]
+    [hibernates]), so the per-op captures of the suites above no longer
+    visit every boundary; here the directory is captured after every
+    individual append instead.  Two oracle regimes:
+
+    * a cut at or after the op's **main** record: replaying the main
+      record re-derives the op's hibernation decisions through the normal
+      event path (explicit ``hibernate`` records are idempotent), so the
+      recovered snapshot and counters must equal the uninterrupted run's
+      state at that op's end, bit for bit;
+    * a cut inside the **pre-op wake sequence** (the main record never
+      became durable, so the client never got an ack): the recovered
+      service, after the op is re-submitted and the tape finished, must
+      reproduce the uninterrupted run's remaining change streams,
+      observation digests, final results and final snapshot exactly --
+      the already-durable wakes are absorbed by the retry.
+    """
+    from repro.durability.log import DurabilityLog
+    from repro.queryscale import QueryScaleOptions
+    from tests.queryscale.test_dedup_properties import generate_dedup_tape
+
+    tape = generate_dedup_tape(8423, num_ops=56, include_checkpoints=False)
+    spec = durable_spec(engine_name, FAST_NO_CHECKPOINT).with_overrides(
+        queryscale=QueryScaleOptions(dedup=True, hibernate_after=4)
+    )
+    root = tmp_path / "live"
+    captures = tmp_path / "killpoints"
+    captures.mkdir()
+
+    #: lsn -> (capture dir, record op, tape-op index, active ids at op start)
+    record_cuts: Dict[int, Tuple[Any, str, int, Tuple[int, ...]]] = {}
+    current = {"index": -1, "active": ()}
+    original_append = DurabilityLog._append
+
+    def capturing_append(self, payload, shard=None):
+        lsn = original_append(self, payload, shard)
+        target = captures / str(lsn)
+        shutil.copytree(root, target)
+        record_cuts[lsn] = (target, payload["op"], current["index"], current["active"])
+        return lsn
+
+    op_end_snapshots: Dict[int, Dict[str, Any]] = {}
+    op_end_counters: Dict[int, Dict[str, int]] = {}
+    op_end_lsns: Dict[int, int] = {}
+    oracle_changes: List[List[Tuple]] = []
+    oracle_digests: List[Dict[int, Tuple]] = []
+
+    def run_ops(service, handles, tape_slice, start_index, changes, digests):
+        """Replay tape ops the same way live and continuation runs must."""
+        for offset, op in enumerate(tape_slice):
+            current["index"] = start_index + offset
+            current["active"] = tuple(sorted(handles))
+            kind = op[0]
+            if kind == "subscribe":
+                _, query_id, weights, k = op
+                handles[query_id] = service.subscribe(
+                    ContinuousQuery(query_id=query_id, weights=weights, k=k)
+                )
+            elif kind == "unsubscribe":
+                _, query_id = op
+                handles.pop(query_id).unsubscribe()
+            elif kind == "ingest":
+                _, documents = op
+                batch_changes = service.ingest(documents)
+                changes.append(
+                    [normalize_change(change) for change in batch_changes]
+                )
+            elif kind == "observe":
+                # Waking every hibernated query is part of the op: the
+                # continuation runs must retrace it or later change
+                # streams diverge.
+                digests.append(digest_results(service.results()))
+            else:  # pragma: no cover - tape generator bug
+                raise AssertionError(f"unknown op {kind!r}")
+            yield start_index + offset
+
+    with monkeypatch.context() as patched:
+        patched.setattr(DurabilityLog, "_append", capturing_append)
+        service = MonitoringService.open(root, spec)
+        handles: Dict[int, Any] = {}
+        for index in run_ops(service, handles, tape, 0, oracle_changes, oracle_digests):
+            op_end_snapshots[index] = service.snapshot()
+            op_end_counters[index] = service.counters.as_dict()
+            op_end_lsns[index] = service.durability.last_lsn
+        final_digest = digest_results(service.results())
+        final_snapshot = service.snapshot()
+        service.close()
+
+    kinds = {op for _, op, _, _ in record_cuts.values()}
+    assert "hibernate" in kinds and "wake" in kinds, (
+        "the tape must actually produce hibernate and wake records"
+    )
+    wake_cuts = [lsn for lsn, (_, op, _, _) in record_cuts.items() if op == "wake"]
+    assert len(wake_cuts) >= 3, "too few wake-record kill points"
+
+    for lsn, (directory, record_op, index, active) in sorted(record_cuts.items()):
+        recovered = MonitoringService.open(directory)
+        assert recovered.last_recovery.last_lsn == lsn
+        recovered.queryscale.check_invariants()
+        if record_op == "wake" and lsn < op_end_lsns[index]:
+            # Pre-op cut: re-submit the in-flight op and finish the tape.
+            tail_changes: List[List[Tuple]] = []
+            tail_digests: List[Dict[int, Tuple]] = []
+            tail_handles = {
+                query_id: recovered.handle(query_id) for query_id in active
+            }
+            for _ in run_ops(
+                recovered, tail_handles, tape[index:], index, tail_changes, tail_digests
+            ):
+                pass
+            ingests_before = sum(1 for op in tape[:index] if op[0] == "ingest")
+            observes_before = sum(1 for op in tape[:index] if op[0] == "observe")
+            assert tail_changes == oracle_changes[ingests_before:], (
+                f"retry change stream diverged from lsn={lsn} ({engine_name})"
+            )
+            assert tail_digests == oracle_digests[observes_before:], (
+                f"retry digests diverged from lsn={lsn} ({engine_name})"
+            )
+            assert digest_results(recovered.results()) == final_digest
+            assert recovered.snapshot() == final_snapshot, (
+                f"final snapshot diverged after retry from lsn={lsn} ({engine_name})"
+            )
+        else:
+            # The main record is durable: recovery replays it and
+            # re-derives the op's wake/hibernate transitions in full.
+            assert recovered.snapshot() == op_end_snapshots[index], (
+                f"snapshot diverged at kill point lsn={lsn} "
+                f"({record_op!r} record, {engine_name})"
+            )
+            assert recovered.counters.as_dict() == op_end_counters[index], (
+                f"counters diverged at kill point lsn={lsn} "
+                f"({record_op!r} record, {engine_name})"
+            )
+        recovered.close()

@@ -1,0 +1,118 @@
+"""Memory-regression guard for the query-scale layer.
+
+At 100k duplicate-heavy subscriptions the deduplicated service must hold
+its standing-query state under an absolute per-query byte budget *and*
+at least :data:`MIN_DEDUP_RATIO` times less of it than the per-subscriber
+baseline.  The measurement mirrors the ``query-scale`` bench workload
+(``docs/BENCHMARKING.md``): deep-size bytes of the engine plus the
+query-scale layer under one shared memo, minus a zero-subscription
+baseline over the identical document stream so window/document state
+cancels out.
+
+Deep sizing rides :func:`sys.getsizeof`, whose return value is only
+meaningful on CPython -- the suite self-skips elsewhere
+(:func:`repro.queryscale.sizing.getsizeof_reliable`).
+"""
+
+import random
+
+import pytest
+
+from repro.queryscale import QueryScaleOptions, deep_size_of
+from repro.queryscale.sizing import getsizeof_reliable
+from repro.service import EngineSpec, MonitoringService, WindowSpec
+
+pytestmark = pytest.mark.skipif(
+    not getsizeof_reliable(),
+    reason="deep-size measurement needs a reliable sys.getsizeof (CPython)",
+)
+
+SUBSCRIPTIONS = 100_000
+FANOUT = 10  # subscribers per distinct term/weight set, as in the bench
+
+#: Absolute ceiling on deduplicated bytes/query at 100k subscriptions.
+#: Measured ~520 B/query on CPython 3.11 x86-64; the budget leaves
+#: headroom for pointer-width and allocator variance, not for a regression
+#: back toward per-subscriber storage (~2.7 kB/query).
+BYTES_PER_QUERY_BUDGET = 1500.0
+
+#: The dedup layer must shrink standing-query state at least this much
+#: on a fanout-10 workload (measured ~5.3x).
+MIN_DEDUP_RATIO = 3.0
+
+
+def _standing_query_bytes(subscriptions, dedup):
+    """Deep-size bytes attributable to ``subscriptions`` standing queries."""
+    spec = EngineSpec(kind="ita", window=WindowSpec.count(256))
+    if dedup:
+        spec = spec.with_overrides(queryscale=QueryScaleOptions(dedup=True))
+    vocabulary = [f"qterm{index}" for index in range(2_000)]
+    rng = random.Random(29)
+    distinct_texts = [
+        " ".join(rng.sample(vocabulary, 6))
+        for _ in range(max(subscriptions // FANOUT, 1))
+    ]
+    doc_rng = random.Random(31)
+    documents = [" ".join(doc_rng.sample(vocabulary, 8)) for _ in range(32)]
+
+    service = MonitoringService(spec)
+    try:
+        for index in range(subscriptions):
+            service.subscribe(distinct_texts[index % len(distinct_texts)], k=5)
+        service.ingest(documents)
+        memo: set = set()
+        total = deep_size_of(service.engine, memo)
+        if service.queryscale is not None:
+            total += service.queryscale.bytes_resident(memo)
+    finally:
+        service.close()
+    return total
+
+
+def test_100k_dedup_bytes_per_query_budget_and_ratio():
+    baseline = _standing_query_bytes(0, dedup=False)
+    deduped = _standing_query_bytes(SUBSCRIPTIONS, dedup=True)
+    undeduped = _standing_query_bytes(SUBSCRIPTIONS, dedup=False)
+
+    per_query_on = max(deduped - baseline, 0) / SUBSCRIPTIONS
+    per_query_off = max(undeduped - baseline, 0) / SUBSCRIPTIONS
+
+    assert per_query_on <= BYTES_PER_QUERY_BUDGET, (
+        f"deduplicated standing-query state regressed: {per_query_on:.1f} "
+        f"bytes/query at {SUBSCRIPTIONS} subscriptions "
+        f"(budget {BYTES_PER_QUERY_BUDGET})"
+    )
+    assert per_query_off >= MIN_DEDUP_RATIO * per_query_on, (
+        f"dedup no longer pays for itself: {per_query_off:.1f} bytes/query "
+        f"undeduped vs {per_query_on:.1f} deduped "
+        f"(required ratio {MIN_DEDUP_RATIO})"
+    )
+
+
+def test_compaction_exposes_byte_metrics():
+    """``compact()`` plus the metric families the bench and dashboards
+    read: resident bytes and bytes/query must be measured, non-zero and
+    consistent."""
+    spec = EngineSpec(kind="ita", window=WindowSpec.count(32)).with_overrides(
+        queryscale=QueryScaleOptions(dedup=True)
+    )
+    service = MonitoringService(spec)
+    try:
+        for index in range(60):
+            service.subscribe(f"alpha{index % 6} beta{index % 3}", k=3)
+        service.ingest([f"alpha{index % 6} gamma" for index in range(8)])
+        manager = service.queryscale
+        manager.compact()
+        samples = manager.metrics_samples()
+        assert "repro_query_bytes_resident" in samples
+        assert "repro_query_bytes_per_query" in samples
+        resident = samples["repro_query_bytes_resident"]
+        assert resident > 0
+        assert samples["repro_query_bytes_per_query"] == pytest.approx(
+            resident / manager.subscribed
+        )
+        assert samples["repro_queries_dedup_saved"] == float(
+            manager.subscribed - manager.canonical_count
+        )
+    finally:
+        service.close()

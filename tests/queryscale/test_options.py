@@ -1,0 +1,111 @@
+"""Configuration tests for :class:`repro.queryscale.QueryScaleOptions`.
+
+The option block must round-trip through its dictionary encoding (it is
+persisted inside durable EngineSpec manifests), reject unknown keys
+loudly, and validate its fields -- a typo in a stored spec must never
+silently run a service without dedup or hibernation.
+"""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.queryscale import QueryScaleOptions
+from repro.service import EngineSpec, WindowSpec, spec_from_name
+
+
+class TestValidation:
+    def test_defaults_validate(self):
+        QueryScaleOptions().validate()
+
+    @pytest.mark.parametrize("field", ["hibernate_after", "max_resident"])
+    def test_rejects_negative_counts(self, field):
+        with pytest.raises(ConfigurationError):
+            QueryScaleOptions(**{field: -1}).validate()
+
+    @pytest.mark.parametrize("field", ["hibernate_after", "max_resident"])
+    def test_rejects_non_int_counts(self, field):
+        with pytest.raises(ConfigurationError):
+            QueryScaleOptions(**{field: True}).validate()
+
+    @pytest.mark.parametrize("field", ["dedup", "compact_weights"])
+    def test_rejects_non_bool_flags(self, field):
+        with pytest.raises(ConfigurationError):
+            QueryScaleOptions(**{field: 1}).validate()
+
+    def test_hibernation_requires_dedup(self):
+        """The hibernation indexes live on the canonical entries, so any
+        hibernation policy without dedup is a configuration error."""
+        with pytest.raises(ConfigurationError):
+            QueryScaleOptions(dedup=False, hibernate_after=4).validate()
+        with pytest.raises(ConfigurationError):
+            QueryScaleOptions(dedup=False, max_resident=8).validate()
+
+    def test_hibernation_enabled_property(self):
+        assert not QueryScaleOptions().hibernation_enabled
+        assert QueryScaleOptions(hibernate_after=3).hibernation_enabled
+        assert QueryScaleOptions(max_resident=5).hibernation_enabled
+
+
+class TestEncoding:
+    @pytest.mark.parametrize(
+        "options",
+        [
+            QueryScaleOptions(),
+            QueryScaleOptions(dedup=False, compact_weights=False),
+            QueryScaleOptions(hibernate_after=7, max_resident=3),
+        ],
+    )
+    def test_round_trip(self, options):
+        assert QueryScaleOptions.from_dict(options.to_dict()) == options
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ConfigurationError) as excinfo:
+            QueryScaleOptions.from_dict({"dedup": True, "hibernate_afterr": 4})
+        assert "hibernate_afterr" in str(excinfo.value)
+
+    def test_from_dict_rejects_non_mapping(self):
+        with pytest.raises(ConfigurationError):
+            QueryScaleOptions.from_dict([("dedup", True)])
+
+    def test_from_dict_validates_decoded_values(self):
+        with pytest.raises(ConfigurationError):
+            QueryScaleOptions.from_dict({"hibernate_after": -2})
+
+    def test_with_overrides(self):
+        base = QueryScaleOptions()
+        tuned = base.with_overrides(hibernate_after=9)
+        assert tuned.hibernate_after == 9
+        assert tuned.dedup == base.dedup
+        assert base.hibernate_after == 0
+
+
+class TestSpecIntegration:
+    @pytest.mark.parametrize("name", ["ita", "sharded-ita-2", "sharded-proc-2"])
+    def test_spec_round_trips_the_queryscale_block(self, name):
+        spec = spec_from_name(name, window=WindowSpec.count(32)).with_overrides(
+            queryscale=QueryScaleOptions(dedup=True, hibernate_after=5)
+        )
+        spec.validate()
+        decoded = EngineSpec.from_dict(spec.to_dict())
+        assert decoded.queryscale == spec.queryscale
+
+    def test_spec_without_queryscale_omits_the_block(self):
+        spec = spec_from_name("ita", window=WindowSpec.count(32))
+        assert spec.queryscale is None
+        assert "queryscale" not in spec.to_dict()
+
+    def test_spec_rejects_invalid_queryscale_block(self):
+        spec = spec_from_name("ita", window=WindowSpec.count(32)).with_overrides(
+            queryscale=QueryScaleOptions(dedup=False, hibernate_after=2)
+        )
+        with pytest.raises(ConfigurationError):
+            spec.validate()
+
+    def test_spec_decode_rejects_misspelled_queryscale_key(self):
+        spec = spec_from_name("ita", window=WindowSpec.count(32)).with_overrides(
+            queryscale=QueryScaleOptions()
+        )
+        data = spec.to_dict()
+        data["queryscale"] = {"dedupe": True}
+        with pytest.raises(ConfigurationError):
+            EngineSpec.from_dict(data)

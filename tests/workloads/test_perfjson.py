@@ -110,7 +110,8 @@ class TestRunBenchSuite:
         """--async-workers/--proc-workers 1 measure only the baseline
         cells; the summary must not fabricate 1.0 self-ratios from them."""
         document = run_bench_suite(
-            scale="smoke", repeats=1, async_workers=1, proc_workers=1
+            scale="smoke", repeats=1, async_workers=1, proc_workers=1,
+            queries_max=0,
         )
         async_cells = [r for r in document["results"] if r["mode"] == "async"]
         assert [r["concurrency"] for r in async_cells] == [1]
@@ -122,9 +123,12 @@ class TestRunBenchSuite:
         assert "cluster_proc_over_batched" in document["summary"]
 
     def test_smoke_suite_document_shape(self):
-        document = run_bench_suite(scale="smoke", repeats=1)
+        # queries_max=10_000 keeps the query-scale cells to the small
+        # count (the 100k cell is CI's queryscale-smoke job's business).
+        document = run_bench_suite(scale="smoke", repeats=1, queries_max=10_000)
         assert document["schema"] == SCHEMA
         assert document["scale"] == "smoke"
+        assert document["queries_max"] == 10_000
         assert len(document["workloads"]) >= 4
         assert len(document["engines"]) >= 3
         assert "figure3a_ita_batched_over_sequential" in document["summary"]
@@ -133,6 +137,9 @@ class TestRunBenchSuite:
         assert "figure3a_ita_wal_over_batched" in document["summary"]
         assert "figure3a_wal_recovery_ms" in document["summary"]
         assert "cluster_proc_multi_over_single" in document["summary"]
+        assert document["summary"]["queries_dedup_bytes_ratio_at"] == 10_000
+        assert document["summary"]["queries_dedup_bytes_ratio"] > 1.0
+        assert "queries_dedup_throughput_ratio" in document["summary"]
         for record in document["results"]:
             assert record["events"] > 0
             assert record["docs_per_sec"] > 0.0
@@ -141,13 +148,26 @@ class TestRunBenchSuite:
             assert record["mode"] in (
                 "sequential", "batched", "instrumented", "async", "proc",
                 "wal", "wal-recovery", "direct", "facade",
+                "dedup-off", "dedup-on",
             )
             if record["mode"] in ("async", "proc"):
                 assert record["concurrency"] >= 1
             else:
                 assert record["concurrency"] is None
+            if record["workload"] == "query-scale":
+                assert record["subscriptions"] == 10_000
+                assert record["bytes_per_query"] > 0.0
+            else:
+                assert record["subscriptions"] is None
+                assert record["bytes_per_query"] is None
         # The document must survive a JSON round-trip unchanged.
         assert json.loads(json.dumps(document)) == document
+
+    def test_queries_max_zero_skips_the_workload(self):
+        document = run_bench_suite(scale="smoke", repeats=1, queries_max=0)
+        assert "query-scale" not in document["workloads"]
+        assert all(r["workload"] != "query-scale" for r in document["results"])
+        assert "queries_dedup_bytes_ratio" not in document["summary"]
 
 
 class TestCLI:
@@ -155,7 +175,7 @@ class TestCLI:
         out = tmp_path / "BENCH_results.json"
         code = main(
             ["bench-all", "--scale", "smoke", "--quiet", "--repeats", "1",
-             "--out", str(out)]
+             "--queries-max", "0", "--out", str(out)]
         )
         assert code == 0
         document = json.loads(out.read_text())
@@ -164,3 +184,10 @@ class TestCLI:
         assert len(document["engines"]) >= 3
         printed = capsys.readouterr().out
         assert "figure3a_ita_batched_over_sequential" in printed
+
+    def test_bench_all_rejects_negative_queries_max(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                ["bench-all", "--scale", "smoke", "--quiet",
+                 "--queries-max", "-1", "--out", str(tmp_path / "out.json")]
+            )

@@ -1,0 +1,44 @@
+"""Tracked TODO: the proc cluster's dispatch tax versus in-process batching.
+
+The committed benchmark artifact records ``cluster_proc_over_batched``
+well below 1.0: the out-of-process cluster replicates every document
+batch to *every* worker process (each shard maintains the full sliding
+window, so replication is semantically required), and each worker then
+re-applies the whole batch to its own window on top of the RPC framing
+cost.  Shared request encoding (one JSON params encode per fan-out,
+byte-spliced per worker -- see ``repro/net/protocol.py``) removed the
+O(workers) encode from the dispatch path, but the per-worker window
+re-application remains; ``docs/BENCHMARKING.md`` ("Reading the
+concurrency column") documents the honest interpretation.
+
+This test *is* the tracking issue: it asserts the parity the dispatch
+path has not reached, and is expected to fail until per-worker window
+maintenance is moved off the scoring path (e.g. a shared window service
+or windowless scoring workers).  When the committed artifact's ratio
+reaches 1.0 the xpass flags the marker -- and the BENCHMARKING.md
+caveat -- for removal.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+ARTIFACT = Path(__file__).resolve().parents[2] / "BENCH_results.json"
+
+
+@pytest.mark.xfail(
+    reason=(
+        "proc dispatch replicates each batch to every worker's window; "
+        "parity with in-process batching needs per-worker window "
+        "maintenance off the scoring path (tracked TODO)"
+    ),
+    strict=False,
+)
+def test_proc_dispatch_reaches_batched_parity():
+    document = json.loads(ARTIFACT.read_text(encoding="utf-8"))
+    ratio = document["summary"]["cluster_proc_over_batched"]
+    assert ratio >= 1.0, (
+        f"committed cluster_proc_over_batched = {ratio}: the proc cluster "
+        "still pays the per-worker batch re-application tax"
+    )

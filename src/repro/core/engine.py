@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from bisect import bisect_right as _bisect_right
 from time import perf_counter as _perf_counter
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set, Union
 
 from repro.observability import runtime as _obs
 
@@ -33,12 +33,17 @@ from repro.core.ita import ITAQueryState
 from repro.documents.document import StreamedDocument
 from repro.documents.window import CountBasedWindow, SlidingWindow
 from repro.exceptions import UnknownDocumentError, UnknownQueryError
+from repro.index.backend import StorageBackend, storage_backend
 from repro.index.inverted_index import InvertedIndex
-from repro.index.inverted_list import InvertedList
 from repro.query.query import ContinuousQuery
 from repro.query.registry import QueryRegistry
 
 __all__ = ["ITAEngine"]
+
+
+def _generic_batch_kernel(engine: "ITAEngine", documents: Sequence[StreamedDocument]):
+    """Per-event fallback for storage backends without a fused kernel."""
+    return [engine.process(document) for document in documents]
 
 
 class ITAEngine(MonitoringEngine):
@@ -58,6 +63,12 @@ class ITAEngine(MonitoringEngine):
         Forwarded to each :class:`~repro.core.ita.ITAQueryState`; exposed so
         the design-choice ablations can disable roll-up or switch the
         threshold descent to round-robin probing.
+    storage:
+        The storage backend holding the scoring state: a registered backend
+        name (``"bisect"`` -- the default -- or ``"columnar"``) or a
+        :class:`~repro.index.backend.StorageBackend` instance.  Backends
+        are semantically interchangeable; they differ in representation
+        and batch-path speed.
     """
 
     name = "ita"
@@ -68,14 +79,23 @@ class ITAEngine(MonitoringEngine):
         track_changes: bool = True,
         enable_rollup: bool = True,
         probe_order: ProbeOrder = ProbeOrder.WEIGHTED,
+        storage: Union[str, StorageBackend] = "bisect",
     ) -> None:
         super().__init__(window if window is not None else CountBasedWindow(1000))
-        self.index = InvertedIndex()
+        backend = storage_backend(storage) if isinstance(storage, str) else storage
+        self.storage = backend.name
+        self.index = InvertedIndex(backend=backend)
         self.registry = QueryRegistry()
         self.track_changes = track_changes
         self.enable_rollup = enable_rollup
         self.probe_order = probe_order
         self._states: Dict[int, ITAQueryState] = {}
+        # Batch dispatch: a backend-supplied fused kernel, the inlined
+        # bisect loop (None), or the generic per-event fallback.
+        kernel = backend.batch_kernel()
+        if kernel is None and backend.name != "bisect":
+            kernel = _generic_batch_kernel
+        self._batch_kernel = kernel
 
     # ------------------------------------------------------------------ #
     # query management
@@ -149,11 +169,13 @@ class ITAEngine(MonitoringEngine):
     ) -> List[List[ResultChange]]:
         """The batched hot path: process a whole batch in one tight loop.
 
-        Produces exactly the same engine state and the same per-event
-        result changes as calling :meth:`process` once per document --
-        events are still applied strictly in arrival order, every
-        expiration before its triggering arrival -- but the per-event
-        overhead is amortised over the batch:
+        Dispatches to the storage backend's fused kernel when it supplies
+        one (``storage="columnar"`` does); otherwise runs the inlined
+        bisect loop below.  Either way this produces exactly the same
+        engine state and the same per-event result changes as calling
+        :meth:`process` once per document -- events are still applied
+        strictly in arrival order, every expiration before its triggering
+        arrival -- but the per-event overhead is amortised over the batch:
 
         * the per-stage method dispatch of the sequential path
           (``_process_expiration`` / ``_process_arrival`` /
@@ -170,6 +192,9 @@ class ITAEngine(MonitoringEngine):
         ``track_changes=False`` every list is empty, as in the sequential
         path.
         """
+        kernel = self._batch_kernel
+        if kernel is not None:
+            return kernel(self, documents)
         counters = self.counters
         index = self.index
         lists = index._lists
@@ -179,6 +204,7 @@ class ITAEngine(MonitoringEngine):
         window_insert = self.window.insert
         track = self.track_changes
         diff_results = self._diff_results
+        make_list = index.backend.make_inverted_list
         infinity = float("inf")
         arrivals = expirations = inserted = deleted = probes = candidates = 0
         per_event: List[List[ResultChange]] = []
@@ -243,7 +269,7 @@ class ITAEngine(MonitoringEngine):
             for term_id, weight in document.composition.items():
                 inverted_list = lists.get(term_id)
                 if inverted_list is None:
-                    inverted_list = InvertedList(term_id)
+                    inverted_list = make_list(term_id)
                     lists[term_id] = inverted_list
                 inverted_list.insert(doc_id, weight)
                 inserted += 1

@@ -61,7 +61,7 @@ class ITAQueryState:
 
     __slots__ = (
         "query", "index", "counters", "results", "thresholds", "tau",
-        "enable_rollup", "probe_order",
+        "enable_rollup", "probe_order", "_scratch",
     )
 
     def __init__(
@@ -82,6 +82,9 @@ class ITAQueryState:
         self.tau = 0.0
         self.enable_rollup = enable_rollup
         self.probe_order = probe_order
+        #: storage-backend scratch area (e.g. the columnar batch kernel's
+        #: roll-up candidate cache); derived state, never snapshotted
+        self._scratch = None
 
     # ------------------------------------------------------------------ #
     # registration / termination

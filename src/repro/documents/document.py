@@ -35,7 +35,7 @@ class CompositionList:
     without ever contributing to a similarity score.
     """
 
-    __slots__ = ("_weights",)
+    __slots__ = ("_weights", "_raw")
 
     def __init__(self, weights: Mapping[int, float]) -> None:
         cleaned: Dict[int, float] = {}
@@ -51,6 +51,10 @@ class CompositionList:
                 continue
             cleaned[term_id] = weight
         self._weights: Mapping[int, float] = MappingProxyType(cleaned)
+        # The dict behind the proxy, for hot loops (the columnar batch
+        # kernel) where the proxy's indirection is measurable.  Never
+        # mutated -- the proxy view above is the public face.
+        self._raw: Dict[int, float] = cleaned
 
     # ------------------------------------------------------------------ #
     @property

@@ -16,8 +16,19 @@ This package implements the in-memory index of Figure 1 of the paper:
 * :mod:`repro.index.inverted_index` -- the dictionary tying it together:
   term id -> inverted list (+ its threshold tree), plus whole-document
   insertion and removal.
+* :mod:`repro.index.backend` -- the storage seam: the container families
+  above are built through a named :class:`StorageBackend` (``"bisect"``
+  for the classic containers, ``"columnar"`` for the array-column
+  representation in :mod:`repro.index.columnar`).
 """
 
+from repro.index.backend import (
+    BisectStorageBackend,
+    StorageBackend,
+    register_storage_backend,
+    storage_backend,
+    storage_backends,
+)
 from repro.index.document_store import DocumentStore
 from repro.index.inverted_index import InvertedIndex
 from repro.index.inverted_list import InvertedList, PostingEntry
@@ -25,6 +36,11 @@ from repro.index.sorted_list import SortedKeyList
 from repro.index.threshold_tree import ThresholdTree
 
 __all__ = [
+    "StorageBackend",
+    "BisectStorageBackend",
+    "register_storage_backend",
+    "storage_backend",
+    "storage_backends",
     "SortedKeyList",
     "PostingEntry",
     "InvertedList",

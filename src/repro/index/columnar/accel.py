@@ -1,0 +1,25 @@
+"""Optional numpy acceleration for the columnar backend.
+
+numpy is auto-detected at import time and used only where vectorisation
+cannot change results bit-for-bit (boolean-mask compaction sweeps over the
+raw columns).  It is never required: when absent, ``numpy`` below is
+``None`` and every caller falls back to a pure-Python loop that produces
+byte-identical columns.
+
+Scoring and threshold arithmetic deliberately stay scalar even with numpy
+present -- a vectorised dot product or prefix sum would reassociate the
+floating-point additions and break the bit-identity contract the
+conformance tapes enforce.
+"""
+
+from __future__ import annotations
+
+try:  # pragma: no cover - exercised implicitly by whichever env runs
+    import numpy
+except ImportError:  # pragma: no cover
+    numpy = None  # type: ignore[assignment]
+
+__all__ = ["numpy", "HAVE_NUMPY"]
+
+#: True when the vectorised compaction path is available.
+HAVE_NUMPY = numpy is not None

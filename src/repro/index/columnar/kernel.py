@@ -1,0 +1,533 @@
+"""The fused batch kernel of the columnar backend.
+
+:func:`columnar_batch_events` is what
+:meth:`repro.core.engine.ITAEngine.process_batch_events` dispatches to
+when the engine was built with ``storage="columnar"``.  It plays the role
+of the engine's bisect batch loop but goes further along two axes:
+
+* **Virtual cold terms.**  With the columnar backend the index only
+  materialises lists for *watched* terms (terms with a threshold tree, or
+  promoted by an explicit ordered read); every other term's postings stay
+  implicit in the document store.  Since threshold probes, roll-up
+  candidates and descents only ever read watched terms, the kernel's
+  per-event work for the typically dominant share of unwatched terms is a
+  single dictionary miss.
+
+* **Fused handlers.**  For watched terms the substrate maintenance is
+  fused with the threshold-tree probes, and the per-query handlers
+  themselves -- arrival scoring, result insertion, roll-up (with per-call
+  candidate caching), eviction, the expiration fast path and the resumed
+  threshold descent -- are inlined straight over the raw columns and the
+  result containers' flat storage, eliminating the per-event entry
+  objects, method dispatch and attribute traffic of the sequential path.
+
+Bit-identity contract: every floating-point operation happens in exactly
+the order of the sequential path (:mod:`repro.core.ita` /
+:mod:`repro.core.descent` / :mod:`repro.weighting.schemes`), and all
+state transitions (R membership, thresholds, tau, counters) are
+reproduced exactly.  Two deviations are *provably* invisible:
+
+* Roll-up caches each term's candidate (``next_weight_above``) within one
+  roll-up call.  The inverted lists do not change during a roll-up and
+  only the stepped term's threshold moves, so only that term's cached
+  candidate is invalidated -- every step still scans the terms in the
+  same order over the same values.
+* The inlined descent holds cursor state in parallel lists instead of
+  :class:`~repro.core.descent._ListCursor` objects; positions, ceilings
+  and priorities take exactly the values the cursor objects would hold
+  (a live posting weight is strictly positive, so ``ceiling == 0.0`` is
+  equivalent to cursor exhaustion), and ``tau`` is recomputed as the same
+  ordered sum after every consumed entry.
+
+The kernel skips the input-validation branches of the container methods
+(duplicate postings, non-positive weights, deletes of unknown documents):
+those states are unreachable through the engine, whose document store
+rejects duplicate arrivals and whose compositions validate their weights
+at construction.  The containers keep the checks for direct API use.
+
+With observability active the kernel falls back to the engine's sequential
+path so the per-stage timers keep their full resolution; queries running
+the round-robin probe-order ablation fall back to the state's own refill.
+
+This module deliberately imports nothing from :mod:`repro.core` at module
+level (the engine object is supplied at call time), keeping the index
+layer import-cycle free.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left as _bisect_left, bisect_right as _bisect_right, insort as _insort
+from heapq import heapify as _heapify, heappop as _heappop, heappush as _heappush
+from typing import Dict, List, Sequence
+
+from repro.index.columnar.postings import TOMBSTONE
+from repro.observability import runtime as _obs
+
+__all__ = ["columnar_batch_events"]
+
+
+def columnar_batch_events(engine, documents: Sequence) -> List[list]:
+    """Process ``documents`` in one fused loop over the columnar state.
+
+    Produces exactly the same engine state, counters and per-event change
+    lists as calling ``engine.process`` once per document.
+    """
+    if _obs.active:
+        # Full per-stage timing only exists on the sequential path.
+        return [engine.process(document) for document in documents]
+
+    from repro.core.descent import ProbeOrder
+
+    weighted_order = ProbeOrder.WEIGHTED
+    counters = engine.counters
+    index = engine.index
+    lists = index._lists
+    lists_get = lists.get
+    trees = index._trees
+    store = index.documents
+    store_docs = store._documents
+    states = engine._states
+    window_insert = engine.window.insert
+    track = engine.track_changes
+    diff_results = engine._diff_results
+    infinity = float("inf")
+
+    arrivals = expirations = inserted = deleted = probes = candidates = 0
+    scores_computed = rollup_steps = result_evictions = 0
+    postings_scanned = refills = 0
+    per_event: List[list] = []
+
+    for document in documents:
+        arrivals += 1
+        before: Dict[int, list] = {}
+
+        # -- expirations caused by this arrival ------------------------- #
+        for expired_document in window_insert(document):
+            expirations += 1
+            doc_id = expired_document.doc_id
+            store.remove(doc_id)
+            affected = set()
+            update_affected = affected.update
+            document_raw = expired_document.composition._raw
+            # Cold terms (no materialised list) need no work at all: the
+            # posting vanished with the store entry.  One C-level key
+            # intersection replaces the per-term dictionary misses.
+            deleted += len(document_raw)
+            for term_id in document_raw.keys() & lists.keys():
+                weight = document_raw[term_id]
+                inverted_list = lists[term_id]
+                # inline ColumnarInvertedList.delete
+                weights_map = inverted_list._weights
+                del weights_map[doc_id]
+                negw_col = inverted_list._negw
+                ids_col = inverted_list._ids
+                position = _bisect_left(negw_col, -weight)
+                while ids_col[position] != doc_id:
+                    position += 1
+                ids_col[position] = TOMBSTONE
+                tombstones = inverted_list._tombstones + 1
+                inverted_list._tombstones = tombstones
+                inverted_list._mutations += 1
+                if tombstones * 2 > len(ids_col):
+                    inverted_list._compact()
+                tree = inverted_list._tree
+                if tree is None:
+                    if not weights_map:
+                        # Unwatched and empty: back to virtual-cold.
+                        del lists[term_id]
+                elif tree._thresholds:
+                    probes += 1
+                    prefix = _bisect_right(tree._thr, weight)
+                    if prefix:
+                        update_affected(tree._qid[:prefix])
+            candidates += len(affected)
+            for query_id in affected:
+                state = states[query_id]
+                if track and query_id not in before:
+                    before[query_id] = state.top_k()
+                # inline ITAQueryState.handle_expiration
+                results = state.results
+                scores_map = results._scores
+                score = scores_map.get(doc_id)
+                if score is None:
+                    continue
+                ordered_items = results._ordered._items
+                query = state.query
+                k = query.k
+                if len(ordered_items) >= k:
+                    s_k_before = -ordered_items[k - 1][0]
+                else:
+                    s_k_before = 0.0
+                del scores_map[doc_id]
+                del ordered_items[_bisect_left(ordered_items, (-score, doc_id))]
+                if score < s_k_before:
+                    continue
+                # inline ITAQueryState._refill: verified-count fast path
+                tau = state.tau
+                if _bisect_right(ordered_items, (-tau, infinity)) >= k:
+                    continue
+                if state.probe_order is not weighted_order:
+                    state._refill()  # round-robin ablation: generic path
+                    continue
+                # slow path: resume the threshold descent from the
+                # recorded local thresholds, inclusive (entries tied with
+                # a threshold may not have been read before)
+                refills += 1
+                query_weights = query._weights
+                query_len = len(query_weights)
+                thresholds = state.thresholds
+                if tau == 0.0 and not any(thresholds.values()):
+                    # Exhausted steady state: at threshold 0.0 the
+                    # ordered read starts past the end of every list, so
+                    # each ceiling stays 0.0 -- the descent would consume
+                    # nothing, register nothing and leave tau at 0.0.
+                    continue
+                # Phase 1: positions and ceilings only.  Most descents
+                # terminate on their very first verified check, so the
+                # full cursor state (list references, priorities) is
+                # only built when that check actually fails.
+                cursor_pos: list = []
+                cursor_ceiling: list = []
+                tau = 0.0
+                live = False
+                for cursor_term, query_weight in query_weights.items():
+                    target_list = lists_get(cursor_term)
+                    ceiling = 0.0
+                    if target_list is None:
+                        # Query terms are always materialised while
+                        # watched; no list means no postings at all.
+                        position = 0
+                    else:
+                        list_negw = target_list._negw
+                        list_ids = target_list._ids
+                        size = len(list_ids)
+                        position = _bisect_left(list_negw, -thresholds[cursor_term])
+                        while position < size:
+                            if list_ids[position] != TOMBSTONE:
+                                ceiling = -list_negw[position]
+                                live = True
+                                break
+                            position += 1
+                    cursor_pos.append(position)
+                    cursor_ceiling.append(ceiling)
+                    tau += query_weight * ceiling
+                # With every cursor exhausted the descent can consume
+                # nothing -- the verified check and the consume loop are
+                # both no-ops, so only the threshold writeback remains.
+                if live and _bisect_right(ordered_items, (-tau, infinity)) < k:
+                    # Phase 2: the certificate failed -- materialise the
+                    # full per-term cursor state and consume postings.
+                    cursor_terms: list = []
+                    cursor_qw: list = []
+                    cursor_negw: list = []
+                    cursor_ids: list = []
+                    cursor_prio: list = []
+                    cursor_index = 0
+                    for cursor_term, query_weight in query_weights.items():
+                        target_list = lists_get(cursor_term)
+                        if target_list is None:
+                            cursor_negw.append(None)
+                            cursor_ids.append(None)
+                        else:
+                            cursor_negw.append(target_list._negw)
+                            cursor_ids.append(target_list._ids)
+                        cursor_terms.append(cursor_term)
+                        cursor_qw.append(query_weight)
+                        cursor_prio.append(query_weight * cursor_ceiling[cursor_index])
+                        cursor_index += 1
+                    n_cursors = len(cursor_terms)
+                    while True:
+                        best_index = -1
+                        best_prio = 0.0
+                        for cursor_index in range(n_cursors):
+                            if cursor_ceiling[cursor_index] == 0.0:
+                                continue  # exhausted
+                            priority = cursor_prio[cursor_index]
+                            if best_index < 0 or priority > best_prio:
+                                best_prio = priority
+                                best_index = cursor_index
+                        if best_index < 0:
+                            break  # every list exhausted
+                        list_negw = cursor_negw[best_index]
+                        list_ids = cursor_ids[best_index]
+                        position = cursor_pos[best_index]
+                        entry_doc = list_ids[position]
+                        postings_scanned += 1
+                        size = len(list_ids)
+                        ceiling = 0.0
+                        position += 1
+                        while position < size:
+                            if list_ids[position] != TOMBSTONE:
+                                ceiling = -list_negw[position]
+                                break
+                            position += 1
+                        cursor_pos[best_index] = position
+                        cursor_ceiling[best_index] = ceiling
+                        cursor_prio[best_index] = cursor_qw[best_index] * ceiling
+                        if entry_doc not in scores_map:
+                            entry_weights = (
+                                store_docs[entry_doc].document.composition._raw
+                            )
+                            # dot product: iterate the smaller mapping
+                            # (same sum order as
+                            # repro.weighting.schemes.dot_product)
+                            if len(entry_weights) < query_len:
+                                small, large = entry_weights, query_weights
+                            else:
+                                small, large = query_weights, entry_weights
+                            large_get = large.get
+                            entry_score = 0.0
+                            for small_term, small_weight in small.items():
+                                other = large_get(small_term)
+                                if other is not None:
+                                    entry_score += small_weight * other
+                            scores_computed += 1
+                            scores_map[entry_doc] = entry_score
+                            _insort(ordered_items, (-entry_score, entry_doc))
+                        tau = 0.0
+                        for priority in cursor_prio:
+                            tau += priority
+                        if _bisect_right(ordered_items, (-tau, infinity)) >= k:
+                            break
+                new_thresholds: Dict[int, float] = {}
+                cursor_index = 0
+                for cursor_term in query_weights:
+                    ceiling = cursor_ceiling[cursor_index]
+                    cursor_index += 1
+                    new_thresholds[cursor_term] = ceiling
+                    if ceiling != thresholds[cursor_term]:
+                        trees[cursor_term].register(query_id, ceiling)
+                state.thresholds = new_thresholds
+                state.tau = tau
+
+        # -- the arrival itself ----------------------------------------- #
+        doc_id = document.doc_id
+        store.add(document)
+        composition = document.composition
+        affected = set()
+        update_affected = affected.update
+        document_raw = composition._raw
+        # Cold terms stay implicit in the store; see the expiration loop.
+        inserted += len(document_raw)
+        for term_id in document_raw.keys() & lists.keys():
+            weight = document_raw[term_id]
+            inverted_list = lists[term_id]
+            # inline ColumnarInvertedList.insert
+            negw_col = inverted_list._negw
+            ids_col = inverted_list._ids
+            negative_weight = -weight
+            position = _bisect_left(negw_col, negative_weight)
+            size = len(ids_col)
+            while position < size and negw_col[position] == negative_weight:
+                existing = ids_col[position]
+                if existing != TOMBSTONE and existing > doc_id:
+                    break
+                position += 1
+            negw_col.insert(position, negative_weight)
+            ids_col.insert(position, doc_id)
+            inverted_list._weights[doc_id] = weight
+            inverted_list._mutations += 1
+            tree = inverted_list._tree
+            if tree is not None and tree._thresholds:
+                probes += 1
+                prefix = _bisect_right(tree._thr, weight)
+                if prefix:
+                    update_affected(tree._qid[:prefix])
+        candidates += len(affected)
+
+        document_weights = composition._raw
+        document_terms = len(document_weights)
+        for query_id in affected:
+            state = states[query_id]
+            if track and query_id not in before:
+                before[query_id] = state.top_k()
+            # inline ITAQueryState.handle_arrival
+            query = state.query
+            query_weights = query._weights
+            # dot product: iterate the smaller mapping (same sum order as
+            # repro.weighting.schemes.dot_product)
+            if document_terms < len(query_weights):
+                small, large = document_weights, query_weights
+            else:
+                small, large = query_weights, document_weights
+            large_get = large.get
+            score = 0.0
+            for term_id, term_weight in small.items():
+                other = large_get(term_id)
+                if other is not None:
+                    score += term_weight * other
+            scores_computed += 1
+            if score <= 0.0:
+                continue
+            results = state.results
+            ordered_items = results._ordered._items
+            k = query.k
+            if len(ordered_items) >= k:
+                s_k_before = -ordered_items[k - 1][0]
+            else:
+                s_k_before = 0.0
+            # R insertion: an arriving document is never already in R
+            results._scores[doc_id] = score
+            _insort(ordered_items, (-score, doc_id))
+            if score <= s_k_before or not state.enable_rollup:
+                continue
+            # inline ITAQueryState._roll_up
+            if len(ordered_items) >= k:
+                s_k = -ordered_items[k - 1][0]
+            else:
+                s_k = 0.0
+            if s_k <= 0.0:
+                continue
+            thresholds = state.thresholds
+            tau = state.tau
+            # Lazy-deletion min-heap over (value, order, term, candidate):
+            # the sequential roll-up rescans every term per step and picks
+            # the first term (in query order) of strictly least value, so
+            # ordering the heap by (value, query-order) reproduces its
+            # pick exactly; only the stepped term's candidate ever
+            # changes, and stale heap entries are skipped by comparing
+            # against the live candidate.
+            # A candidate (next weight strictly above the local threshold)
+            # depends only on the list's content and the threshold, so it
+            # is cached across roll-up invocations in the state's scratch
+            # dict, validated by (list identity, mutation count,
+            # threshold) -- recomputation is pure reading, so a cache hit
+            # is observably indistinguishable from recomputing.
+            scratch = state._scratch
+            if scratch is None:
+                scratch = {}
+                state._scratch = scratch
+            scratch_get = scratch.get
+            candidate_cache: Dict[int, float] = {}
+            candidate_heap: list = []
+            order = 0
+            for term_id, query_weight in query_weights.items():
+                target_list = lists_get(term_id)
+                term_threshold = thresholds[term_id]
+                cached = scratch_get(term_id)
+                if (
+                    cached is not None
+                    and cached[1] is target_list
+                    and (target_list is None or cached[2] == target_list._mutations)
+                    and cached[3] == term_threshold
+                ):
+                    candidate = cached[0]
+                else:
+                    candidate = None
+                    mutations = 0
+                    if target_list is not None:
+                        list_negw = target_list._negw
+                        list_ids = target_list._ids
+                        mutations = target_list._mutations
+                        if term_threshold == 0.0:
+                            # Stored weights are positive, so the probe
+                            # point of threshold 0.0 is the list's end.
+                            list_position = len(list_negw)
+                        else:
+                            list_position = _bisect_left(list_negw, -term_threshold)
+                        while list_position > 0:
+                            list_position -= 1
+                            if list_ids[list_position] != TOMBSTONE:
+                                candidate = -list_negw[list_position]
+                                break
+                    scratch[term_id] = (candidate, target_list, mutations, term_threshold)
+                candidate_cache[term_id] = candidate
+                if candidate is not None:
+                    candidate_heap.append(
+                        (query_weight * candidate, order, term_id, candidate)
+                    )
+                order += 1
+            _heapify(candidate_heap)
+            rolled = False
+            while candidate_heap:
+                entry = candidate_heap[0]
+                best_term = entry[2]
+                best_candidate = entry[3]
+                if best_candidate != candidate_cache[best_term]:
+                    _heappop(candidate_heap)  # stale: term stepped since
+                    continue
+                query_weight = query_weights[best_term]
+                new_tau = tau + query_weight * (best_candidate - thresholds[best_term])
+                if new_tau > s_k:
+                    break
+                thresholds[best_term] = best_candidate
+                tau = new_tau
+                tree = trees.get(best_term)
+                if tree is None:
+                    tree = index.threshold_tree(best_term)
+                tree.register(query_id, best_candidate)
+                rollup_steps += 1
+                rolled = True
+                _heappop(candidate_heap)
+                target_list = lists_get(best_term)
+                candidate = None
+                mutations = 0
+                if target_list is not None:
+                    list_negw = target_list._negw
+                    list_ids = target_list._ids
+                    mutations = target_list._mutations
+                    list_position = _bisect_left(list_negw, -best_candidate)
+                    while list_position > 0:
+                        list_position -= 1
+                        if list_ids[list_position] != TOMBSTONE:
+                            candidate = -list_negw[list_position]
+                            break
+                candidate_cache[best_term] = candidate
+                scratch[best_term] = (candidate, target_list, mutations, best_candidate)
+                if candidate is not None:
+                    _heappush(
+                        candidate_heap,
+                        (query_weight * candidate, entry[1], best_term, candidate),
+                    )
+            state.tau = tau
+            if not rolled:
+                continue
+            # inline ITAQueryState._evict_uncovered
+            start = _bisect_right(ordered_items, (-tau, infinity))
+            size_ordered = len(ordered_items)
+            if start >= size_ordered:
+                continue
+            to_evict = []
+            for position in range(start, size_ordered):
+                pair = ordered_items[position]
+                candidate_weights = store_docs[pair[1]].document.composition._raw
+                weights_get = candidate_weights.get
+                covered = False
+                # state.thresholds carries exactly the query's terms, and
+                # only the resulting boolean is observable, so iterating
+                # it directly (saving a lookup per term) is invisible.
+                for term_id, term_threshold in thresholds.items():
+                    term_weight = weights_get(term_id, 0.0)
+                    if term_weight > 0.0 and term_weight >= term_threshold:
+                        covered = True
+                        break
+                if not covered:
+                    to_evict.append(pair)
+            scores_map = results._scores
+            for pair in to_evict:
+                del scores_map[pair[1]]
+                del ordered_items[_bisect_left(ordered_items, pair)]
+                result_evictions += 1
+
+        if track:
+            changes = []
+            for query_id, previous in before.items():
+                change = diff_results(query_id, previous, states[query_id].top_k())
+                if change.changed:
+                    changes.append(change)
+            per_event.append(changes)
+        else:
+            per_event.append([])
+
+    counters.arrivals += arrivals
+    counters.expirations += expirations
+    counters.postings_inserted += inserted
+    counters.postings_deleted += deleted
+    counters.threshold_probes += probes
+    counters.candidate_matches += candidates
+    counters.scores_computed += scores_computed
+    counters.rollup_steps += rollup_steps
+    counters.result_evictions += result_evictions
+    counters.postings_scanned += postings_scanned
+    counters.refills += refills
+    return per_event

@@ -1,0 +1,163 @@
+"""Column-oriented threshold tree.
+
+:class:`ColumnarThresholdTree` mirrors
+:class:`repro.index.threshold_tree.ThresholdTree` with the ``(theta_{Q,t},
+Q)`` entries held as parallel columns: ``array('d')`` of thresholds
+(ascending) and ``array('q')`` of query ids, kept in exact ``(threshold,
+query_id)`` lexicographic order so probes and iteration match the bisect
+container pair-for-pair.
+
+Unlike the posting columns there are no tombstones here: threshold updates
+are far rarer than postings traffic (only roll-ups and refills touch
+them), and the probe ``queries_at_or_below`` -- the single hottest tree
+operation, one binary search plus a prefix slice per term of every event
+-- benefits from densely packed columns it can slice without filtering.
+"""
+
+from __future__ import annotations
+
+from array import array
+from bisect import bisect_left, bisect_right
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.exceptions import UnknownQueryError
+
+__all__ = ["ColumnarThresholdTree"]
+
+
+class ColumnarThresholdTree:
+    """Per-list query thresholds as parallel threshold/query-id columns."""
+
+    __slots__ = ("term_id", "_thr", "_qid", "_thresholds")
+
+    def __init__(self, term_id: int) -> None:
+        self.term_id = term_id
+        #: thresholds, ascending
+        self._thr = array("d")
+        #: query ids aligned with ``_thr``; ties ascend by query id
+        self._qid = array("q")
+        #: query_id -> current threshold
+        self._thresholds: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------ #
+    # basic protocol
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return len(self._thresholds)
+
+    def __contains__(self, query_id: int) -> bool:
+        return query_id in self._thresholds
+
+    def __iter__(self) -> Iterator[Tuple[float, int]]:
+        """Iterate ``(threshold, query_id)`` pairs in ascending order."""
+        thr = self._thr
+        qid = self._qid
+        for position in range(len(thr)):
+            yield (thr[position], qid[position])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(term={self.term_id}, queries={len(self)})"
+
+    # ------------------------------------------------------------------ #
+    # registration and updates
+    # ------------------------------------------------------------------ #
+    def register(self, query_id: int, threshold: float) -> None:
+        """Insert or update the local threshold of ``query_id``."""
+        current = self._thresholds.get(query_id)
+        if current is not None:
+            if current == threshold:
+                return
+            self._remove_pair(current, query_id)
+        self._insert_pair(threshold, query_id)
+        self._thresholds[query_id] = threshold
+
+    def update(self, query_id: int, threshold: float) -> None:
+        """Update the threshold of an already-registered query."""
+        if query_id not in self._thresholds:
+            raise UnknownQueryError(
+                f"query {query_id} is not registered in the threshold tree of term {self.term_id}"
+            )
+        self.register(query_id, threshold)
+
+    def unregister(self, query_id: int) -> None:
+        """Remove ``query_id`` from the tree (e.g. on query termination)."""
+        current = self._thresholds.pop(query_id, None)
+        if current is None:
+            raise UnknownQueryError(
+                f"query {query_id} is not registered in the threshold tree of term {self.term_id}"
+            )
+        self._remove_pair(current, query_id)
+
+    def _insert_pair(self, threshold: float, query_id: int) -> None:
+        thr = self._thr
+        qid = self._qid
+        position = bisect_left(thr, threshold)
+        size = len(qid)
+        while position < size and thr[position] == threshold and qid[position] < query_id:
+            position += 1
+        thr.insert(position, threshold)
+        qid.insert(position, query_id)
+
+    def _remove_pair(self, threshold: float, query_id: int) -> None:
+        thr = self._thr
+        qid = self._qid
+        position = bisect_left(thr, threshold)
+        while qid[position] != query_id:  # within the equal-threshold run
+            position += 1
+        thr.pop(position)
+        qid.pop(position)
+
+    # ------------------------------------------------------------------ #
+    # lookups
+    # ------------------------------------------------------------------ #
+    def threshold_of(self, query_id: int) -> float:
+        """The registered threshold of ``query_id``."""
+        try:
+            return self._thresholds[query_id]
+        except KeyError:
+            raise UnknownQueryError(
+                f"query {query_id} is not registered in the threshold tree of term {self.term_id}"
+            ) from None
+
+    def get(self, query_id: int) -> Optional[float]:
+        """The registered threshold of ``query_id`` or ``None``."""
+        return self._thresholds.get(query_id)
+
+    # ------------------------------------------------------------------ #
+    # probes
+    # ------------------------------------------------------------------ #
+    def queries_at_or_below(self, weight: float) -> List[int]:
+        """Query ids whose local threshold is <= ``weight``.
+
+        One binary search over the threshold column plus a prefix slice of
+        the id column; the ``<=`` bound matches the bisect container's
+        ``prefix_le((weight, +inf))``.
+        """
+        return self._qid[: bisect_right(self._thr, weight)].tolist()
+
+    def iter_queries_at_or_below(self, weight: float) -> Iterator[int]:
+        """Lazy variant of :meth:`queries_at_or_below`."""
+        qid = self._qid
+        for position in range(bisect_right(self._thr, weight)):
+            yield qid[position]
+
+    def min_threshold(self) -> Optional[float]:
+        """The smallest registered threshold (None when empty)."""
+        if not self._thr:
+            return None
+        return self._thr[0]
+
+    # ------------------------------------------------------------------ #
+    def check_invariants(self) -> None:
+        """Validate column order and agreement with the id->threshold map."""
+        thr = self._thr
+        qid = self._qid
+        assert len(thr) == len(qid), "column length mismatch"
+        assert len(thr) == len(self._thresholds), "size mismatch"
+        previous: Optional[Tuple[float, int]] = None
+        for position in range(len(thr)):
+            pair = (thr[position], qid[position])
+            if previous is not None:
+                assert previous <= pair, "threshold column not sorted"
+            previous = pair
+            assert self._thresholds.get(pair[1]) == pair[0], "map/columns disagree"

@@ -15,10 +15,11 @@ evaluation is set up: both systems see the same stream and window).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.documents.document import StreamedDocument
 from repro.exceptions import UnknownDocumentError
+from repro.index.backend import StorageBackend, storage_backend
 from repro.index.document_store import DocumentStore
 from repro.index.inverted_list import InvertedList, PostingEntry
 from repro.index.threshold_tree import ThresholdTree
@@ -27,41 +28,111 @@ __all__ = ["InvertedIndex"]
 
 
 class InvertedIndex:
-    """In-memory inverted file over the currently valid documents."""
+    """In-memory inverted file over the currently valid documents.
 
-    def __init__(self) -> None:
+    The concrete container representation is supplied by a
+    :class:`~repro.index.backend.StorageBackend` (default ``"bisect"``, the
+    original object-per-posting containers); ``backend`` accepts either a
+    registered backend name or a backend instance.
+    """
+
+    def __init__(self, backend: Union[None, str, StorageBackend] = None) -> None:
+        if backend is None:
+            backend = storage_backend("bisect")
+        elif isinstance(backend, str):
+            backend = storage_backend(backend)
+        self.backend = backend
+        self._virtual = bool(backend.virtual_cold_lists)
         self._lists: Dict[int, InvertedList] = {}
         self._trees: Dict[int, ThresholdTree] = {}
-        self.documents = DocumentStore()
+        self.documents = backend.make_document_store()
 
     # ------------------------------------------------------------------ #
     # dictionary access
     # ------------------------------------------------------------------ #
+    def _materialize_list(self, term_id: int) -> Optional[InvertedList]:
+        """Promote a virtual cold list by rebuilding it from the store.
+
+        Returns ``None`` (and caches nothing) when no valid document
+        contains the term.  Otherwise the materialised list is installed in
+        the dictionary and linked to the term's tree, if one exists, and
+        stays hot from then on: every subsequent per-event update maintains
+        it incrementally.
+        """
+        postings = []
+        for streamed in self.documents:
+            inner = streamed.document
+            weight = inner.composition._raw.get(term_id)
+            if weight is not None:
+                postings.append((inner.doc_id, weight))
+        if not postings:
+            return None
+        inverted_list = self.backend.build_inverted_list(term_id, postings)
+        tree = self._trees.get(term_id)
+        if tree is not None:
+            self.backend.attach_tree(inverted_list, tree)
+        self._lists[term_id] = inverted_list
+        return inverted_list
+
     def inverted_list(self, term_id: int) -> InvertedList:
         """The inverted list of ``term_id``, created on first use."""
         inverted_list = self._lists.get(term_id)
         if inverted_list is None:
-            inverted_list = InvertedList(term_id)
+            if self._virtual:
+                inverted_list = self._materialize_list(term_id)
+                if inverted_list is not None:
+                    return inverted_list
+            inverted_list = self.backend.make_inverted_list(term_id)
             self._lists[term_id] = inverted_list
+            tree = self._trees.get(term_id)
+            if tree is not None:
+                self.backend.attach_tree(inverted_list, tree)
         return inverted_list
 
     def existing_list(self, term_id: int) -> Optional[InvertedList]:
-        """The inverted list of ``term_id`` or ``None`` if never created."""
-        return self._lists.get(term_id)
+        """The inverted list of ``term_id`` or ``None`` if it has no state.
+
+        With a virtual backend a cold term that does occur in stored
+        documents is promoted (materialised) on the fly, so callers see
+        exactly the postings the eager backends would have kept.
+        """
+        inverted_list = self._lists.get(term_id)
+        if inverted_list is None and self._virtual:
+            return self._materialize_list(term_id)
+        return inverted_list
 
     def threshold_tree(self, term_id: int) -> ThresholdTree:
-        """The threshold tree of ``term_id``, created on first use."""
+        """The threshold tree of ``term_id``, created on first use.
+
+        Creating a tree marks the term as *watched*: with a virtual
+        backend the term's list is materialised right here (empty if no
+        stored document contains the term yet) so that probes, roll-ups
+        and descents never pay a store scan on the hot path.
+        """
         tree = self._trees.get(term_id)
         if tree is None:
-            tree = ThresholdTree(term_id)
+            tree = self.backend.make_threshold_tree(term_id)
             self._trees[term_id] = tree
+            inverted_list = self._lists.get(term_id)
+            if inverted_list is None and self._virtual:
+                inverted_list = self._materialize_list(term_id)
+                if inverted_list is None:
+                    inverted_list = self.backend.make_inverted_list(term_id)
+                    self._lists[term_id] = inverted_list
+            if inverted_list is not None:
+                self.backend.attach_tree(inverted_list, tree)
         return tree
 
     def existing_tree(self, term_id: int) -> Optional[ThresholdTree]:
         return self._trees.get(term_id)
 
     def terms(self) -> Iterator[int]:
-        """Term ids that currently have an inverted list."""
+        """Term ids that currently have postings or a materialised list."""
+        if self._virtual:
+            seen = set(self._lists.keys())
+            for document in self.documents:
+                seen.update(document.composition.terms())
+            return iter(seen)
         return iter(self._lists.keys())
 
     def __len__(self) -> int:
@@ -86,10 +157,16 @@ class InvertedIndex:
         doc_id = document.doc_id
         inserted = 0
         lists = self._lists
+        virtual = self._virtual
+        make_list = self.backend.make_inverted_list
         for term_id, weight in document.composition.items():
             inverted_list = lists.get(term_id)
             if inverted_list is None:
-                inverted_list = InvertedList(term_id)
+                if virtual:
+                    # Cold term: the posting lives implicitly in the store.
+                    inserted += 1
+                    continue
+                inverted_list = make_list(term_id)
                 lists[term_id] = inverted_list
             inverted_list.insert(doc_id, weight)
             inserted += 1
@@ -106,9 +183,14 @@ class InvertedIndex:
         removed = 0
         lists = self._lists
         trees = self._trees
+        virtual = self._virtual
         for term_id in document.composition.terms():
             inverted_list = lists.get(term_id)
             if inverted_list is None:
+                if virtual:
+                    # Cold term: the posting vanished with the store entry.
+                    removed += 1
+                    continue
                 raise UnknownDocumentError(
                     f"document {doc_id} lists term {term_id} but the term has no inverted list"
                 )
@@ -126,16 +208,32 @@ class InvertedIndex:
     # ------------------------------------------------------------------ #
     def posting_count(self) -> int:
         """Total number of impact entries across all lists."""
+        if self._virtual:
+            # Every posting -- cold or materialised -- comes from a stored
+            # document's composition, so the store is the ground truth.
+            return sum(len(document.composition) for document in self.documents)
         return sum(len(lst) for lst in self._lists.values())
 
     def list_lengths(self) -> Dict[int, int]:
         """``{term_id: postings}`` for every non-empty list."""
+        if self._virtual:
+            lengths: Dict[int, int] = {}
+            for document in self.documents:
+                for term_id in document.composition.terms():
+                    lengths[term_id] = lengths.get(term_id, 0) + 1
+            return lengths
         return {term_id: len(lst) for term_id, lst in self._lists.items() if len(lst)}
 
     def check_invariants(self) -> None:
         """Cross-check lists against the document store (tests only)."""
+        virtual = self._virtual
         for term_id, inverted_list in self._lists.items():
             inverted_list.check_invariants()
+            if virtual:
+                attached = getattr(inverted_list, "_tree", None)
+                assert attached is self._trees.get(term_id), (
+                    f"list/tree link out of sync for term {term_id}"
+                )
             for entry in inverted_list:
                 document = self.documents.find(entry.doc_id)
                 assert document is not None, (
@@ -145,7 +243,14 @@ class InvertedIndex:
         for document in self.documents:
             for term_id, weight in document.composition.items():
                 inverted_list = self._lists.get(term_id)
-                assert inverted_list is not None, f"missing list for term {term_id}"
+                if inverted_list is None:
+                    assert virtual, f"missing list for term {term_id}"
+                    # Watched terms must always be materialised, or the
+                    # fused kernel would skip their probes.
+                    assert term_id not in self._trees, (
+                        f"watched term {term_id} has no materialised list"
+                    )
+                    continue
                 assert inverted_list.weight_of(document.doc_id) == weight
         for term_id, tree in self._trees.items():
             tree.check_invariants()

@@ -56,9 +56,9 @@ def _engine_config(engine: MonitoringEngine) -> Dict[str, Any]:
     """The engine construction knobs worth preserving across a round-trip.
 
     Only knobs every restore target understands-or-ignores are recorded:
-    the probe order and roll-up switch of ITA, and the change-tracking
-    flag shared by all engines.  Absent keys simply fall back to the
-    defaults, which keeps old snapshots restorable.
+    the probe order, roll-up switch and storage backend of ITA, and the
+    change-tracking flag shared by all engines.  Absent keys simply fall
+    back to the defaults, which keeps old snapshots restorable.
     """
     config: Dict[str, Any] = {}
     probe_order = getattr(engine, "probe_order", None)
@@ -68,6 +68,9 @@ def _engine_config(engine: MonitoringEngine) -> Dict[str, Any]:
         value = getattr(engine, attr, None)
         if isinstance(value, bool):
             config[attr] = value
+    storage = getattr(engine, "storage", None)
+    if isinstance(storage, str):
+        config["storage"] = storage
     return config
 
 
@@ -81,6 +84,8 @@ def _default_engine(window: SlidingWindow, config: Dict[str, Any]) -> ITAEngine:
         kwargs["enable_rollup"] = bool(config["enable_rollup"])
     if "track_changes" in config:
         kwargs["track_changes"] = bool(config["track_changes"])
+    if "storage" in config:
+        kwargs["storage"] = str(config["storage"])
     return ITAEngine(window, **kwargs)
 
 

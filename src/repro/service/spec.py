@@ -44,6 +44,7 @@ from repro.core.engine import ITAEngine
 from repro.documents.window import SlidingWindow, WindowSpec
 from repro.durability.policy import DurabilityPolicy
 from repro.exceptions import ConfigurationError, UnknownEngineError
+from repro.index.backend import DEFAULT_STORAGE, storage_backends
 from repro.net.options import ProcOptions
 from repro.queryscale.options import QueryScaleOptions
 
@@ -152,6 +153,11 @@ class EngineSpec:
     probe_order: str = ProbeOrder.WEIGHTED.value
     #: threshold roll-up on result entry (the paper's design; ablations disable)
     enable_rollup: bool = True
+    #: storage backend of the scoring state ("bisect" or "columnar"; any
+    #: name registered via repro.index.backend).  Consulted by the kinds
+    #: that build an inverted index -- "ita" directly, the cluster kinds
+    #: through their default shard spec -- and carried through otherwise.
+    storage: str = DEFAULT_STORAGE
     # -- k_max-Naive knobs ----------------------------------------------- #
     #: "fixed", "adaptive" or "analytical"
     kmax_policy: str = "fixed"
@@ -210,6 +216,11 @@ class EngineSpec:
                 f"unknown probe order {self.probe_order!r}; expected one of "
                 f"{[order.value for order in ProbeOrder]}"
             ) from None
+        if self.storage not in storage_backends():
+            raise ConfigurationError(
+                f"unknown storage backend {self.storage!r}; "
+                f"expected one of {storage_backends()}"
+            )
         if self.kmax_policy not in _KMAX_POLICIES:
             raise ConfigurationError(
                 f"unknown k_max policy {self.kmax_policy!r}; "
@@ -354,7 +365,10 @@ class EngineSpec:
         if self.inner is not None:
             return self.inner
         return EngineSpec(
-            kind="ita", window=self.window, track_changes=self.track_changes
+            kind="ita",
+            window=self.window,
+            track_changes=self.track_changes,
+            storage=self.storage,
         )
 
     def placement_policy(self, num_shards: Optional[int] = None):
@@ -412,6 +426,7 @@ class EngineSpec:
             "track_changes": self.track_changes,
             "probe_order": self.probe_order,
             "enable_rollup": self.enable_rollup,
+            "storage": self.storage,
             "kmax_policy": self.kmax_policy,
             "kmax_multiplier": self.kmax_multiplier,
             "num_shards": self.num_shards,
@@ -452,6 +467,7 @@ class EngineSpec:
             track_changes=bool(data.get("track_changes", defaults.track_changes)),
             probe_order=str(data.get("probe_order", defaults.probe_order)),
             enable_rollup=bool(data.get("enable_rollup", defaults.enable_rollup)),
+            storage=str(data.get("storage", defaults.storage)),
             kmax_policy=str(data.get("kmax_policy", defaults.kmax_policy)),
             kmax_multiplier=float(data.get("kmax_multiplier", defaults.kmax_multiplier)),
             num_shards=int(data.get("num_shards", defaults.num_shards)),
@@ -542,6 +558,7 @@ def _build_ita(spec: EngineSpec, window: SlidingWindow) -> ITAEngine:
         track_changes=spec.track_changes,
         enable_rollup=spec.enable_rollup,
         probe_order=ProbeOrder(spec.probe_order),
+        storage=spec.storage,
     )
 
 
@@ -629,6 +646,7 @@ _NAME_ALIASES: Dict[str, Dict[str, Any]] = {
     "ita": {"kind": "ita"},
     "ita-no-rollup": {"kind": "ita", "enable_rollup": False},
     "ita-round-robin": {"kind": "ita", "probe_order": ProbeOrder.ROUND_ROBIN.value},
+    "ita-columnar": {"kind": "ita", "storage": "columnar"},
     "naive": {"kind": "naive"},
     "naive-kmax": {"kind": "naive-kmax"},
     "oracle": {"kind": "oracle"},
@@ -645,15 +663,14 @@ def spec_from_name(
     """Resolve a legacy engine name into an :class:`EngineSpec`.
 
     Single-engine names are "ita", "ita-no-rollup", "ita-round-robin",
-    "naive", "naive-kmax" and "oracle".  Sharded names are
+    "ita-columnar", "naive", "naive-kmax" and "oracle".  Sharded names are
     ``"sharded-<inner>"`` (shard count from ``options["num_shards"]``,
     default 2) or ``"sharded-<inner>-<N>"`` with the count inlined; a bare
     ``"sharded"`` means ITA shards.  ``options`` carries the historical
     untyped knobs (``kmax_multiplier``, ``num_shards``, ``placement``).
 
     New code should construct :class:`EngineSpec` directly; this exists so
-    the experiment harness's engine names (and the deprecated
-    :func:`repro.workloads.runner.make_engine`) resolve through the same
+    the experiment harness's engine names resolve through the same
     registry as everything else.
     """
     options = dict(options or {})
@@ -715,4 +732,6 @@ def spec_from_name(
         )
     if "kmax_multiplier" in options:
         overrides = {**overrides, "kmax_multiplier": float(options["kmax_multiplier"])}
+    if "storage" in options and "storage" not in overrides:
+        overrides = {**overrides, "storage": str(options["storage"])}
     return EngineSpec(window=window, track_changes=track_changes, **overrides)

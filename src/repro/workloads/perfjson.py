@@ -24,7 +24,11 @@ convention) with, per measurement:
 * similarity scores computed per event (the hardware-independent cost
   proxy the paper uses),
 * for async measurements, the ``concurrency`` column: the worker-pool
-  size the cell was measured at.
+  size the cell was measured at,
+* the ``storage`` column: the scoring-state backend the cell ran on
+  (``"bisect"``, the original object-per-posting containers, or
+  ``"columnar"``, the array-backed columns of
+  :mod:`repro.index.columnar`).
 
 Run it via the experiment CLI::
 
@@ -76,7 +80,7 @@ __all__ = [
 ]
 
 #: bump when a field of the emitted JSON changes meaning
-SCHEMA = "repro-bench/6"
+SCHEMA = "repro-bench/7"
 
 #: default chunk size of the batched measurement mode
 DEFAULT_BATCH_SIZE = 64
@@ -134,6 +138,11 @@ class BenchRecord:
     scores_per_event: float
     #: chunk size of the batched mode (None for sequential)
     batch_size: Optional[int] = None
+    #: storage backend of the scoring state ("bisect", the original
+    #: object-per-posting containers, or "columnar", the array-backed
+    #: columns); the columnar/bisect pair at the same (workload, mode)
+    #: forms ``summary["figure3a_columnar_over_batched"]``
+    storage: str = "bisect"
     #: worker-thread-pool size of the async mode (None otherwise); the
     #: async records at 1 and N workers form the measured concurrency
     #: speedup -- see ``summary["cluster_async_multi_over_single_worker"]``
@@ -202,8 +211,12 @@ def default_suite(scale: str = "small") -> List[BenchCase]:
             # recovery time are part of every emitted file.  "instrumented"
             # repeats the batched cell with observability on, so the
             # telemetry overhead bound is part of every emitted file too.
+            # "ita-columnar" repeats the batched cell on the array-backed
+            # storage backend; its record carries storage="columnar" and
+            # the pair forms summary["figure3a_columnar_over_batched"].
             modes={
                 "ita": ("sequential", "batched", "instrumented", "wal"),
+                "ita-columnar": ("batched",),
                 "naive": sequential,
                 "naive-kmax": sequential,
             },
@@ -276,6 +289,15 @@ def run_case(
     workload = build_workload(case.point.config)
     records: List[BenchRecord] = []
     for engine_name, modes in case.modes.items():
+        # Storage-qualified names ("ita-columnar") are measured under their
+        # base kind with the backend in the storage column, so the emitted
+        # document lines up backend pairs at the same (engine, mode) key.
+        if engine_name.endswith("-columnar"):
+            record_engine = engine_name[: -len("-columnar")]
+            storage = "columnar"
+        else:
+            record_engine = engine_name
+            storage = "bisect"
         for mode in modes:
             if mode == "wal":
                 if progress is not None:
@@ -331,7 +353,7 @@ def run_case(
                     BenchRecord(
                         workload=case.workload,
                         point=case.point.label,
-                        engine=engine_name,
+                        engine=record_engine,
                         mode=mode,
                         events=measurement.events,
                         docs_per_sec=(1000.0 / mean_ms) if mean_ms > 0 else 0.0,
@@ -341,6 +363,7 @@ def run_case(
                         scores_per_event=measurement.scores_per_event,
                         batch_size=batch_size if chunked else None,
                         concurrency=workers,
+                        storage=storage,
                     )
                 )
     return records
@@ -574,10 +597,12 @@ def _query_scale_records(
     measured = [" ".join(doc_rng.sample(vocabulary, 8)) for _ in range(128)]
     spec = EngineSpec(kind="ita", window=WindowSpec.count(256))
 
-    def run_cell(subscriptions: Optional[int], dedup: bool):
+    def run_cell(subscriptions: Optional[int], dedup: bool, storage: str = "bisect"):
         cell_spec = spec
+        if storage != "bisect":
+            cell_spec = cell_spec.with_overrides(storage=storage)
         if dedup:
-            cell_spec = spec.with_overrides(queryscale=QueryScaleOptions(dedup=True))
+            cell_spec = cell_spec.with_overrides(queryscale=QueryScaleOptions(dedup=True))
         service = MonitoringService(cell_spec)
         try:
             if subscriptions:
@@ -605,23 +630,36 @@ def _query_scale_records(
             service.close()
         return total_ms, samples, scores, total_bytes
 
-    # The zero-subscription baseline over the identical stream: what the
-    # window/document side costs regardless of any standing query.
-    _, _, _, baseline_bytes = run_cell(None, dedup=False)
+    # The zero-subscription baselines over the identical stream: what the
+    # window/document side costs regardless of any standing query.  One
+    # baseline per storage backend, so each cell subtracts the substrate
+    # it actually ran on.
+    baseline_bytes = {
+        storage: run_cell(None, dedup=False, storage=storage)[3]
+        for storage in ("bisect", "columnar")
+    }
 
     records: List[BenchRecord] = []
     events = len(measured)
     for subscriptions in counts:
-        variants = ["dedup-on"] if subscriptions > 100_000 else ["dedup-off", "dedup-on"]
-        for mode in variants:
+        # The dedup-on cell is additionally measured on the columnar
+        # storage backend (the deployment shape the scaling layer targets);
+        # the dedup-off cell stays bisect-only -- its purpose is the dedup
+        # ratio, not a backend comparison.
+        variants = [("dedup-on", "bisect"), ("dedup-on", "columnar")]
+        if subscriptions <= 100_000:
+            variants.insert(0, ("dedup-off", "bisect"))
+        for mode, storage in variants:
             if progress is not None:
-                progress(f"[bench]   query-scale S={subscriptions} ({mode})")
+                progress(
+                    f"[bench]   query-scale S={subscriptions} ({mode}, {storage})"
+                )
             total_ms, samples, scores, total_bytes = run_cell(
-                subscriptions, dedup=(mode == "dedup-on")
+                subscriptions, dedup=(mode == "dedup-on"), storage=storage
             )
             mean_ms = total_ms / events if events else 0.0
             summary = PercentileSummary.from_samples(samples)
-            per_query = max(total_bytes - baseline_bytes, 0) / subscriptions
+            per_query = max(total_bytes - baseline_bytes[storage], 0) / subscriptions
             records.append(
                 BenchRecord(
                     workload="query-scale",
@@ -637,6 +675,7 @@ def _query_scale_records(
                     batch_size=batch_size,
                     subscriptions=subscriptions,
                     bytes_per_query=round(per_query, 2),
+                    storage=storage,
                 )
             )
     return records
@@ -781,21 +820,34 @@ def run_bench_suite(
     )
 
     by_key = {
-        (record.workload, record.engine, record.mode, record.concurrency): record
+        (
+            record.workload,
+            record.engine,
+            record.mode,
+            record.concurrency,
+            record.storage,
+        ): record
         for record in records
     }
     summary: Dict[str, Any] = {}
-    sequential = by_key.get(("figure3a", "ita", "sequential", None))
-    batched = by_key.get(("figure3a", "ita", "batched", None))
+    sequential = by_key.get(("figure3a", "ita", "sequential", None, "bisect"))
+    batched = by_key.get(("figure3a", "ita", "batched", None, "bisect"))
     if sequential and batched and sequential.docs_per_sec > 0:
         summary["figure3a_ita_batched_over_sequential"] = round(
             batched.docs_per_sec / sequential.docs_per_sec, 4
         )
-    direct = by_key.get(("service-overhead", "ita", "direct", None))
-    facade = by_key.get(("service-overhead", "ita", "facade", None))
+    columnar = by_key.get(("figure3a", "ita", "batched", None, "columnar"))
+    if columnar and batched and batched.docs_per_sec > 0:
+        # The storage-backend headline: the array-backed columnar engine
+        # against the batched bisect path on the identical workload.
+        summary["figure3a_columnar_over_batched"] = round(
+            columnar.docs_per_sec / batched.docs_per_sec, 4
+        )
+    direct = by_key.get(("service-overhead", "ita", "direct", None, "bisect"))
+    facade = by_key.get(("service-overhead", "ita", "facade", None, "bisect"))
     if direct and facade and direct.mean_ms > 0:
         summary["service_facade_over_direct"] = round(facade.mean_ms / direct.mean_ms, 4)
-    instrumented = by_key.get(("figure3a", "ita", "instrumented", None))
+    instrumented = by_key.get(("figure3a", "ita", "instrumented", None, "bisect"))
     if instrumented and batched and batched.mean_ms > 0:
         # The telemetry-overhead bound the observability acceptance
         # criterion refers to: <= 1.05 means metrics + tracing cost at
@@ -803,7 +855,7 @@ def run_bench_suite(
         summary["figure3a_ita_instrumented_over_batched"] = round(
             instrumented.mean_ms / batched.mean_ms, 4
         )
-    wal = by_key.get(("figure3a", "ita", "wal", None))
+    wal = by_key.get(("figure3a", "ita", "wal", None, "bisect"))
     if wal and batched and batched.mean_ms > 0:
         # The logged-ingest overhead the durability acceptance bound
         # refers to: < 1.25 means logging costs less than 25% of the
@@ -811,7 +863,7 @@ def run_bench_suite(
         summary["figure3a_ita_wal_over_batched"] = round(
             wal.mean_ms / batched.mean_ms, 4
         )
-    recovery = by_key.get(("figure3a", "ita", "wal-recovery", None))
+    recovery = by_key.get(("figure3a", "ita", "wal-recovery", None, "bisect"))
     if recovery:
         summary["figure3a_wal_recovery_ms"] = round(
             recovery.mean_ms * recovery.events, 4
@@ -819,16 +871,16 @@ def run_bench_suite(
         summary["figure3a_wal_recovery_docs_per_sec"] = round(
             recovery.docs_per_sec, 2
         )
-    naive_kmax = by_key.get(("figure3a", "naive-kmax", "sequential", None))
+    naive_kmax = by_key.get(("figure3a", "naive-kmax", "sequential", None, "bisect"))
     if naive_kmax and batched and batched.mean_ms > 0:
         summary["figure3a_ita_batched_over_naive_kmax"] = round(
             naive_kmax.mean_ms / batched.mean_ms, 4
         )
-    async_single = by_key.get(("cluster-scaling", "sharded-ita", "async", 1))
+    async_single = by_key.get(("cluster-scaling", "sharded-ita", "async", 1, "bisect"))
     # With async_workers == 1 there is only the single-worker cell; a
     # self-ratio of 1.0 would claim a speedup that was never measured.
     async_multi = (
-        by_key.get(("cluster-scaling", "sharded-ita", "async", async_workers))
+        by_key.get(("cluster-scaling", "sharded-ita", "async", async_workers, "bisect"))
         if async_workers != 1
         else None
     )
@@ -836,16 +888,16 @@ def run_bench_suite(
         summary["cluster_async_multi_over_single_worker"] = round(
             async_multi.docs_per_sec / async_single.docs_per_sec, 4
         )
-    cluster_batched = by_key.get(("cluster-scaling", "sharded-ita", "batched", None))
+    cluster_batched = by_key.get(("cluster-scaling", "sharded-ita", "batched", None, "bisect"))
     if async_multi and cluster_batched and cluster_batched.docs_per_sec > 0:
         summary["cluster_async_over_batched"] = round(
             async_multi.docs_per_sec / cluster_batched.docs_per_sec, 4
         )
-    proc_single = by_key.get(("cluster-scaling", "sharded-proc", "proc", 1))
+    proc_single = by_key.get(("cluster-scaling", "sharded-proc", "proc", 1, "bisect"))
     # Same self-ratio guard as the async cell: with proc_workers == 1
     # only the single-worker cell exists and there is nothing to compare.
     proc_multi = (
-        by_key.get(("cluster-scaling", "sharded-proc", "proc", proc_workers))
+        by_key.get(("cluster-scaling", "sharded-proc", "proc", proc_workers, "bisect"))
         if proc_workers != 1
         else None
     )
@@ -859,10 +911,14 @@ def run_bench_suite(
         summary["cluster_proc_over_batched"] = round(
             proc_single.docs_per_sec / cluster_batched.docs_per_sec, 4
         )
+    # The dedup ratios compare like with like: bisect cells only (the
+    # columnar dedup-on cells are a storage comparison, not a dedup one).
     on_cells = {
         record.subscriptions: record
         for record in records
-        if record.workload == "query-scale" and record.mode == "dedup-on"
+        if record.workload == "query-scale"
+        and record.mode == "dedup-on"
+        and record.storage == "bisect"
     }
     off_cells = {
         record.subscriptions: record
@@ -915,10 +971,15 @@ def history_entry(
 
     The line keeps what trend analysis needs -- the summary ratios plus a
     ``docs_per_sec`` map keyed ``workload/engine/mode`` (``@workers``
-    appended for async cells) -- and drops the per-cell latency detail,
-    so years of runs stay grep-able and cheap to parse.
+    appended for async cells, ``+storage`` for non-default storage
+    backends) -- and drops the per-cell latency detail, so years of runs
+    stay grep-able and cheap to parse.  Each line also records the Python
+    version and platform of the run: the trajectory file accumulates runs
+    from different containers (1-core CI against multi-core dev hosts),
+    and throughput trends are only comparable within one environment.
     """
     import datetime
+    import platform as platform_module
 
     if timestamp is None:
         timestamp = datetime.datetime.now(datetime.timezone.utc).isoformat(
@@ -929,12 +990,16 @@ def history_entry(
         key = f"{record['workload']}/{record['engine']}/{record['mode']}"
         if record.get("concurrency") is not None:
             key += f"@{record['concurrency']}"
+        if record.get("storage", "bisect") != "bisect":
+            key += f"+{record['storage']}"
         throughput[key] = round(float(record["docs_per_sec"]), 2)
     return {
         "ts": timestamp,
         "schema": document.get("schema", SCHEMA),
         "scale": document.get("scale"),
         "batch_size": document.get("batch_size"),
+        "python": platform_module.python_version(),
+        "platform": platform_module.platform(),
         "summary": dict(document.get("summary", {})),
         "docs_per_sec": throughput,
     }

@@ -118,6 +118,7 @@ _RATIO_NOTES = {
     "figure3a_ita_instrumented_over_batched": "telemetry overhead (bound: <= 1.05)",
     "figure3a_ita_wal_over_batched": "logged-ingest overhead (bound: < 1.25)",
     "figure3a_ita_batched_over_naive_kmax": "ITA vs the paper's Naive-kmax competitor",
+    "figure3a_columnar_over_batched": "columnar kernel over batched bisect (bound: >= 2 in CI)",
     "service_facade_over_direct": "service facade tax over the raw engine",
     "cluster_async_multi_over_single_worker": "async pipeline concurrency speedup",
     "cluster_async_over_batched": "async pipeline vs synchronous batched",

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 import asyncio
 import time
-import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -39,7 +38,6 @@ __all__ = [
     "ExperimentResult",
     "spec_for",
     "build_engine",
-    "make_engine",
     "prepare_engine",
     "measure_async_ingest",
     "measure_wal_ingest",
@@ -145,24 +143,6 @@ def build_engine(
 ) -> MonitoringEngine:
     """Build a harness engine by name through the engine-spec registry."""
     return spec_for(name, config, options).build()
-
-
-def make_engine(name: str, config: WorkloadConfig, options: Optional[Dict[str, object]] = None) -> MonitoringEngine:
-    """Deprecated: build an engine by name ("ita", "naive-kmax", "sharded-ita", ...).
-
-    Kept as a thin alias for old callers; construct an
-    :class:`~repro.service.spec.EngineSpec` (directly, or via
-    :func:`spec_for` / :func:`repro.service.spec.spec_from_name`) and call
-    its ``build()`` instead.
-    """
-    warnings.warn(
-        "make_engine() is deprecated; build an EngineSpec "
-        "(repro.service.EngineSpec / repro.workloads.runner.spec_for) "
-        "and call its build() instead",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return build_engine(name, config, options)
 
 
 # --------------------------------------------------------------------------- #

@@ -174,13 +174,18 @@ class RunLog:
 # --------------------------------------------------------------------------- #
 # tape replay: synchronous and asynchronous backends
 # --------------------------------------------------------------------------- #
-def _spec(engine_name: str):
-    return spec_from_name(engine_name, window=WindowSpec.count(WINDOW_SIZE))
+def _spec(engine_name: str, storage: Optional[str] = None):
+    spec = spec_from_name(engine_name, window=WindowSpec.count(WINDOW_SIZE))
+    if storage is not None:
+        spec = spec.with_overrides(storage=storage)
+    return spec
 
 
-def run_sync(engine_name: str, tape: List[Tuple]) -> RunLog:
+def run_sync(
+    engine_name: str, tape: List[Tuple], storage: Optional[str] = None
+) -> RunLog:
     log = RunLog()
-    service = MonitoringService(_spec(engine_name))
+    service = MonitoringService(_spec(engine_name, storage))
     handles: Dict[int, Any] = {}
 
     def drain_alerts() -> None:

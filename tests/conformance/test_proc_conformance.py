@@ -137,7 +137,9 @@ def test_counters_match_in_process_cluster_without_restores() -> None:
     assert proc.digests == sharded.digests
 
 
-def run_sync_with_kill(engine_name: str, tape: List[Tuple], kill_at: int) -> RunLog:
+def run_sync_with_kill(
+    engine_name: str, tape: List[Tuple], kill_at: int, storage: str = "bisect"
+) -> RunLog:
     """Replay ``tape`` like ``run_sync`` but SIGKILL worker 0 at one op.
 
     No checkpoint/restore ops here -- the point is that the *same*
@@ -145,7 +147,7 @@ def run_sync_with_kill(engine_name: str, tape: List[Tuple], kill_at: int) -> Run
     replay, so checkpoint ops are replayed as observations instead.
     """
     log = RunLog()
-    service = MonitoringService(_spec(engine_name))
+    service = MonitoringService(_spec(engine_name, storage))
     handles: Dict[int, Any] = {}
 
     def drain_alerts() -> None:
@@ -186,13 +188,17 @@ def run_sync_with_kill(engine_name: str, tape: List[Tuple], kill_at: int) -> Run
     return log
 
 
-def test_sigkill_mid_tape_is_invisible_after_wal_replay() -> None:
+@pytest.mark.parametrize("storage", ["bisect", "columnar"])
+def test_sigkill_mid_tape_is_invisible_after_wal_replay(storage: str) -> None:
+    """Both storage backends: the restarted worker replays its WAL through
+    the normal event path, so the columnar backend must come back
+    bit-identical too."""
     seed, tie_heavy = TAPES[0]
     tape = generate_tape(seed, tie_heavy)
     kill_at = len(tape) // 2
 
-    reference = run_sync_with_kill("ita", tape, kill_at=-1)  # never fires
-    killed = run_sync_with_kill(PROC, tape, kill_at=kill_at)
+    reference = run_sync_with_kill("ita", tape, kill_at=-1, storage=storage)
+    killed = run_sync_with_kill(PROC, tape, kill_at=kill_at, storage=storage)
 
     assert killed.restarts >= 1, "the kill never triggered a supervised restart"
     assert len(killed.digests) == len(reference.digests)

@@ -1,0 +1,175 @@
+"""Property-based float/tie determinism: bisect vs columnar backends.
+
+Hypothesis drives both storage backends with *adversarial* weight
+workloads -- exact ties (many documents and queries sharing the same
+grid values), 1-ulp-apart neighbours (``math.nextafter`` pairs, where
+any re-ordering of float operations shows up immediately), and
+magnitudes nine to twelve orders apart (where a changed summation order
+in scoring or tau maintenance loses low bits immediately).  Magnitudes
+that overflow or underflow outright are excluded: a product that rounds
+to exactly ``0.0`` or ``inf`` breaks the *engine's* own invariants on
+every backend alike, which is outside this suite's contract.
+
+The contract here is *indistinguishability*, so the suite deliberately
+does not call ``ITAQueryState.check_invariants``: that checker encodes
+real-arithmetic implications (e.g. "score >= tau implies some weight at
+or above its threshold") which 1-ulp workloads can break identically on
+every backend -- see the eviction fast-path note in ROADMAP.md.  What
+must hold regardless is that both backends land in the same state, bit
+for bit, and the structural index invariants (sorted postings, tree
+consistency), which are asserted.
+
+For every generated workload the reference is the sequential bisect
+engine, and both the sequential and the batched columnar engine must
+reproduce it **bit-identically**:
+
+* per-query top-k results: document ids in order and the IEEE-754 bit
+  pattern of every score,
+* per-query threshold vectors and the ``tau`` certificate, bit for bit,
+* the full operation-counter block (same probes, scores, roll-up steps,
+  refills -- the backends must do the *same work*, not just reach the
+  same answer),
+* change streams: exactly (content and order) for the sequential
+  columnar run; as per-event content for the batched run (the batch
+  kernel re-orders within one event by query id, the latitude the
+  conformance suite documents).
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from typing import Dict, List, Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.engine import ITAEngine
+from repro.documents.document import CompositionList, Document, StreamedDocument
+from repro.documents.window import CountBasedWindow
+from repro.query.query import ContinuousQuery
+
+WINDOW_SIZE = 8
+NUM_TERMS = 10
+
+#: tie-heavy grid values, 1-ulp-apart neighbours, and values small enough
+#: that mixed sums cancel their low bits (but whose pairwise products stay
+#: comfortably normal -- no underflow-to-zero, no overflow)
+ADVERSARIAL_WEIGHTS = [
+    0.25,
+    0.5,
+    0.5,  # doubled odds of the exact-tie value
+    1.0,
+    math.nextafter(1.0, 2.0),
+    0.1,
+    math.nextafter(0.1, 1.0),
+    0.3,
+    math.nextafter(0.3, 0.0),
+    1e-9,
+    1e-12,
+]
+
+weight_strategy = st.sampled_from(ADVERSARIAL_WEIGHTS)
+terms_strategy = st.dictionaries(
+    st.integers(min_value=0, max_value=NUM_TERMS - 1),
+    weight_strategy,
+    min_size=1,
+    max_size=4,
+)
+
+
+def _bits(value: float) -> str:
+    return struct.pack(">d", value).hex()
+
+
+def _run(
+    storage: str,
+    batch: int,
+    documents: List[Dict[int, float]],
+    queries: List[Tuple[Dict[int, float], int]],
+):
+    """Replay the workload; return (per-event changes, final state)."""
+    engine = ITAEngine(CountBasedWindow(WINDOW_SIZE), storage=storage)
+    for query_id, (weights, k) in enumerate(queries, start=1):
+        engine.register_query(ContinuousQuery(query_id=query_id, weights=weights, k=k))
+    events = [
+        StreamedDocument(Document(index + 1, CompositionList(weights)), float(index))
+        for index, weights in enumerate(documents)
+    ]
+    stream = []
+    if batch:
+        for start in range(0, len(events), batch):
+            stream.extend(engine.process_batch_events(events[start : start + batch]))
+    else:
+        stream = [engine.process(event) for event in events]
+    changes = [
+        [
+            (
+                change.query_id,
+                tuple((e.doc_id, _bits(e.score)) for e in change.entered),
+                tuple((e.doc_id, _bits(e.score)) for e in change.left),
+            )
+            for change in event_changes
+        ]
+        for event_changes in stream
+    ]
+    engine.index.check_invariants()
+    state = {}
+    for query_id, query_state in sorted(engine._states.items()):
+        state[query_id] = (
+            tuple((e.doc_id, _bits(e.score)) for e in query_state.top_k()),
+            tuple(sorted((t, _bits(v)) for t, v in query_state.thresholds.items())),
+            _bits(query_state.tau),
+        )
+    return changes, state, dict(sorted(engine.counters.as_dict().items()))
+
+
+@given(
+    documents=st.lists(terms_strategy, min_size=6, max_size=28),
+    queries=st.lists(
+        st.tuples(terms_strategy, st.integers(min_value=1, max_value=4)),
+        min_size=1,
+        max_size=5,
+    ),
+    batch=st.sampled_from([3, 7, 16]),
+)
+@settings(max_examples=60, deadline=None)
+def test_columnar_reproduces_bisect_bit_for_bit(documents, queries, batch):
+    ref_changes, ref_state, ref_counters = _run("bisect", 0, documents, queries)
+
+    # Sequential columnar: the strictest bar -- everything exact,
+    # change order included.
+    col_changes, col_state, col_counters = _run("columnar", 0, documents, queries)
+    assert col_changes == ref_changes
+    assert col_state == ref_state
+    assert col_counters == ref_counters
+
+    # Batched columnar: state and counters exact; change content exact
+    # per event, order within one event free.
+    batch_changes, batch_state, batch_counters = _run(
+        "columnar", batch, documents, queries
+    )
+    assert batch_state == ref_state
+    assert batch_counters == ref_counters
+    assert len(batch_changes) == len(ref_changes)
+    for expected, actual in zip(ref_changes, batch_changes):
+        assert sorted(expected) == sorted(actual)
+
+
+@given(
+    shared=terms_strategy,
+    extra=st.lists(terms_strategy, min_size=4, max_size=12),
+    k=st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=25, deadline=None)
+def test_all_tied_documents_resolve_identically(shared, extra, k):
+    """Every document identical to the query: scores tie exactly, so the
+    top-k outcome is decided purely by the deterministic tie-break --
+    which both backends must implement identically."""
+    documents = [dict(shared)] * 6 + extra
+    queries = [(dict(shared), k)]
+    _, ref_state, ref_counters = _run("bisect", 0, documents, queries)
+    for batch in (0, 5):
+        _, state, counters = _run("columnar", batch, documents, queries)
+        assert state == ref_state
+        assert counters == ref_counters

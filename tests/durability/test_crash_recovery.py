@@ -51,13 +51,16 @@ FAST_NO_CHECKPOINT = DurabilityPolicy(
 )
 
 
-def durable_spec(engine_name: str, policy: DurabilityPolicy):
+def durable_spec(engine_name: str, policy: DurabilityPolicy, storage: str = "bisect"):
     spec = spec_from_name(engine_name, window=WindowSpec.count(WINDOW_SIZE))
-    return spec.with_overrides(durability=policy)
+    return spec.with_overrides(durability=policy, storage=storage)
 
 
-def plain_spec(engine_name: str):
-    return spec_from_name(engine_name, window=WindowSpec.count(WINDOW_SIZE))
+def plain_spec(engine_name: str, storage: str = "bisect"):
+    spec = spec_from_name(engine_name, window=WindowSpec.count(WINDOW_SIZE))
+    if storage != "bisect":
+        spec = spec.with_overrides(storage=storage)
+    return spec
 
 
 def strip_checkpoints(tape: List[Tuple]) -> List[Tuple]:
@@ -224,24 +227,38 @@ def continue_tape(
 # --------------------------------------------------------------------------- #
 # the kill-point suites
 # --------------------------------------------------------------------------- #
-@pytest.mark.parametrize("engine_name", ["ita", "sharded-ita-2"])
-def test_every_kill_point_recovers_bit_identically(engine_name, tmp_path):
+@pytest.mark.parametrize(
+    "engine_name,storage",
+    [
+        ("ita", "bisect"),
+        ("ita", "columnar"),
+        ("sharded-ita-2", "bisect"),
+        ("sharded-ita-2", "columnar"),
+    ],
+)
+def test_every_kill_point_recovers_bit_identically(engine_name, storage, tmp_path):
     """Truncating the log at *every* record boundary and recovering must
     reproduce the uninterrupted snapshot, counters included (the initial
-    checkpoint is empty, so recovery replays the whole history)."""
+    checkpoint is empty, so recovery replays the whole history).  Both
+    storage backends are covered: WAL replay rides the normal event path,
+    so the columnar engine must recover bit-identically too."""
     tape = strip_checkpoints(generate_tape(4111, tie_heavy=False, num_ops=64))
     root = tmp_path / "live"
     captures = tmp_path / "killpoints"
     captures.mkdir()
     capture_dirs: Dict[int, Any] = {}
     oracle = run_durable_sync(
-        tape, durable_spec(engine_name, FAST_NO_CHECKPOINT), root, captures, capture_dirs
+        tape,
+        durable_spec(engine_name, FAST_NO_CHECKPOINT, storage),
+        root,
+        captures,
+        capture_dirs,
     )
 
     # Logging must be semantically invisible: the durable run equals the
     # plain run op for op.
     plain_changes, plain_digests, plain_alerts = run_plain_sync(
-        tape, plain_spec(engine_name)
+        tape, plain_spec(engine_name, storage)
     )
     assert oracle.changes == plain_changes
     assert oracle.digests == plain_digests
@@ -260,8 +277,18 @@ def test_every_kill_point_recovers_bit_identically(engine_name, tmp_path):
         recovered.close()
 
 
-@pytest.mark.parametrize("engine_name", ["ita", "sharded-ita-3"])
-def test_recovered_services_continue_the_tape_identically(engine_name, tmp_path):
+@pytest.mark.parametrize(
+    "engine_name,storage",
+    [
+        ("ita", "bisect"),
+        ("ita", "columnar"),
+        ("sharded-ita-3", "bisect"),
+        ("sharded-ita-3", "columnar"),
+    ],
+)
+def test_recovered_services_continue_the_tape_identically(
+    engine_name, storage, tmp_path
+):
     """From sampled kill points the recovered service must finish the tape
     with the exact change streams, alert streams and final results of the
     uninterrupted run -- including across automatic checkpoints."""
@@ -272,7 +299,7 @@ def test_recovered_services_continue_the_tape_identically(engine_name, tmp_path)
     captures.mkdir()
     capture_dirs: Dict[int, Any] = {}
     oracle = run_durable_sync(
-        tape, durable_spec(engine_name, policy), root, captures, capture_dirs
+        tape, durable_spec(engine_name, policy, storage), root, captures, capture_dirs
     )
 
     lsns = sorted(capture_dirs)
@@ -359,9 +386,12 @@ def test_async_ingest_lane_logs_before_ack(workers, tmp_path):
 # --------------------------------------------------------------------------- #
 # hibernation kill points (the query-scale layer's WAL records)
 # --------------------------------------------------------------------------- #
-@pytest.mark.parametrize("engine_name", ["ita", "sharded-ita-2"])
+@pytest.mark.parametrize(
+    "engine_name,storage",
+    [("ita", "bisect"), ("ita", "columnar"), ("sharded-ita-2", "bisect")],
+)
 def test_hibernation_kill_points_recover_bit_identically(
-    engine_name, tmp_path, monkeypatch
+    engine_name, storage, tmp_path, monkeypatch
 ):
     """Crashing at *every* WAL record boundary of a hibernating service --
     including the boundaries between a single op's ``wake``, main and
@@ -389,7 +419,7 @@ def test_hibernation_kill_points_recover_bit_identically(
     from tests.queryscale.test_dedup_properties import generate_dedup_tape
 
     tape = generate_dedup_tape(8423, num_ops=56, include_checkpoints=False)
-    spec = durable_spec(engine_name, FAST_NO_CHECKPOINT).with_overrides(
+    spec = durable_spec(engine_name, FAST_NO_CHECKPOINT, storage).with_overrides(
         queryscale=QueryScaleOptions(dedup=True, hibernate_after=4)
     )
     root = tmp_path / "live"

@@ -1,0 +1,312 @@
+"""Unit tests for the storage-backend seam and the columnar containers.
+
+The conformance suites prove whole-engine parity; these tests pin the
+layer underneath -- the backend registry contract, the drop-in
+equivalence of the columnar containers against their bisect twins under
+randomised tie-heavy op sequences, the tombstone/compaction lifecycle of
+the postings columns, and the virtual cold-list semantics of the index.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.documents.document import CompositionList, Document, StreamedDocument
+from repro.exceptions import (
+    ConfigurationError,
+    DuplicateDocumentError,
+    UnknownDocumentError,
+    UnknownQueryError,
+)
+from repro.index import backend as backend_module
+from repro.index.backend import (
+    BisectStorageBackend,
+    StorageBackend,
+    register_storage_backend,
+    storage_backend,
+    storage_backends,
+)
+from repro.index.columnar.postings import TOMBSTONE, ColumnarInvertedList
+from repro.index.columnar.thresholds import ColumnarThresholdTree
+from repro.index.inverted_index import InvertedIndex
+from repro.index.inverted_list import InvertedList
+from repro.index.threshold_tree import ThresholdTree
+
+#: few distinct values -> long equal-weight runs, the regime where the
+#: tombstoned columns and the bisect tuples are most likely to disagree
+TIE_WEIGHTS = [0.1, 0.25, 0.5, 0.5, 1.0]
+
+
+# --------------------------------------------------------------------- #
+# registry
+# --------------------------------------------------------------------- #
+class TestBackendRegistry:
+    def test_builtin_backends_listed(self):
+        names = storage_backends()
+        assert "bisect" in names
+        assert "columnar" in names
+        assert names == sorted(names)
+
+    def test_instances_are_cached(self):
+        assert storage_backend("bisect") is storage_backend("bisect")
+        assert isinstance(storage_backend("bisect"), BisectStorageBackend)
+
+    def test_unknown_backend_names_the_known_ones(self):
+        with pytest.raises(ConfigurationError, match="bisect"):
+            storage_backend("no-such-backend")
+
+    def test_columnar_registers_lazily_with_kernel(self):
+        columnar = storage_backend("columnar")
+        assert columnar.name == "columnar"
+        assert columnar.virtual_cold_lists is True
+        assert callable(columnar.batch_kernel())
+
+    def test_bisect_has_no_kernel_and_eager_lists(self):
+        bisect_backend = storage_backend("bisect")
+        assert bisect_backend.batch_kernel() is None
+        assert bisect_backend.virtual_cold_lists is False
+
+    def test_registration_conflicts(self):
+        class DummyBackend(BisectStorageBackend):
+            name = "dummy-for-registry-test"
+
+        name = DummyBackend.name
+        try:
+            register_storage_backend(name, DummyBackend)
+            # same factory again: a no-op, not a conflict
+            register_storage_backend(name, DummyBackend)
+            assert name in storage_backends()
+            assert isinstance(storage_backend(name), DummyBackend)
+            with pytest.raises(ConfigurationError):
+                register_storage_backend(name, BisectStorageBackend)
+            register_storage_backend(name, BisectStorageBackend, replace_existing=True)
+            assert type(storage_backend(name)) is BisectStorageBackend
+        finally:
+            backend_module._FACTORIES.pop(name, None)
+            backend_module._INSTANCES.pop(name, None)
+
+    def test_abstract_backend_defaults(self):
+        class MinimalBackend(StorageBackend):
+            name = "minimal"
+
+            def make_inverted_list(self, term_id):
+                return InvertedList(term_id)
+
+            def make_threshold_tree(self, term_id):
+                return ThresholdTree(term_id)
+
+        minimal = MinimalBackend()
+        assert minimal.batch_kernel() is None
+        built = minimal.build_inverted_list(7, [(1, 0.5), (2, 0.25)])
+        assert built.to_pairs() == [(1, 0.5), (2, 0.25)]
+        # default attach_tree is a no-op
+        minimal.attach_tree(built, ThresholdTree(7))
+
+
+# --------------------------------------------------------------------- #
+# postings columns vs bisect list
+# --------------------------------------------------------------------- #
+def probe_state(inverted_list, probes):
+    """Everything observable about a list, for cross-class comparison."""
+    state = {
+        "len": len(inverted_list),
+        "bool": bool(inverted_list),
+        "pairs": inverted_list.to_pairs(),
+        "top_iter": [(e.doc_id, e.weight) for e in inverted_list.iter_from_top()],
+    }
+    if len(inverted_list):
+        state["top"] = inverted_list.top_weight()
+        state["bottom"] = inverted_list.bottom_weight()
+    for weight in probes:
+        above = inverted_list.next_weight_above(weight)
+        below = inverted_list.first_entry_at_or_below(weight)
+        state[("above", weight)] = None if above is None else (above.doc_id, above.weight)
+        state[("below", weight)] = None if below is None else (below.doc_id, below.weight)
+        state[("at_or_above", weight)] = [
+            (e.doc_id, e.weight) for e in inverted_list.entries_at_or_above(weight)
+        ]
+        state[("from_w_incl", weight)] = [
+            (e.doc_id, e.weight) for e in inverted_list.iter_from_weight(weight)
+        ]
+        state[("from_w_excl", weight)] = [
+            (e.doc_id, e.weight)
+            for e in inverted_list.iter_from_weight(weight, inclusive=False)
+        ]
+    return state
+
+
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=11), st.sampled_from(TIE_WEIGHTS)),
+        min_size=1,
+        max_size=60,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_columnar_list_matches_bisect_list(ops):
+    """Insert-if-absent / delete-if-present mirror on both containers."""
+    reference = InvertedList(3)
+    columnar = ColumnarInvertedList(3)
+    probes = [0.0, 0.1, 0.25, 0.3, 0.5, 1.0, 2.0]
+    for doc_id, weight in ops:
+        if doc_id in reference:
+            assert reference.delete(doc_id) == columnar.delete(doc_id)
+        else:
+            reference.insert(doc_id, weight)
+            columnar.insert(doc_id, weight)
+        assert probe_state(columnar, probes) == probe_state(reference, probes)
+        columnar.check_invariants()
+    for doc_id in list({doc_id for doc_id, _ in ops}):
+        if doc_id in reference:
+            assert columnar.weight_of(doc_id) == reference.weight_of(doc_id)
+
+
+def test_columnar_list_exceptions_match_bisect():
+    for make in (InvertedList, ColumnarInvertedList):
+        lst = make(1)
+        lst.insert(5, 0.5)
+        with pytest.raises(DuplicateDocumentError):
+            lst.insert(5, 0.25)
+        with pytest.raises(UnknownDocumentError):
+            lst.delete(6)
+        assert lst.weight_of(6) == 0.0  # absent docs read as weightless
+
+
+def test_tombstones_compact_once_they_outnumber_live_entries():
+    columnar = ColumnarInvertedList(1)
+    for doc_id in range(40):
+        columnar.insert(doc_id, 0.25 if doc_id % 2 else 0.5)
+    for doc_id in range(0, 40, 2):
+        columnar.delete(doc_id)
+    # 20 tombstones among 40 cells: dead cells do not yet outnumber live
+    assert TOMBSTONE in columnar._ids
+    columnar.delete(1)  # 21st tombstone tips the balance: one sweep
+    # content is intact and the dead cells are gone again
+    columnar.check_invariants()
+    assert len(columnar) == 19
+    assert all(doc_id != TOMBSTONE for doc_id in columnar._ids)
+    assert columnar.to_pairs() == [(doc_id, 0.25) for doc_id in range(3, 40, 2)]
+
+
+def test_bulk_build_equals_incremental_inserts():
+    pairs = [(doc_id, TIE_WEIGHTS[doc_id % len(TIE_WEIGHTS)]) for doc_id in range(25)]
+    incremental = ColumnarInvertedList(9)
+    for doc_id, weight in pairs:
+        incremental.insert(doc_id, weight)
+    bulk = ColumnarInvertedList.from_postings(9, pairs)
+    bulk.check_invariants()
+    assert bulk.to_pairs() == incremental.to_pairs()
+    assert bytes(bulk._negw) == bytes(incremental._negw)
+    assert bytes(bulk._ids) == bytes(incremental._ids)
+
+
+# --------------------------------------------------------------------- #
+# threshold columns vs bisect tree
+# --------------------------------------------------------------------- #
+@given(
+    ops=st.lists(
+        st.tuples(st.integers(min_value=1, max_value=8), st.sampled_from(TIE_WEIGHTS)),
+        min_size=1,
+        max_size=50,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_columnar_tree_matches_bisect_tree(ops):
+    """register / update / unregister mirror on both trees."""
+    reference = ThresholdTree(3)
+    columnar = ColumnarThresholdTree(3)
+    for query_id, threshold in ops:
+        if query_id in reference and threshold == reference.get(query_id):
+            reference.unregister(query_id)
+            columnar.unregister(query_id)
+        else:
+            reference.register(query_id, threshold)
+            columnar.register(query_id, threshold)
+        assert len(columnar) == len(reference)
+        assert list(columnar) == list(reference)
+        assert columnar.min_threshold() == reference.min_threshold()
+        for weight in (0.0, 0.1, 0.25, 0.5, 1.0, 2.0):
+            assert columnar.queries_at_or_below(weight) == (
+                reference.queries_at_or_below(weight)
+            )
+            assert list(columnar.iter_queries_at_or_below(weight)) == (
+                reference.queries_at_or_below(weight)
+            )
+    for query_id in range(1, 9):
+        assert columnar.get(query_id) == reference.get(query_id)
+        assert (query_id in columnar) == (query_id in reference)
+
+
+def test_columnar_tree_exceptions_match_bisect():
+    for make in (ThresholdTree, ColumnarThresholdTree):
+        tree = make(1)
+        with pytest.raises(UnknownQueryError):
+            tree.threshold_of(4)
+        with pytest.raises(UnknownQueryError):
+            tree.unregister(4)
+
+
+# --------------------------------------------------------------------- #
+# virtual cold lists
+# --------------------------------------------------------------------- #
+def streamed(doc_id, weights, timestamp=0.0):
+    return StreamedDocument(Document(doc_id, CompositionList(weights)), timestamp)
+
+
+class TestVirtualColdLists:
+    def test_cold_terms_have_no_materialised_lists(self):
+        index = InvertedIndex("columnar")
+        index.insert_document(streamed(1, {10: 0.5, 11: 0.25}))
+        assert not index._lists  # nobody watches: nothing materialised
+
+    def test_existing_list_rebuilds_cold_postings_on_demand(self):
+        eager = InvertedIndex("bisect")
+        virtual = InvertedIndex("columnar")
+        for doc_id, weights in enumerate(
+            [{10: 0.5, 11: 0.25}, {10: 0.25}, {11: 0.5, 12: 1.0}], start=1
+        ):
+            eager.insert_document(streamed(doc_id, weights))
+            virtual.insert_document(streamed(doc_id, weights))
+        for term_id in (10, 11, 12):
+            assert virtual.existing_list(term_id).to_pairs() == (
+                eager.existing_list(term_id).to_pairs()
+            )
+        assert virtual.existing_list(99) is None
+        assert eager.existing_list(99) is None
+
+    def test_watched_terms_stay_materialised_through_churn(self):
+        index = InvertedIndex("columnar")
+        index.threshold_tree(10)  # watching term 10 materialises its list
+        index.insert_document(streamed(1, {10: 0.5, 11: 0.25}))
+        index.insert_document(streamed(2, {10: 0.25}))
+        assert 10 in index._lists
+        assert 11 not in index._lists
+        assert index._lists[10].to_pairs() == [(1, 0.5), (2, 0.25)]
+        index.remove_document(1)
+        assert index._lists[10].to_pairs() == [(2, 0.25)]
+        index.check_invariants()
+
+    def test_both_backends_expose_identical_index_state(self):
+        docs = [
+            {10: 0.5, 11: 0.25},
+            {11: 0.5},
+            {10: 0.25, 12: 1.0},
+        ]
+        snapshots = []
+        for storage in ("bisect", "columnar"):
+            index = InvertedIndex(storage)
+            tree = index.threshold_tree(10)
+            tree.register(1, 0.0)
+            for doc_id, weights in enumerate(docs, start=1):
+                index.insert_document(streamed(doc_id, weights))
+            index.remove_document(2)
+            index.check_invariants()
+            snapshots.append(
+                {
+                    term_id: index.existing_list(term_id).to_pairs()
+                    for term_id in (10, 11, 12)
+                }
+            )
+        assert snapshots[0] == snapshots[1]

@@ -300,3 +300,61 @@ class TestRegistry:
     def test_sharded_engine_factory_unavailable(self):
         with pytest.raises(ConfigurationError):
             EngineSpec(kind="sharded").engine_factory()
+
+
+class TestStorageField:
+    def test_default_is_bisect(self):
+        spec = EngineSpec(kind="ita", window=WindowSpec.count(10))
+        assert spec.storage == "bisect"
+        assert spec.build().index.backend.name == "bisect"
+
+    def test_columnar_builds_columnar_index(self):
+        spec = EngineSpec(kind="ita", window=WindowSpec.count(10), storage="columnar")
+        assert spec.build().index.backend.name == "columnar"
+
+    def test_unknown_storage_rejected(self):
+        with pytest.raises(ConfigurationError, match="storage backend"):
+            EngineSpec(
+                kind="ita", window=WindowSpec.count(10), storage="flat-file"
+            ).validate()
+
+    def test_round_trips_through_dict(self):
+        spec = EngineSpec(kind="ita", window=WindowSpec.count(10), storage="columnar")
+        data = spec.to_dict()
+        assert data["storage"] == "columnar"
+        assert EngineSpec.from_dict(data) == spec
+        # absent key falls back to the default, for snapshots predating
+        # the storage field
+        data.pop("storage")
+        assert EngineSpec.from_dict(data).storage == "bisect"
+
+    def test_with_overrides_switches_backend_only(self):
+        spec = EngineSpec(kind="ita", window=WindowSpec.count(10))
+        overridden = spec.with_overrides(storage="columnar")
+        assert overridden.storage == "columnar"
+        assert overridden == EngineSpec(
+            kind="ita", window=WindowSpec.count(10), storage="columnar"
+        )
+        assert spec.storage == "bisect"  # the original is untouched
+
+    def test_named_columnar_alias(self):
+        spec = spec_from_name("ita-columnar")
+        assert spec.kind == "ita"
+        assert spec.storage == "columnar"
+
+    def test_spec_from_name_storage_option(self):
+        spec = spec_from_name("ita", options={"storage": "columnar"})
+        assert spec.storage == "columnar"
+        # cluster names route the option to the inner spec the shards use
+        sharded = spec_from_name("sharded-ita-2", options={"storage": "columnar"})
+        assert sharded.shard_spec().storage == "columnar"
+
+    def test_cluster_specs_propagate_storage_to_shards(self):
+        for kind in ("sharded", "sharded-proc"):
+            spec = EngineSpec(
+                kind=kind,
+                window=WindowSpec.count(10),
+                num_shards=2,
+                storage="columnar",
+            )
+            assert spec.shard_spec().storage == "columnar"

@@ -133,11 +133,13 @@ class TestConfigRoundTrip:
             "probe_order": "round_robin",
             "enable_rollup": False,
             "track_changes": False,
+            "storage": "bisect",
         }
         restored = restore_engine(snapshot)
         assert restored.probe_order is ProbeOrder.ROUND_ROBIN
         assert restored.enable_rollup is False
         assert restored.track_changes is False
+        assert restored.index.backend.name == "bisect"
         for query_id in engine.query_ids():
             assert_same_topk(
                 engine.current_result(query_id), restored.current_result(query_id)

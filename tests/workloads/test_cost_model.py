@@ -119,7 +119,7 @@ class TestModelMatchesMeasurement:
     def test_naive_score_count_matches_query_count(self):
         """The measured Naive scores/event should equal the query count (the
         model's dominant term)."""
-        from repro.workloads.runner import make_engine
+        from repro.workloads.runner import build_engine
 
         config = WorkloadConfig(
             num_queries=60, query_length=8, k=5, window_size=200, measured_events=30,
@@ -127,7 +127,7 @@ class TestModelMatchesMeasurement:
             seed=3,
         )
         workload = build_workload(config)
-        engine = make_engine("naive-kmax", config)
+        engine = build_engine("naive-kmax", config)
         for document in workload.prefill:
             engine.process(document)
         for query in workload.queries:
@@ -140,7 +140,7 @@ class TestModelMatchesMeasurement:
         assert measured_per_event >= config.num_queries
 
     def test_ita_score_count_far_below_naive(self):
-        from repro.workloads.runner import make_engine
+        from repro.workloads.runner import build_engine
 
         config = WorkloadConfig(
             num_queries=200, query_length=8, k=5, window_size=500, measured_events=40,
@@ -150,7 +150,7 @@ class TestModelMatchesMeasurement:
         workload = build_workload(config)
         counts = {}
         for name in ("ita", "naive-kmax"):
-            engine = make_engine(name, config)
+            engine = build_engine(name, config)
             for document in workload.prefill:
                 engine.process(document)
             for query in workload.queries:

@@ -14,7 +14,6 @@ from repro.workloads.experiments import ExperimentDefinition, SweepPoint
 from repro.workloads.generators import WorkloadConfig, build_workload
 from repro.workloads.runner import (
     build_engine,
-    make_engine,
     run_experiment,
     run_point,
     spec_for,
@@ -112,18 +111,16 @@ class TestEngineConstruction:
 
 
 class TestSpecDelegation:
-    """make_engine is a deprecated alias over the EngineSpec registry."""
+    """build_engine/spec_for are the only construction path of the harness."""
 
-    def test_make_engine_emits_deprecation_warning(self):
-        with pytest.warns(DeprecationWarning, match="EngineSpec"):
-            make_engine("ita", tiny_config())
+    def test_make_engine_shim_is_gone(self):
+        # The deprecated alias finished its deprecation cycle; importing it
+        # must fail so stale callers surface loudly instead of silently
+        # re-growing a second construction path.
+        import repro.workloads.runner as runner
 
-    def test_every_legacy_name_warns_and_still_builds(self):
-        for name in ("ita", "ita-no-rollup", "ita-round-robin", "naive",
-                     "naive-kmax", "sharded-ita-2"):
-            with pytest.warns(DeprecationWarning):
-                engine = make_engine(name, tiny_config())
-            assert engine.window is not None
+        assert not hasattr(runner, "make_engine")
+        assert "make_engine" not in runner.__all__
 
     def test_build_engine_does_not_warn(self):
         with warnings.catch_warnings():
@@ -141,14 +138,13 @@ class TestSpecDelegation:
         time_spec = spec_for("ita", tiny_config(time_based_window=True))
         assert time_spec.window.kind == "time"
 
-    def test_make_engine_and_spec_build_agree(self):
+    def test_build_engine_and_spec_build_agree(self):
         config = tiny_config()
-        with pytest.warns(DeprecationWarning):
-            legacy = make_engine("naive-kmax", config, {"kmax_multiplier": 3.0})
+        direct = build_engine("naive-kmax", config, {"kmax_multiplier": 3.0})
         modern = spec_for("naive-kmax", config, {"kmax_multiplier": 3.0}).build()
-        assert type(legacy) is type(modern)
-        assert legacy.policy.multiplier == modern.policy.multiplier
-        assert legacy.window.size == modern.window.size
+        assert type(direct) is type(modern)
+        assert direct.policy.multiplier == modern.policy.multiplier
+        assert direct.window.size == modern.window.size
 
 
 class TestRunPoint:
